@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale selection: ``REPRO_SCALE=smoke`` (default, seconds) or
+``REPRO_SCALE=paper`` (the full §4 configuration, minutes).  The deployment
+cache is session-scoped because Figures 8-14 interrogate the same
+deployments; each figure bench therefore times its own analysis on top of
+shared placements, and the placement cost itself is timed once by the
+fig08 bench (cold cache).
+
+Every figure bench writes the regenerated table to
+``benchmarks/results/<scale>/<figure>.txt`` (and ``.json``) so the numbers
+that back EXPERIMENTS.md are reproducible artifacts, not terminal
+scrollback.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    DeploymentCache,
+    ExperimentSetup,
+    figure_to_json,
+    format_figure_table,
+)
+
+_SCALE = os.environ.get("REPRO_SCALE") or "smoke"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results" / _SCALE
+
+
+@pytest.fixture(scope="session")
+def setup() -> ExperimentSetup:
+    return ExperimentSetup.from_env(os.environ.get("REPRO_SCALE"))
+
+
+@pytest.fixture(scope="session")
+def cache(setup) -> DeploymentCache:
+    return DeploymentCache(setup)
+
+
+@pytest.fixture(scope="session")
+def record_figure():
+    """Writer: persist a FigureResult as table + JSON under results/."""
+
+    def write(result) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{result.figure_id}.txt").write_text(
+            format_figure_table(result) + "\n", encoding="utf-8"
+        )
+        (RESULTS_DIR / f"{result.figure_id}.json").write_text(
+            figure_to_json(result), encoding="utf-8"
+        )
+
+    return write

@@ -1,0 +1,57 @@
+"""Ablation: value of the pre-existing deployment (the paper's "up to 200").
+
+The paper's networks start from up to 200 randomly scattered sensors.
+Random pre-placement is *worth less than its size*: the restoration only
+skips nodes whose random positions happen to be useful.  This sweep
+measures the marginal value of initial nodes — how many greedy placements
+each pre-placed random node actually saves.
+"""
+
+import numpy as np
+
+from repro.core import centralized_greedy
+from repro.experiments.runner import field_for_seed
+from repro.network import SensorSpec
+
+
+def test_initial_deployment_value(benchmark, setup):
+    spec = SensorSpec(setup.rs, setup.rc_small)
+    k = 2
+    fractions = (0.0, 0.25, 0.5, 1.0)
+
+    def run():
+        out = {}
+        for seed in range(setup.n_seeds):
+            pts = field_for_seed(setup, seed)
+            rng = np.random.default_rng(90_000 + seed)
+            base = centralized_greedy(pts, spec, k).added_count
+            for frac in fractions:
+                n0 = int(frac * setup.n_initial)
+                init = setup.region.sample(n0, rng) if n0 else None
+                result = centralized_greedy(pts, spec, k, initial_positions=init)
+                out.setdefault(frac, []).append((n0, result.added_count, base))
+        return {
+            frac: (
+                float(np.mean([n0 for n0, _, _ in rows])),
+                float(np.mean([added for _, added, _ in rows])),
+                float(np.mean([b for _, _, b in rows])),
+            )
+            for frac, rows in out.items()
+        }
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    n0_0, added_0, base = sweep[0.0]
+    assert added_0 == base
+    prev_added = added_0
+    for frac in (0.25, 0.5, 1.0):
+        n0, added, _ = sweep[frac]
+        # more initial nodes, fewer additions needed ...
+        assert added <= prev_added + 1e-9
+        prev_added = added
+        # ... but each random node saves at most one greedy placement,
+        # and typically much less (random positions overlap and waste)
+        saved = base - added
+        assert saved <= n0 + 1e-9
+        if n0 > 0:
+            assert saved / n0 < 0.95

@@ -1,0 +1,61 @@
+"""Ablation: greedy DECOR vs the optimal hexagonal covering lattice.
+
+The hexagonal lattice is the densest possible 1-cover of the plane
+(covering density 2π/√27 ≈ 1.209), so it calibrates how much of the
+greedy's node count is intrinsic covering cost vs greedy slack — and shows
+what the "regular positioning" fallback of §3.1 would cost if used for the
+whole field.
+"""
+
+import numpy as np
+
+from repro.core import centralized_greedy, lattice_placement
+from repro.core.redundancy import redundancy_fraction
+from repro.experiments.runner import field_for_seed
+from repro.network import SensorSpec
+
+
+def test_lattice_vs_greedy(benchmark, setup, record_figure):
+    spec = SensorSpec(setup.rs, setup.rc_small)
+
+    def run():
+        out = {}
+        for k in setup.k_values:
+            g_nodes, l_nodes = [], []
+            for seed in range(setup.n_seeds):
+                pts = field_for_seed(setup, seed)
+                g = centralized_greedy(pts, spec, k)
+                lat = lattice_placement(pts, spec, k, region=setup.region)
+                g_nodes.append(g.added_count)
+                l_nodes.append(lat.added_count)
+            out[k] = (float(np.mean(g_nodes)), float(np.mean(l_nodes)))
+        return out
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for k, (greedy_n, lattice_n) in result.items():
+        # both are real covers; neither blows up on the other by > 60%
+        ratio = greedy_n / lattice_n
+        assert 0.6 < ratio < 1.7, f"k={k}: greedy {greedy_n} vs lattice {lattice_n}"
+
+
+def test_lattice_failure_tolerance(benchmark, setup):
+    """The shifted-layer lattice spreads redundancy spatially; under random
+    failures it should hold coverage comparably to the DECOR deployments
+    (the §2 argument against stacking nodes)."""
+    from repro.analysis import removal_survival_curve
+
+    spec = SensorSpec(setup.rs, setup.rc_small)
+    k = max(setup.k_values)
+
+    def run():
+        pts = field_for_seed(setup, 0)
+        lat = lattice_placement(pts, spec, k, region=setup.region)
+        rng = np.random.default_rng(0)
+        keys = np.asarray(lat.coverage.sensor_keys())
+        curve = removal_survival_curve(lat.coverage, rng.permutation(keys), 1)
+        kills30 = int(round(0.3 * keys.size))
+        return float(curve[kills30])
+
+    survival = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert survival > 0.85  # 30% random losses leave >= 85% 1-covered

@@ -1,0 +1,41 @@
+"""Ablation: heterogeneous sensor catalogs (the §2 heterogeneity remark).
+
+Sweeps the price of a long-range sensor type against a cheap short-range
+one and reports the fleet composition and cost the benefit-per-cost greedy
+settles on — the crossover from all-small to all-big fleets should track
+the price ratio.
+"""
+
+import numpy as np
+
+from repro.core import mixed_centralized_greedy
+from repro.experiments.runner import field_for_seed
+from repro.network import SensorType
+
+
+def test_fleet_composition_vs_price(benchmark, setup):
+    small = SensorType("small", setup.rs, 2 * setup.rs, cost=1.0)
+    k = 2
+
+    def run():
+        pts = field_for_seed(setup, 0)
+        out = {}
+        for big_cost in (1.0, 2.0, 4.0, 8.0):
+            big = SensorType("big", 2 * setup.rs, 4 * setup.rs, cost=big_cost)
+            result = mixed_centralized_greedy(pts, [small, big], k)
+            counts = result.count_by_type()
+            out[big_cost] = (counts["small"], counts["big"], result.total_cost)
+        return out
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    big_shares = {
+        cost: big / max(small_ + big, 1)
+        for cost, (small_, big, _) in sweep.items()
+    }
+    # cheap big sensors dominate; expensive ones vanish
+    assert big_shares[1.0] > 0.8
+    assert big_shares[8.0] < big_shares[1.0]
+    assert sweep[8.0][1] <= sweep[1.0][1]
+    # every fleet fully covers (asserted inside the greedy) and is costed
+    assert all(cost_total > 0 for (_, _, cost_total) in sweep.values())

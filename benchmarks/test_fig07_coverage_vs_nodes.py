@@ -1,0 +1,33 @@
+"""Figure 7: percentage of k-covered points vs number of deployed nodes
+(k = 3 at paper scale; clamped to the setup's max k at smoke scale).
+
+Shape: the informed methods' curves dominate random placement everywhere
+(they cover more with the same node budget), every curve is monotone, and
+all reach 100%.
+"""
+
+import numpy as np
+
+from repro.experiments import fig07_coverage_vs_nodes
+
+
+def test_fig07(benchmark, setup, cache, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig07_coverage_vs_nodes(setup, cache), rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    for name in result.series_names():
+        xs, ys = result.series[name]
+        assert bool(np.all(np.diff(ys) >= -1e-9)), f"{name} not monotone"
+        assert ys[-1] > 99.9
+
+    # at half the centralized budget, centralized coverage dominates random
+    xs, y_cent = result.series["centralized"]
+    _, y_rand = result.series["random"]
+    # pick the grid point nearest to where centralized is ~80% done
+    target = np.argmax(y_cent >= 80.0)
+    assert y_cent[target] >= y_rand[target]
+    # and the DECOR variants sit between random and centralized there
+    for name in ("grid-small", "grid-big", "voronoi-small", "voronoi-big"):
+        assert result.series[name][1][target] >= y_rand[target] - 1e-9

@@ -1,0 +1,33 @@
+"""Figure 8: nodes needed for 100% k-coverage vs k.
+
+Paper anchors (100x100, 2000 Halton points, rs = 4): at k = 4 the
+centralized greedy uses 788 nodes, Voronoi ~891 (+13%), grid 5x5 ~1196;
+random placement needs roughly 4x any informed method.  The reproduction
+asserts the orderings and the relative factors.
+"""
+
+import numpy as np
+
+from repro.experiments import fig08_nodes_vs_k
+
+
+def test_fig08(benchmark, setup, cache, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig08_nodes_vs_k(setup, cache), rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    y = {name: result.y_of(name) for name in result.series_names()}
+    # centralized is the quality ceiling
+    for name in set(y) - {"centralized"}:
+        assert bool(np.all(y["centralized"] <= y[name] + 1e-9)), name
+    # every informed method beats random soundly
+    for name in set(y) - {"random"}:
+        assert bool(np.all(y[name] < y["random"]))
+    assert bool(np.all(y["random"] > 2.5 * y["centralized"]))
+    # the distributed penalty is moderate: Voronoi within ~1.4x, grid ~1.6x
+    assert bool(np.all(y["voronoi-big"] <= 1.4 * y["centralized"]))
+    assert bool(np.all(y["grid-small"] <= 1.8 * y["centralized"]))
+    # monotone in k for every series
+    for name, ys in y.items():
+        assert bool(np.all(np.diff(ys) > 0)), name

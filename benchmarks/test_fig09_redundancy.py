@@ -1,0 +1,33 @@
+"""Figure 9: percentage of redundant nodes vs k.
+
+Paper anchors: the centralized greedy places essentially no redundant
+nodes; random placement employs 1500-3000 redundant nodes (k = 1..5 at
+paper scale); within the Voronoi variants the big communication radius
+(more information) yields fewer redundant nodes than the small one.
+"""
+
+import numpy as np
+
+from repro.experiments import fig09_redundancy
+
+
+def test_fig09(benchmark, setup, cache, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig09_redundancy(setup, cache), rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    y = {name: result.y_of(name) for name in result.series_names()}
+    assert bool(np.all(y["centralized"] <= 5.0))
+    assert bool(np.all(y["random"] >= 40.0))
+    for name in set(y) - {"random"}:
+        assert bool(np.all(y[name] < y["random"]))
+    # information helps: big-rc Voronoi no more redundant than small-rc
+    assert float(np.mean(y["voronoi-big"])) <= float(np.mean(y["voronoi-small"])) + 2.0
+
+    # the paper's absolute claim for random placement scales with area:
+    # 1500-3000 redundant nodes on the 10^4-area field -> ~0.15-0.3 per unit
+    absolute = result.meta["absolute_redundant"]["random"]
+    area = setup.field_side**2
+    per_unit = np.asarray(absolute) / area
+    assert per_unit.max() > 0.08

@@ -1,0 +1,36 @@
+"""Figure 10: message overhead of the four distributed DECOR variants.
+
+Paper anchors: Voronoi messages grow with the communication radius; grid
+messages grow with the cell size; under leader rotation the per-node
+message count is ~4 for the small cell and ~2 for the big cell, roughly
+constant in k.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_messages
+
+
+def test_fig10(benchmark, setup, cache, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig10_messages(setup, cache), rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    y = {name: result.y_of(name) for name in result.series_names()}
+    assert set(y) == {"grid-small", "grid-big", "voronoi-small", "voronoi-big"}
+
+    # rc drives Voronoi notification fan-out
+    assert bool(np.all(y["voronoi-big"] >= y["voronoi-small"]))
+    # cell size drives per-leader traffic (more placements per big cell)
+    assert float(np.mean(y["grid-big"])) >= float(np.mean(y["grid-small"])) - 1e-9
+
+    # rotation amortisation: per-node messages approx constant in k, with
+    # the small cell's leaders busier per node than the big cell's
+    rot = result.meta["per_node_with_rotation"]
+    small = np.asarray(rot["grid-small"])
+    big = np.asarray(rot["grid-big"])
+    assert bool(np.all(small > big))
+    assert small.max() - small.min() < 0.5 * small.mean() + 1.0
+    assert 2.0 < float(small.mean()) < 8.0   # paper: ~4
+    assert 0.5 < float(big.mean()) < 4.0     # paper: ~2

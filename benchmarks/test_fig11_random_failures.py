@@ -1,0 +1,32 @@
+"""Figure 11: 3-coverage under up to 30% random node failures.
+
+Shape: every curve starts at 100% and decays; random placement (hugely
+overprovisioned) tolerates the most; the DECOR variants, which carry some
+redundancy, degrade no faster than the lean centralized deployment.
+"""
+
+import numpy as np
+
+from repro.experiments import fig11_random_failures
+
+
+def test_fig11(benchmark, setup, cache, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig11_random_failures(setup, cache), rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    for name in result.series_names():
+        xs, ys = result.series[name]
+        assert ys[0] > 99.9
+        assert bool(np.all(np.diff(ys) <= 1e-9)), f"{name} not decaying"
+
+    final = {n: result.series[n][1][-1] for n in result.series_names()}
+    # the massively redundant random deployment survives best
+    for name in set(final) - {"random"}:
+        assert final["random"] >= final[name] - 1e-9
+    # DECOR's extra nodes buy tolerance over the lean centralized placement
+    decor_mean = np.mean(
+        [final[n] for n in ("grid-small", "grid-big", "voronoi-small", "voronoi-big")]
+    )
+    assert decor_mean >= final["centralized"] - 2.0

@@ -1,0 +1,27 @@
+"""Figure 13: percentage of k-covered points right after an area failure
+(disaster disc of radius 0.24 x field side, ~17-18% of the area).
+
+Paper observation: the post-disaster coverage level is essentially the same
+whichever algorithm deployed the network — what differs (Figure 14) is the
+cost of repairing it.
+"""
+
+import numpy as np
+
+from repro.experiments import fig13_area_failure
+
+
+def test_fig13(benchmark, setup, cache, record_figure):
+    result = benchmark.pedantic(
+        lambda: fig13_area_failure(setup, cache), rounds=1, iterations=1
+    )
+    record_figure(result)
+
+    ys = np.vstack([result.y_of(n) for n in result.series_names()])
+    # every method loses roughly the disaster's share of the area: with the
+    # disc at ~18% of the field, coverage lands in a common band
+    assert bool(np.all((ys > 55.0) & (ys < 98.0)))
+    # "the percentage of k-covered points is the same for all deployment
+    # algorithms" — tight spread across methods at each k
+    spread = ys.max(axis=0) - ys.min(axis=0)
+    assert bool(np.all(spread < 25.0))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Connectivity repair and battery lifetime — the §2 corollary in practice.
+
+Part 1 (connectivity): the paper proves coverage implies connectivity only
+when ``rc >= 2 rs``.  Deploy with a short radio (``rc = rs``): the field is
+fully sensed but the network is shattered into islands that cannot report.
+``connect_components`` stitches it together with relay nodes.
+
+Part 2 (lifetime): a k = 3 deployment is partitioned into sleep shifts and
+the battery simulation compares always-on vs shift rotation.
+
+Run:  python examples/connectivity_and_lifetime.py
+"""
+
+import numpy as np
+
+from repro import DecorPlanner, Rect, SensorSpec
+from repro.network import connect_components
+from repro.network.connectivity import connected_components_count, is_connected
+from repro.sim import BatteryConfig, simulate_lifetime
+
+
+def main() -> None:
+    # --- Part 1: coverage without connectivity ----------------------------
+    region = Rect.square(60.0)
+    short_radio = SensorSpec(sensing_radius=4.0, communication_radius=4.0)
+    planner = DecorPlanner(region, short_radio, n_points=720, seed=9)
+    result = planner.deploy(1, method="centralized")
+    pos = result.deployment.alive_positions()
+    n_comp = connected_components_count(pos, short_radio.rc)
+    print(f"rc = rs = 4: field 100% sensed by {len(pos)} nodes, but the "
+          f"radio graph has {n_comp} disconnected islands")
+
+    plan = connect_components(pos, short_radio.rc)
+    merged = np.vstack([pos, plan.relay_positions]) if plan.n_relays else pos
+    print(f"relay repair: {plan.n_relays} relays across "
+          f"{len(plan.bridged_pairs)} bridges -> connected: "
+          f"{is_connected(merged, short_radio.rc)}")
+
+    long_radio = SensorSpec(4.0, 8.0)
+    planner2 = DecorPlanner(region, long_radio, n_points=720, seed=9)
+    result2 = planner2.deploy(1, method="centralized")
+    print(f"rc = 2 rs = 8 (the paper's corollary condition): connected out "
+          f"of the box: "
+          f"{is_connected(result2.deployment.alive_positions(), long_radio.rc)}")
+
+    # --- Part 2: lifetime via sleep rotation -------------------------------
+    print()
+    planner3 = DecorPlanner(region, long_radio, n_points=720, seed=9)
+    k3 = planner3.deploy(3, method="voronoi")
+    config = BatteryConfig(capacity=1000.0, sense_cost=1.0, epoch=1.0)
+    on = simulate_lifetime(k3.coverage, config, policy="always-on")
+    rot = simulate_lifetime(k3.coverage, config, policy="shift-rotation")
+    print(f"k = 3 deployment of {k3.total_alive} nodes, battery = "
+          f"{config.epochs_per_node} awake epochs:")
+    print(f"  always-on lifetime    : {on.lifetime:.0f} time units")
+    print(f"  shift rotation        : {rot.lifetime:.0f} time units "
+          f"({rot.n_shifts} disjoint shifts, {rot.lifetime/on.lifetime:.1f}x)")
+    print("\nk-coverage buys exactly the spare sets that sleep scheduling")
+    print("turns into lifetime — the paper's third motivation, measured.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Reproduce the paper's illustrative Figures 4-6 as terminal art.
+
+Figure 4: a 100x100 field approximated with 2000 Halton points.
+Figure 5: an example DECOR deployment.
+Figure 6: the uncovered area left by a disaster disc of radius 24.
+
+Run:  python examples/field_gallery.py
+"""
+
+from repro import DecorPlanner, Rect, SensorSpec, area_failure
+from repro.viz import render_coverage, render_deployment, render_points
+
+
+def main() -> None:
+    region = Rect.square(100.0)
+    spec = SensorSpec(4.0, 8.0)
+    planner = DecorPlanner(region, spec, n_points=2000, seed=0)
+
+    print(render_points(
+        region, planner.field_points, width=72, height=28,
+        title="Figure 4: a field approximated with 2000 Halton points",
+    ))
+
+    result = planner.deploy(1, method="grid", cell_size=5.0)
+    print()
+    print(render_deployment(
+        region, planner.field_points, result.deployment.alive_positions(),
+        width=72, height=28,
+        title=f"Figure 5: DECOR deployment (grid 5x5, k=1, "
+              f"{result.total_alive} nodes = 'o')",
+    ))
+
+    event = area_failure(result.deployment, region.center, 24.0)
+    survivor = result.deployment.copy()
+    survivor.fail(event.node_ids)
+    print()
+    print(render_coverage(
+        region, survivor.alive_positions(), spec.rs, k=1,
+        width=72, height=28,
+        title=f"Figure 6: an uncovered area ({event.n_failed} nodes lost, "
+              "'!' = uncovered)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

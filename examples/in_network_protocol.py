@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Run grid DECOR as a real packet-level protocol (§3 end to end).
+
+This example exercises the distributed-systems substrate rather than the
+analytic fast path: cell leaders are elected by the rotating randomised
+election, they watch each other with the Tc-periodic heartbeat failure
+detector, and the coverage algorithm itself runs as per-leader state
+machines exchanging PLACE_NOTIFY messages over the unit-disc radio.
+
+It then verifies the packet-level run places exactly the same nodes as the
+analytic model, and shows the heartbeat detector spotting a crashed leader.
+
+Run:  python examples/in_network_protocol.py
+"""
+
+import numpy as np
+
+from repro import Rect, SensorSpec, grid_decor
+from repro.core.protocols import run_grid_protocol
+from repro.discrepancy import field_points
+from repro.sim import (
+    CellElectionNode,
+    ElectionConfig,
+    EnergyModel,
+    HeartbeatConfig,
+    HeartbeatNode,
+    Radio,
+    Simulator,
+)
+
+
+def main() -> None:
+    region = Rect.square(40.0)
+    pts = field_points(region, 320)
+    spec = SensorSpec(4.0, 15.0)
+    k = 2
+
+    # --- the coverage protocol itself -------------------------------------
+    report = run_grid_protocol(pts, spec, k, region, cell_size=5.0)
+    analytic = grid_decor(pts, spec, k, region, cell_size=5.0)
+    same = bool(np.allclose(report.placed_positions, analytic.trace.positions))
+    print(f"packet-level run: {len(report.placed_point_indices)} placements, "
+          f"{report.notify_messages} border messages, "
+          f"sim time {report.sim_time:.1f}")
+    print(f"matches the synchronous-rounds model exactly: {same}")
+
+    # --- leader election with rotation -------------------------------------
+    sim = Simulator()
+    radio = Radio(sim, rc=50.0)
+    config = ElectionConfig(rotation_period=10.0, settle_delay=0.1)
+    members = [
+        CellElectionNode(i, sim, radio, [float(i), 0.0], cell_id=0, config=config)
+        for i in range(5)
+    ]
+    for m in members:
+        m.start(delay=0.001 * m.node_id)
+    sim.run(until=120.0)
+    history = members[0].leadership_history
+    print(f"\nleader election: {len(history)} rounds, "
+          f"{len(set(history))} distinct leaders "
+          f"(rotation spreads the load)")
+    print(f"radio energy imbalance across members: "
+          f"{EnergyModel().imbalance(radio.stats):.2f} (1.0 = perfectly even)")
+
+    # --- heartbeat failure detection ---------------------------------------
+    sim2 = Simulator()
+    radio2 = Radio(sim2, rc=20.0)
+    hb_cfg = HeartbeatConfig(period=1.0, timeout_factor=2.5)
+    rng = np.random.default_rng(0)
+    suspicions: list[tuple[int, int]] = []
+    watchers = [
+        HeartbeatNode(i, sim2, radio2, [3.0 * i, 0.0], hb_cfg, rng,
+                      on_suspect=lambda a, b: suspicions.append((a, b)))
+        for i in range(4)
+    ]
+    for w in watchers:
+        w.start(delay=0.05 * w.node_id)
+    sim2.run(until=5.0)
+    crash_time = sim2.now
+    watchers[2].fail()
+    sim2.run(until=20.0)
+    detectors = sorted(a for a, b in suspicions if b == 2)
+    print(f"\nheartbeats: node 2 crashed at t={crash_time:.0f}; "
+          f"neighbours {detectors} suspected it within "
+          f"{hb_cfg.timeout + hb_cfg.period:.1f} time units")
+    print("(this is the trigger that starts a DECOR restoration round)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Intruder detection and localisation accuracy (paper motivation #2).
+
+"The ability of the network to detect the intruder and the accuracy of the
+detection increases with the number of nodes monitoring the area."  This
+example makes that quantitative: an intruder walks a path through fields
+deployed at k = 1, 3 and 5, every covering sensor reports a noisy range,
+and the fused position estimate's error shrinks as k grows — while the
+fraction of the path with no usable fix at all collapses.
+
+Run:  python examples/intruder_detection.py
+"""
+
+import numpy as np
+
+from repro import DecorPlanner, Rect, SensorSpec
+from repro.analysis import (
+    detection_counts,
+    localization_errors,
+    localize_trajectory,
+)
+
+
+def intruder_path(region: Rect, n: int = 150) -> np.ndarray:
+    """A meandering crossing of the field."""
+    t = np.linspace(0.0, 1.0, n)
+    x = region.x0 + 3.0 + t * (region.width - 6.0)
+    y = region.center[1] + 0.35 * region.height * np.sin(3.0 * np.pi * t)
+    return np.column_stack([x, y])
+
+
+def main() -> None:
+    region = Rect.square(60.0)
+    spec = SensorSpec(4.0, 8.0)
+    path = intruder_path(region)
+    noise = 0.4  # ranging noise (m), ~10% of the sensing radius
+
+    print(f"{'k':>3} {'sensors':>8} {'min det':>8} {'fix rate':>9} "
+          f"{'median err (m)':>15}")
+    for k in (1, 3, 5):
+        planner = DecorPlanner(region, spec, n_points=720, seed=5)
+        result = planner.deploy(k, method="centralized")
+        sensors = result.deployment.alive_positions()
+
+        counts = detection_counts(sensors, path, spec.rs)
+        medians = []
+        fix_rates = []
+        for seed in range(5):
+            est, _ = localize_trajectory(
+                sensors, path, spec.rs, np.random.default_rng(seed),
+                range_noise_std=noise,
+            )
+            err = localization_errors(est, path)
+            fix_rates.append(float(np.mean(~np.isnan(err))))
+            medians.append(float(np.nanmedian(err)))
+        print(f"{k:>3} {len(sensors):>8} {counts.min():>8} "
+              f"{np.mean(fix_rates):>9.0%} {np.median(medians):>15.3f}")
+
+    print("\nk-coverage guarantees every path point is seen by >= k sensors;")
+    print("more detectors -> more trilateration anchors -> tighter fixes.")
+
+
+if __name__ == "__main__":
+    main()

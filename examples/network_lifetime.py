@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Sleep scheduling on a k-covered network (paper motivation #3).
+
+"When k nodes are covering a point, we have the option of putting some of
+them to sleep...  k-coverage leads to significant energy savings and
+increases the lifetime for the network."
+
+This example deploys at several k, partitions each deployment into disjoint
+sleep shifts that each 1-cover the whole field on their own, and reports
+the lifetime multiplier.  It then simulates rotating through the shifts and
+verifies the field never loses coverage.
+
+Run:  python examples/network_lifetime.py
+"""
+
+import numpy as np
+
+from repro import DecorPlanner, Rect, SensorSpec
+from repro.analysis import sleep_shifts
+from repro.network import CoverageState
+
+
+def main() -> None:
+    region = Rect.square(50.0)
+    spec = SensorSpec(4.0, 8.0)
+
+    print(f"{'k':>3} {'nodes':>7} {'shifts':>7} {'lifetime gain':>14}")
+    for k in (1, 2, 3, 4, 5):
+        planner = DecorPlanner(region, spec, n_points=500, seed=3)
+        result = planner.deploy(k, method="voronoi")
+        shifts = sleep_shifts(result.coverage, k_active=1)
+        print(f"{k:>3} {result.total_alive:>7} {len(shifts):>7} "
+              f"{len(shifts):>13}x")
+
+        # verify by simulation: run each shift alone, field stays 1-covered
+        for shift in shifts:
+            cov = CoverageState(planner.field_points, spec.rs)
+            for key in shift:
+                cov.add_sensor(key, result.deployment.position_of(key))
+            assert cov.is_fully_covered(1), "a shift dropped coverage!"
+
+    print("\nEvery shift 1-covers the field alone: running one shift at a")
+    print("time multiplies battery life by the shift count while keeping")
+    print("the area continuously monitored.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Mobile-robot dispatch of a disaster repair (paper §1/§3).
+
+DECOR tells you *where* the replacement sensors go; a repair is only done
+when a robot has physically carried them there.  This example breaks a
+network with a disaster disc, computes the DECOR repair, and plans the
+delivery tours for fleets of 1-4 robots from a corner depot — reporting
+the makespan (the time the field stays under-covered) and writing an SVG
+of the scene.
+
+Run:  python examples/robot_dispatch.py
+"""
+
+import numpy as np
+
+from repro import DecorPlanner, Rect, SensorSpec, area_failure
+from repro.analysis import plan_dispatch
+from repro.viz import save_svg, svg_field
+
+
+def main() -> None:
+    region = Rect.square(80.0)
+    planner = DecorPlanner(region, SensorSpec(4.0, 8.0), n_points=1280, seed=11)
+    result = planner.deploy(2, method="voronoi")
+    event = area_failure(result.deployment, np.array([50.0, 45.0]), 16.0)
+    report = planner.restore_after(result, event, method="voronoi")
+    sites = report.repair.trace.positions
+    depot = np.array([0.0, 0.0])
+
+    print(f"disaster destroyed {event.n_failed} sensors; repair needs "
+          f"{len(sites)} replacements\n")
+    print(f"{'robots':>7} {'makespan':>9} {'total distance':>15} "
+          f"{'longest tour':>13}")
+    plans = {}
+    for n_robots in (1, 2, 3, 4):
+        plan = plan_dispatch(sites, depot, n_robots=n_robots, speed=1.0)
+        plans[n_robots] = plan
+        print(f"{n_robots:>7} {plan.makespan:>9.0f} "
+              f"{plan.total_distance:>15.0f} {max(plan.distances):>13.0f}")
+
+    best = plans[4]
+    tours_xy = [sites[tour] for tour in best.tours if tour.size]
+    doc = svg_field(
+        region,
+        field_points=planner.field_points,
+        sensors=sites,
+        rs=4.0,
+        disaster=(np.array([50.0, 45.0]), 16.0),
+        tours=tours_xy,
+        depot=depot,
+        title="repair dispatch, 4 robots",
+    )
+    out = "robot_dispatch.svg"
+    save_svg(out, doc)
+    print(f"\nwrote {out} (replacement sites, disaster outline, 4 tours)")
+    print("makespan shrinks with the fleet, but with diminishing returns:")
+    print("every robot pays the same commute from the depot to the disaster")
+    print("zone, so total distance grows while the critical path saturates")
+    print("near (commute + its sector).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs in offline environments
+(where the ``wheel`` package is unavailable and PEP 517 builds fail)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""Deployment analysis: quality metrics, lifetime scheduling, detection.
+
+The paper motivates k-coverage with three applications (§1): wild-fire
+monitoring (reliability under failures), intruder detection (accuracy grows
+with the number of covering sensors) and network lifetime (k-covered points
+allow sleep rotation).  This subpackage provides the analysis tools those
+applications need on top of a deployed network:
+
+* :mod:`~repro.analysis.metrics` — node counts vs the information-theoretic
+  lower bound, redundancy, coverage statistics.
+* :mod:`~repro.analysis.lifetime` — greedy sleep-shift scheduling that
+  partitions a k-covered deployment into disjoint shifts each preserving a
+  target coverage level (motivation #3).
+* :mod:`~repro.analysis.intruder` — trajectory detection counts and noisy
+  multilateration accuracy as a function of the coverage degree
+  (motivation #2; the paper cites [4] that k-coverage improves fusion
+  accuracy).
+* :mod:`~repro.analysis.coverage_map` — rasterised coverage fields for
+  inspection and the *area-vs-point-set* fidelity measurements used by the
+  discrepancy ablation.
+"""
+
+from repro.analysis.metrics import DeploymentMetrics, evaluate_deployment
+from repro.analysis.lifetime import sleep_shifts, lifetime_factor
+from repro.analysis.intruder import (
+    detection_counts,
+    localize_trajectory,
+    localization_errors,
+    estimate_velocity,
+)
+from repro.analysis.coverage_map import coverage_raster, uncovered_area_fraction
+from repro.analysis.survival import (
+    removal_survival_curve,
+    max_tolerable_failure_fraction,
+)
+from repro.analysis.holes import CoverageHole, find_holes
+from repro.analysis.dispatch import (
+    DispatchPlan,
+    nearest_neighbor_tour,
+    plan_dispatch,
+    tour_length,
+    two_opt,
+)
+
+__all__ = [
+    "DeploymentMetrics",
+    "evaluate_deployment",
+    "sleep_shifts",
+    "lifetime_factor",
+    "detection_counts",
+    "localize_trajectory",
+    "localization_errors",
+    "estimate_velocity",
+    "coverage_raster",
+    "uncovered_area_fraction",
+    "removal_survival_curve",
+    "max_tolerable_failure_fraction",
+    "CoverageHole",
+    "find_holes",
+    "DispatchPlan",
+    "nearest_neighbor_tour",
+    "plan_dispatch",
+    "tour_length",
+    "two_opt",
+]

@@ -1,0 +1,217 @@
+"""Mobile-robot dispatch of proposed placements (paper §1/§3).
+
+"We assume that new sensors can be deployed to the proposed locations by a
+human or a mobile robot.  Our algorithm can be implemented on such mobile
+robots or on the sensor devices."
+
+DECOR outputs *where* sensors must go; this module plans *how long it
+takes to put them there*: robots start at a depot, each carries sensors
+for a subset of the sites, and drives a tour through them.  The physical
+restoration latency of a repair is then the dispatch makespan, which is
+what an operator actually waits for after a disaster.
+
+From-scratch routing stack:
+
+* :func:`nearest_neighbor_tour` — O(n²) constructive tour.
+* :func:`two_opt` — 2-opt local search (never worsens; bounded passes).
+* :func:`plan_dispatch` — splits sites across robots by an angular sweep
+  around the depot (balanced contiguous sectors), routes each robot, and
+  reports per-robot tours, total distance and makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import as_point, as_points
+
+__all__ = [
+    "tour_length",
+    "nearest_neighbor_tour",
+    "two_opt",
+    "DispatchPlan",
+    "plan_dispatch",
+]
+
+
+def tour_length(depot: np.ndarray, sites: np.ndarray, order: np.ndarray) -> float:
+    """Length of depot -> sites[order[0]] -> ... -> sites[order[-1]] -> depot."""
+    d = as_point(depot)
+    pts = as_points(sites)
+    idx = np.asarray(order, dtype=np.intp)
+    if idx.size == 0:
+        return 0.0
+    path = np.vstack([d, pts[idx], d])
+    return float(np.sum(np.linalg.norm(np.diff(path, axis=0), axis=1)))
+
+
+def nearest_neighbor_tour(depot: np.ndarray, sites: np.ndarray) -> np.ndarray:
+    """Greedy constructive tour: always drive to the closest unvisited site."""
+    d = as_point(depot)
+    pts = as_points(sites)
+    n = pts.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    unvisited = np.ones(n, dtype=bool)
+    order = np.empty(n, dtype=np.intp)
+    current = d
+    for i in range(n):
+        rem = np.nonzero(unvisited)[0]
+        dist2 = np.sum((pts[rem] - current) ** 2, axis=1)
+        nxt = rem[int(np.argmin(dist2))]
+        order[i] = nxt
+        unvisited[nxt] = False
+        current = pts[nxt]
+    return order
+
+
+def two_opt(
+    depot: np.ndarray,
+    sites: np.ndarray,
+    order: np.ndarray,
+    *,
+    max_passes: int = 8,
+) -> np.ndarray:
+    """2-opt improvement: reverse tour segments while any reversal shortens.
+
+    Runs full improvement passes until none helps or ``max_passes`` is hit;
+    the returned tour is never longer than the input.
+    """
+    if max_passes < 0:
+        raise ConfigurationError(f"max_passes must be >= 0, got {max_passes}")
+    d = as_point(depot)
+    pts = as_points(sites)
+    tour = np.asarray(order, dtype=np.intp).copy()
+    n = tour.size
+    if n < 3:
+        return tour
+    # work on the closed path including the depot at both ends
+    for _ in range(max_passes):
+        improved = False
+        path = np.vstack([d, pts[tour], d])
+        for i in range(1, n):
+            a = path[i - 1]
+            b = path[i]
+            for j in range(i + 1, n + 1):
+                # replace edges (a -> b) + (c -> e) by (a -> c) + (b -> e),
+                # i.e. reverse the segment tour[i-1 : j]
+                c_node = path[j]
+                e_node = path[j + 1]
+                before = np.linalg.norm(b - a) + np.linalg.norm(e_node - c_node)
+                after = np.linalg.norm(c_node - a) + np.linalg.norm(e_node - b)
+                if after + 1e-12 < before:
+                    tour[i - 1 : j] = tour[i - 1 : j][::-1]
+                    path = np.vstack([d, pts[tour], d])
+                    b = path[i]
+                    improved = True
+        if not improved:
+            break
+    return tour
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """Routing of placement sites across robots.
+
+    Attributes
+    ----------
+    tours:
+        One site-index array per robot (indices into the input sites),
+        in driving order; empty arrays for idle robots.
+    distances:
+        Tour length per robot (depot to depot).
+    speed:
+        Robot speed used for the time figures.
+    """
+
+    tours: list[np.ndarray]
+    distances: list[float]
+    speed: float
+
+    @property
+    def n_robots(self) -> int:
+        return len(self.tours)
+
+    @property
+    def total_distance(self) -> float:
+        return float(sum(self.distances))
+
+    @property
+    def makespan(self) -> float:
+        """Completion time: the slowest robot's tour time."""
+        if not self.distances:
+            return 0.0
+        return max(self.distances) / self.speed
+
+    def robot_of_site(self) -> dict[int, int]:
+        """site index -> robot index."""
+        out: dict[int, int] = {}
+        for r, tour in enumerate(self.tours):
+            for s in tour:
+                out[int(s)] = r
+        return out
+
+
+def plan_dispatch(
+    sites: np.ndarray,
+    depot: np.ndarray,
+    *,
+    n_robots: int = 1,
+    speed: float = 1.0,
+    refine: bool = True,
+) -> DispatchPlan:
+    """Assign and route placement sites across robots.
+
+    Parameters
+    ----------
+    sites:
+        ``(n, 2)`` placement positions (e.g. ``result.trace.positions``).
+    depot:
+        Common start/end position (the base station).
+    n_robots:
+        Fleet size; sites are split into balanced contiguous angular
+        sectors around the depot (keeps each robot's work geographically
+        coherent), then each sector is routed independently.
+    speed:
+        Distance per unit time.
+    refine:
+        Apply 2-opt after the nearest-neighbour construction.
+
+    Returns
+    -------
+    DispatchPlan
+    """
+    if n_robots < 1:
+        raise ConfigurationError(f"need at least one robot, got {n_robots}")
+    if speed <= 0:
+        raise ConfigurationError(f"speed must be positive, got {speed}")
+    pts = as_points(sites)
+    d = as_point(depot)
+    n = pts.shape[0]
+    if n == 0:
+        return DispatchPlan(tours=[np.empty(0, dtype=np.intp)] * n_robots,
+                            distances=[0.0] * n_robots, speed=speed)
+
+    # balanced angular sectors around the depot
+    angles = np.arctan2(pts[:, 1] - d[1], pts[:, 0] - d[0])
+    by_angle = np.argsort(angles, kind="stable")
+    chunks = np.array_split(by_angle, n_robots)
+
+    tours: list[np.ndarray] = []
+    distances: list[float] = []
+    for chunk in chunks:
+        if chunk.size == 0:
+            tours.append(np.empty(0, dtype=np.intp))
+            distances.append(0.0)
+            continue
+        local = pts[chunk]
+        order = nearest_neighbor_tour(d, local)
+        if refine:
+            order = two_opt(d, local, order)
+        tour = chunk[order]
+        tours.append(tour.astype(np.intp))
+        distances.append(tour_length(d, pts, tour))
+    return DispatchPlan(tours=tours, distances=distances, speed=speed)

@@ -1,0 +1,91 @@
+"""Deployment quality metrics.
+
+Collects in one place the figures of merit the paper's evaluation reports:
+node counts (against the disc-packing lower bound), redundancy, residual
+deficiency and coverage distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.redundancy import redundancy_fraction
+from repro.core.result import DeploymentResult
+from repro.geometry.disks import minimum_disks_lower_bound
+from repro.geometry.points import bounding_rect_of
+
+__all__ = ["DeploymentMetrics", "evaluate_deployment"]
+
+
+@dataclass(frozen=True)
+class DeploymentMetrics:
+    """Scalar quality summary of a deployment result.
+
+    Attributes
+    ----------
+    nodes_total / nodes_added:
+        Alive nodes at completion, and the subset added by the algorithm.
+    lower_bound:
+        ``ceil(k * area / (pi rs^2))`` — no algorithm can beat this.
+    overprovision:
+        ``nodes_total / lower_bound`` (>= 1; closer to 1 is better; genuine
+        disc coverings cannot reach 1 because discs must overlap).
+    redundancy:
+        Fraction of nodes removable without losing k-coverage (Figure 9).
+    covered_fraction:
+        Fraction of field points k-covered (1.0 for a complete run).
+    min_coverage / mean_coverage:
+        Distribution of the per-point coverage counts.
+    """
+
+    nodes_total: int
+    nodes_added: int
+    lower_bound: int
+    overprovision: float
+    redundancy: float
+    covered_fraction: float
+    min_coverage: int
+    mean_coverage: float
+
+    def as_row(self) -> dict:
+        """Flat dict for CSV/table output."""
+        return {
+            "nodes_total": self.nodes_total,
+            "nodes_added": self.nodes_added,
+            "lower_bound": self.lower_bound,
+            "overprovision": round(self.overprovision, 4),
+            "redundancy": round(self.redundancy, 4),
+            "covered_fraction": round(self.covered_fraction, 4),
+            "min_coverage": self.min_coverage,
+            "mean_coverage": round(self.mean_coverage, 4),
+        }
+
+
+def evaluate_deployment(
+    result: DeploymentResult, *, area: float | None = None
+) -> DeploymentMetrics:
+    """Compute :class:`DeploymentMetrics` for a placement result.
+
+    Parameters
+    ----------
+    area:
+        Monitored area for the lower bound; defaults to the bounding box of
+        the field points (exact when the approximation spans the region).
+    """
+    coverage = result.coverage
+    if area is None:
+        area = bounding_rect_of(coverage.field_points).area
+    bound = minimum_disks_lower_bound(area, coverage.sensing_radius, result.k)
+    counts = coverage.counts
+    return DeploymentMetrics(
+        nodes_total=result.total_alive,
+        nodes_added=result.added_count,
+        lower_bound=bound,
+        overprovision=result.total_alive / bound if bound else float("inf"),
+        redundancy=redundancy_fraction(coverage, result.k),
+        covered_fraction=coverage.covered_fraction(result.k),
+        min_coverage=int(counts.min()),
+        mean_coverage=float(counts.mean()),
+    )

@@ -1,0 +1,244 @@
+"""Command-line interface.
+
+Usage (installed as ``decor`` or via ``python -m repro.cli``)::
+
+    decor figure 8                      # regenerate a paper figure (smoke scale)
+    decor figure 10 --scale paper       # full paper-scale run
+    decor figure 8 --json out.json      # persist the series
+    decor deploy --k 3 --method voronoi # one deployment, metrics + ASCII view
+    decor summary --k 3                 # one-row-per-method bottom line
+    decor restore --k 3 --method grid   # deploy, disaster, repair, report
+    decor lifetime --k 3                # sleep-shift lifetime multiplier
+    decor gallery                       # paper Figures 4-6 as ASCII art
+
+Scale selection: ``--scale`` beats the ``REPRO_SCALE`` environment variable,
+which beats the default ("smoke").
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis.metrics import evaluate_deployment
+from repro.core.planner import DecorPlanner, METHODS
+from repro.errors import ReproError
+from repro.experiments.figures import FIGURES
+from repro.experiments.recording import figure_to_csv, figure_to_json
+from repro.experiments.runner import DeploymentCache
+from repro.experiments.setup import ExperimentSetup
+from repro.geometry.region import Rect
+from repro.network.failures import area_failure
+from repro.network.spec import SensorSpec
+from repro.viz.ascii_field import render_coverage, render_deployment, render_points
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="decor",
+        description="DECOR k-coverage restoration (IPPS 2007 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"decor {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=sorted(FIGURES))
+    p_fig.add_argument("--scale", choices=["smoke", "paper"], default=None)
+    p_fig.add_argument("--seeds", type=int, default=None, help="override seed count")
+    p_fig.add_argument("--json", metavar="PATH", help="also write JSON")
+    p_fig.add_argument("--csv", metavar="PATH", help="also write CSV")
+
+    p_dep = sub.add_parser("deploy", help="run one deployment and report metrics")
+    p_dep.add_argument("--k", type=int, default=3)
+    p_dep.add_argument("--method", choices=METHODS, default="voronoi")
+    p_dep.add_argument("--side", type=float, default=50.0, help="field side length")
+    p_dep.add_argument("--points", type=int, default=500, help="field points")
+    p_dep.add_argument("--rs", type=float, default=4.0)
+    p_dep.add_argument("--rc", type=float, default=8.0)
+    p_dep.add_argument("--cell-size", type=float, default=5.0)
+    p_dep.add_argument("--seed", type=int, default=0)
+    p_dep.add_argument("--ascii", action="store_true", help="render the deployment")
+
+    p_sum = sub.add_parser("summary", help="per-method bottom line at one k")
+    p_sum.add_argument("--k", type=int, default=3)
+    p_sum.add_argument("--scale", choices=["smoke", "paper"], default=None)
+    p_sum.add_argument("--seeds", type=int, default=None)
+
+    p_res = sub.add_parser("restore", help="deploy, break, repair, report")
+    p_res.add_argument("--k", type=int, default=2)
+    p_res.add_argument("--method", choices=METHODS, default="voronoi")
+    p_res.add_argument("--side", type=float, default=50.0)
+    p_res.add_argument("--points", type=int, default=500)
+    p_res.add_argument("--rs", type=float, default=4.0)
+    p_res.add_argument("--rc", type=float, default=8.0)
+    p_res.add_argument("--cell-size", type=float, default=5.0)
+    p_res.add_argument("--disaster-radius", type=float, default=None,
+                       help="default: 0.24 x side (the paper's proportion)")
+    p_res.add_argument("--seed", type=int, default=0)
+
+    p_life = sub.add_parser("lifetime", help="sleep-shift lifetime multiplier")
+    p_life.add_argument("--k", type=int, default=3)
+    p_life.add_argument("--side", type=float, default=50.0)
+    p_life.add_argument("--points", type=int, default=500)
+    p_life.add_argument("--rs", type=float, default=4.0)
+    p_life.add_argument("--rc", type=float, default=8.0)
+    p_life.add_argument("--capacity", type=float, default=1000.0)
+    p_life.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("gallery", help="print paper Figures 4-6 as ASCII art")
+    return parser
+
+
+def _setup_from_args(args: argparse.Namespace) -> ExperimentSetup:
+    scale = args.scale or os.environ.get("REPRO_SCALE")
+    setup = ExperimentSetup.from_env(scale)
+    if args.seeds is not None:
+        setup = setup.with_seeds(args.seeds)
+    return setup
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_figure_table
+
+    setup = _setup_from_args(args)
+    cache = DeploymentCache(setup)
+    result = FIGURES[args.number](setup, cache)
+    print(format_figure_table(result))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(figure_to_json(result))
+        print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(figure_to_csv(result))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_deploy(args: argparse.Namespace) -> int:
+    planner = DecorPlanner(
+        Rect.square(args.side),
+        SensorSpec(args.rs, args.rc),
+        n_points=args.points,
+        seed=args.seed,
+    )
+    result = planner.deploy(args.k, method=args.method, cell_size=args.cell_size)
+    metrics = evaluate_deployment(result, area=planner.region.area)
+    for key, value in metrics.as_row().items():
+        print(f"{key:>18}: {value}")
+    if args.ascii:
+        print(
+            render_deployment(
+                planner.region,
+                planner.field_points,
+                result.deployment.alive_positions(),
+                title=f"{args.method} deployment, k={args.k}",
+            )
+        )
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.experiments import format_summary_table, method_summary
+    from repro.experiments.runner import DeploymentCache
+
+    setup = _setup_from_args(args)
+    k = min(args.k, max(setup.k_values))
+    rows = method_summary(setup, k, DeploymentCache(setup))
+    print(format_summary_table(rows))
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    planner = DecorPlanner(
+        Rect.square(args.side),
+        SensorSpec(args.rs, args.rc),
+        n_points=args.points,
+        seed=args.seed,
+    )
+    result = planner.deploy(args.k, method=args.method, cell_size=args.cell_size)
+    radius = args.disaster_radius or 0.24 * args.side
+    event = area_failure(result.deployment, planner.region.center, radius)
+    report = planner.restore_after(
+        result, event, method=args.method, cell_size=args.cell_size
+    )
+    print(f"deployed           : {result.total_alive} nodes (k={args.k}, "
+          f"{args.method})")
+    print(f"disaster           : radius {radius:g}, {event.n_failed} nodes lost")
+    print(f"coverage after loss: {report.covered_after_failure:.1%}")
+    print(f"repair             : +{report.extra_nodes} nodes -> "
+          f"{report.covered_after_repair:.0%} k-covered")
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.sim import BatteryConfig, simulate_lifetime
+
+    planner = DecorPlanner(
+        Rect.square(args.side),
+        SensorSpec(args.rs, args.rc),
+        n_points=args.points,
+        seed=args.seed,
+    )
+    result = planner.deploy(args.k, method="voronoi")
+    config = BatteryConfig(capacity=args.capacity)
+    on = simulate_lifetime(result.coverage, config, policy="always-on")
+    rot = simulate_lifetime(result.coverage, config, policy="shift-rotation")
+    print(f"k={args.k} deployment of {result.total_alive} nodes")
+    print(f"always-on lifetime : {on.lifetime:g}")
+    print(f"shift rotation     : {rot.lifetime:g} "
+          f"({rot.n_shifts} shifts, {rot.lifetime / on.lifetime:.1f}x)")
+    return 0
+
+
+def _cmd_gallery(_: argparse.Namespace) -> int:
+    region = Rect.square(100.0)
+    spec = SensorSpec(4.0, 8.0)
+    planner = DecorPlanner(region, spec, n_points=2000, seed=0)
+    print(render_points(region, planner.field_points,
+                        title="Figure 4: a field approximated with 2000 Halton points"))
+    result = planner.deploy(k=1, method="grid", cell_size=5.0)
+    print()
+    print(render_deployment(region, planner.field_points,
+                            result.deployment.alive_positions(),
+                            title="Figure 5: an example DECOR deployment (grid, k=1)"))
+    event = area_failure(result.deployment, region.center, 24.0)
+    survivor = result.deployment.copy()
+    survivor.fail(event.node_ids)
+    print()
+    print(render_coverage(region, survivor.alive_positions(), spec.rs, k=1,
+                          title="Figure 6: an uncovered area ('!' = uncovered)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "deploy":
+            return _cmd_deploy(args)
+        if args.command == "summary":
+            return _cmd_summary(args)
+        if args.command == "restore":
+            return _cmd_restore(args)
+        if args.command == "lifetime":
+            return _cmd_lifetime(args)
+        if args.command == "gallery":
+            return _cmd_gallery(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Shared plumbing for the placement algorithms (internal)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.benefit import BenefitEngine
+from repro.core.result import DeploymentResult, MessageStats, PlacementTrace
+from repro.errors import PlacementError
+from repro.geometry.points import as_points
+from repro.network.coverage import CoverageState
+from repro.network.deployment import Deployment
+from repro.network.spec import SensorSpec
+
+__all__ = ["init_run", "finalize", "placement_budget"]
+
+
+def placement_budget(n_points: int, k: int, max_nodes: int | None) -> int:
+    """Upper bound on placements before declaring non-termination.
+
+    Any correct greedy needs at most ``k * n_points`` placements (each
+    placement fixes at least one unit of deficiency), so the default budget
+    is that plus slack; an explicit ``max_nodes`` overrides it.
+    """
+    if max_nodes is not None:
+        if max_nodes < 1:
+            raise PlacementError(f"max_nodes must be >= 1, got {max_nodes}")
+        return max_nodes
+    return k * n_points + 1024
+
+
+def init_run(
+    field_points: np.ndarray,
+    spec: SensorSpec,
+    k: int,
+    initial_positions: np.ndarray | None,
+    *,
+    benefit_adjacency: sparse.csr_matrix | None = None,
+    benefit_mode: str = "deficiency",
+) -> tuple[Deployment, BenefitEngine]:
+    """Build the deployment and benefit engine, accounting initial nodes."""
+    pts = as_points(field_points)
+    engine = BenefitEngine(
+        pts,
+        spec.sensing_radius,
+        k,
+        benefit_adjacency=benefit_adjacency,
+        benefit_mode=benefit_mode,
+    )
+    if initial_positions is not None and len(as_points(initial_positions)):
+        deployment = Deployment(initial_positions)
+        for nid in deployment.alive_ids():
+            engine.add_sensor_at_position(deployment.position_of(int(nid)))
+    else:
+        deployment = Deployment()
+    return deployment, engine
+
+
+def finalize(
+    *,
+    method: str,
+    k: int,
+    field_points: np.ndarray,
+    spec: SensorSpec,
+    deployment: Deployment,
+    added_ids: np.ndarray,
+    trace: PlacementTrace,
+    messages: MessageStats | None = None,
+    params: dict | None = None,
+) -> DeploymentResult:
+    """Assemble the result; rebuilds the coverage state from the deployment
+    (an independent recount that cross-checks the incremental engine)."""
+    coverage = CoverageState.from_deployment(
+        field_points, spec.sensing_radius, deployment
+    )
+    return DeploymentResult(
+        method=method,
+        k=k,
+        deployment=deployment,
+        coverage=coverage,
+        added_ids=np.asarray(added_ids, dtype=np.intp),
+        trace=trace,
+        messages=messages,
+        params=dict(params or {}),
+    )

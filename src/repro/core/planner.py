@@ -1,0 +1,193 @@
+"""High-level facade: named methods and the :class:`DecorPlanner`.
+
+:data:`METHODS` names the four placement algorithms behind a uniform calling
+convention, and :func:`run_method` dispatches on the name — the experiment
+harness and CLI drive everything through it.  :class:`DecorPlanner` bundles a
+field, a sensor spec and an RNG into the object a downstream user actually
+wants: *"give me a k-covered deployment of this area, then keep it repaired"*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.centralized import centralized_greedy
+from repro.core.grid_decor import grid_decor
+from repro.core.random_placement import random_placement
+from repro.core.restoration import RestorationReport, restore
+from repro.core.result import DeploymentResult
+from repro.core.voronoi_decor import voronoi_decor
+from repro.discrepancy.sequences import field_points as make_field_points
+from repro.errors import ConfigurationError
+from repro.geometry.region import Rect
+from repro.network.failures import FailureEvent
+from repro.network.reliability import required_k
+from repro.network.spec import SensorSpec
+
+__all__ = ["METHODS", "run_method", "DecorPlanner"]
+
+#: Names accepted by :func:`run_method`.
+METHODS: tuple[str, ...] = ("centralized", "grid", "voronoi", "random")
+
+
+def run_method(
+    name: str,
+    field_points: np.ndarray,
+    spec: SensorSpec,
+    k: int,
+    *,
+    region: Rect | None = None,
+    rng: np.random.Generator | None = None,
+    cell_size: float | None = None,
+    initial_positions: np.ndarray | None = None,
+    max_nodes: int | None = None,
+) -> DeploymentResult:
+    """Run a placement method by name with the uniform argument set.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`METHODS`.
+    region:
+        Required for ``"grid"`` (cell partitioning) and ``"random"``
+        (sampling region).
+    rng:
+        Required for ``"random"``.
+    cell_size:
+        Required for ``"grid"``.
+    """
+    if name == "centralized":
+        return centralized_greedy(
+            field_points, spec, k,
+            initial_positions=initial_positions, max_nodes=max_nodes,
+        )
+    if name == "grid":
+        if region is None or cell_size is None:
+            raise ConfigurationError("grid needs region= and cell_size=")
+        return grid_decor(
+            field_points, spec, k, region, cell_size,
+            initial_positions=initial_positions, max_nodes=max_nodes,
+        )
+    if name == "voronoi":
+        return voronoi_decor(
+            field_points, spec, k,
+            initial_positions=initial_positions, max_nodes=max_nodes,
+        )
+    if name == "random":
+        if rng is None:
+            raise ConfigurationError("random needs rng=")
+        return random_placement(
+            field_points, spec, k, rng,
+            region=region, initial_positions=initial_positions,
+            max_nodes=max_nodes,
+        )
+    raise ConfigurationError(f"unknown method {name!r}; known: {METHODS}")
+
+
+class DecorPlanner:
+    """One-stop API for deploying and maintaining a k-covered sensor field.
+
+    Parameters
+    ----------
+    region:
+        The monitored area.
+    spec:
+        Sensor radii.
+    n_points:
+        Size of the low-discrepancy field approximation (paper: 2000).
+    generator:
+        Point generator name ("halton", "hammersley", ...).
+    seed:
+        Seed for all stochastic choices (random baseline, failure models).
+
+    Examples
+    --------
+    >>> planner = DecorPlanner(Rect.square(30.0), SensorSpec(4.0, 8.0),
+    ...                        n_points=200)
+    >>> result = planner.deploy(k=2, method="voronoi")
+    >>> result.final_covered_fraction()
+    1.0
+    """
+
+    def __init__(
+        self,
+        region: Rect,
+        spec: SensorSpec,
+        *,
+        n_points: int = 2000,
+        generator: str = "halton",
+        seed: int = 0,
+    ):
+        if n_points < 1:
+            raise ConfigurationError(f"n_points must be >= 1, got {n_points}")
+        self.region = region
+        self.spec = spec
+        self.generator = generator
+        self.rng = np.random.default_rng(seed)
+        self.field_points = make_field_points(region, n_points, generator, self.rng)
+
+    # ------------------------------------------------------------------
+    def k_for_reliability(self, target_reliability: float, q: float) -> int:
+        """Coverage degree needed for the user's reliability target (§2.1)."""
+        return required_k(target_reliability, q)
+
+    def scatter_initial(self, n: int) -> np.ndarray:
+        """A random initial deployment of ``n`` nodes (paper: up to 200)."""
+        return self.region.sample(n, self.rng)
+
+    def deploy(
+        self,
+        k: int,
+        method: str = "voronoi",
+        *,
+        initial_positions: np.ndarray | None = None,
+        cell_size: float | None = None,
+        max_nodes: int | None = None,
+    ) -> DeploymentResult:
+        """Deploy (or restore) to full k-coverage with the named method."""
+        return run_method(
+            method,
+            self.field_points,
+            self.spec,
+            k,
+            region=self.region,
+            rng=self.rng,
+            cell_size=cell_size,
+            initial_positions=initial_positions,
+            max_nodes=max_nodes,
+        )
+
+    def restore_after(
+        self,
+        result: DeploymentResult,
+        failure: FailureEvent,
+        method: str = "voronoi",
+        *,
+        cell_size: float | None = None,
+    ) -> RestorationReport:
+        """Repair a previously returned deployment after a failure event."""
+        method_fn: Callable[..., DeploymentResult]
+        kwargs: dict = {}
+        if method == "centralized":
+            method_fn = centralized_greedy
+        elif method == "grid":
+            if cell_size is None:
+                raise ConfigurationError("grid restoration needs cell_size=")
+            method_fn, kwargs = grid_decor, {"region": self.region, "cell_size": cell_size}
+        elif method == "voronoi":
+            method_fn = voronoi_decor
+        elif method == "random":
+            method_fn, kwargs = random_placement, {"rng": self.rng, "region": self.region}
+        else:
+            raise ConfigurationError(f"unknown method {method!r}; known: {METHODS}")
+        return restore(
+            self.field_points,
+            self.spec,
+            result.deployment,
+            failure,
+            result.k,
+            method_fn,
+            **kwargs,
+        )

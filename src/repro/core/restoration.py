@@ -1,0 +1,134 @@
+"""Failure-then-repair workflows (paper §4.2, Figures 11-14).
+
+:func:`restore` is the end-to-end restoration primitive: given a deployed
+network and a :class:`~repro.network.failures.FailureEvent`, it applies the
+failure, measures the coverage drop, re-runs a placement method seeded with
+the survivors, and reports how many extra nodes the repair needed — the
+quantity of Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.result import DeploymentResult
+from repro.errors import ExperimentError
+from repro.network.coverage import CoverageState
+from repro.network.deployment import Deployment
+from repro.network.failures import FailureEvent
+from repro.network.spec import SensorSpec
+
+__all__ = ["RestorationReport", "restore", "coverage_after_failure"]
+
+
+@dataclass(frozen=True)
+class RestorationReport:
+    """Outcome of one failure + repair cycle.
+
+    Attributes
+    ----------
+    failure:
+        The injected failure event.
+    covered_before / covered_after_failure / covered_after_repair:
+        k-coverage fraction of the field at the three stages.
+    extra_nodes:
+        Nodes the repair added (Figure 14's y-axis).
+    repair:
+        The full placement result of the repair run.
+    """
+
+    failure: FailureEvent
+    k: int
+    covered_before: float
+    covered_after_failure: float
+    covered_after_repair: float
+    extra_nodes: int
+    repair: DeploymentResult
+
+
+def coverage_after_failure(
+    field_points: np.ndarray,
+    spec: SensorSpec,
+    deployment: Deployment,
+    failure: FailureEvent,
+    k: int,
+) -> float:
+    """k-coverage fraction right after applying ``failure`` (no repair).
+
+    Works on a copy; neither the deployment nor any coverage state is
+    mutated.  This is the measurement behind Figures 11 and 13.
+    """
+    survivor = deployment.copy()
+    survivor.fail(failure.node_ids)
+    cov = CoverageState.from_deployment(field_points, spec.sensing_radius, survivor)
+    return cov.covered_fraction(k)
+
+
+def restore(
+    field_points: np.ndarray,
+    spec: SensorSpec,
+    deployment: Deployment,
+    failure: FailureEvent,
+    k: int,
+    method: Callable[..., DeploymentResult],
+    **method_kwargs,
+) -> RestorationReport:
+    """Apply a failure and repair the network back to full k-coverage.
+
+    Parameters
+    ----------
+    field_points, spec, k:
+        The field approximation and requirement the network must satisfy.
+    deployment:
+        The damaged network's deployment *before* the failure; it is copied,
+        never mutated.
+    failure:
+        Failure event whose node ids refer to ``deployment``.
+    method:
+        One of the placement algorithms (``centralized_greedy``,
+        ``grid_decor``, ``voronoi_decor``, ``random_placement``) — any
+        callable accepting ``(field_points, spec, k, ...)`` plus
+        ``initial_positions=`` and returning a :class:`DeploymentResult`.
+    method_kwargs:
+        Extra arguments forwarded to ``method`` (``region=``, ``rng=``,
+        ``cell_size=``, ...).
+
+    Returns
+    -------
+    RestorationReport
+    """
+    before = CoverageState.from_deployment(
+        field_points, spec.sensing_radius, deployment
+    ).covered_fraction(k)
+
+    survivor = deployment.copy()
+    survivor.fail(failure.node_ids)
+    after_failure = CoverageState.from_deployment(
+        field_points, spec.sensing_radius, survivor
+    ).covered_fraction(k)
+
+    repair = method(
+        field_points,
+        spec,
+        k,
+        initial_positions=survivor.alive_positions(),
+        **method_kwargs,
+    )
+    after_repair = repair.final_covered_fraction(k)
+    if after_repair < 1.0 - 1e-12:
+        raise ExperimentError(
+            f"repair with {getattr(method, '__name__', method)!r} left coverage "
+            f"at {after_repair:.4f} < 1"
+        )
+    return RestorationReport(
+        failure=failure,
+        k=k,
+        covered_before=before,
+        covered_after_failure=after_failure,
+        covered_after_repair=after_repair,
+        extra_nodes=repair.added_count,
+        repair=repair,
+    )

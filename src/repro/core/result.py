@@ -1,0 +1,192 @@
+"""Result containers shared by all placement algorithms.
+
+A :class:`DeploymentResult` bundles the final
+:class:`~repro.network.deployment.Deployment`, the matching
+:class:`~repro.network.coverage.CoverageState`, a per-placement
+:class:`PlacementTrace` (the data behind Figure 7's coverage-vs-nodes
+curves) and, for the distributed variants, :class:`MessageStats`
+(Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.network.coverage import CoverageState
+from repro.network.deployment import Deployment
+
+__all__ = ["PlacementTrace", "MessageStats", "DeploymentResult"]
+
+
+class PlacementTrace:
+    """Append-only per-placement log, finalised into NumPy arrays.
+
+    Records, for every node the algorithm adds: its position, the benefit it
+    was chosen with, the k-coverage fraction right after the placement, the
+    cell/owner that proposed it (or -1) and the messages the placement cost.
+    """
+
+    def __init__(self) -> None:
+        self._positions: list[tuple[float, float]] = []
+        self._benefits: list[float] = []
+        self._covered_fraction: list[float] = []
+        self._proposer: list[int] = []
+        self._messages: list[int] = []
+
+    def record(
+        self,
+        position: np.ndarray,
+        benefit: float,
+        covered_fraction: float,
+        proposer: int = -1,
+        messages: int = 0,
+    ) -> None:
+        self._positions.append((float(position[0]), float(position[1])))
+        self._benefits.append(float(benefit))
+        self._covered_fraction.append(float(covered_fraction))
+        self._proposer.append(int(proposer))
+        self._messages.append(int(messages))
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def positions(self) -> np.ndarray:
+        return np.asarray(self._positions, dtype=np.float64).reshape(-1, 2)
+
+    @property
+    def benefits(self) -> np.ndarray:
+        return np.asarray(self._benefits, dtype=np.float64)
+
+    @property
+    def covered_fraction(self) -> np.ndarray:
+        return np.asarray(self._covered_fraction, dtype=np.float64)
+
+    @property
+    def proposer(self) -> np.ndarray:
+        return np.asarray(self._proposer, dtype=np.intp)
+
+    @property
+    def messages(self) -> np.ndarray:
+        return np.asarray(self._messages, dtype=np.intp)
+
+
+@dataclass(frozen=True)
+class MessageStats:
+    """Communication accounting for a distributed run (Figure 10).
+
+    Attributes
+    ----------
+    per_cell:
+        Messages attributed to each cell (grid: the cell's leader; Voronoi:
+        the placing node, one cell per node).
+    nodes_per_cell:
+        Final number of nodes residing in each cell (for the leader-rotation
+        amortisation the paper describes: with rotation, a cell's messages
+        are shared by all its nodes).
+    """
+
+    per_cell: np.ndarray
+    nodes_per_cell: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.per_cell.sum())
+
+    @property
+    def mean_per_cell(self) -> float:
+        """Average messages per cell — the y-axis of Figure 10."""
+        active = self.per_cell[self.nodes_per_cell > 0]
+        if active.size == 0:
+            return 0.0
+        return float(active.mean())
+
+    @property
+    def mean_per_node_with_rotation(self) -> float:
+        """Average messages per node under leader rotation (§4.1)."""
+        mask = self.nodes_per_cell > 0
+        if not np.any(mask):
+            return 0.0
+        per_node = self.per_cell[mask] / self.nodes_per_cell[mask]
+        # weight by node count: total messages / total nodes
+        return float(self.per_cell[mask].sum() / self.nodes_per_cell[mask].sum())
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of a placement algorithm run.
+
+    Attributes
+    ----------
+    method:
+        Algorithm name (``"centralized"``, ``"grid"``, ``"voronoi"``,
+        ``"random"``).
+    k:
+        Coverage requirement the run targeted.
+    deployment:
+        Final deployment; initial nodes keep their ids, added nodes follow.
+    coverage:
+        Coverage state keyed by deployment node ids, consistent with
+        ``deployment`` at return time.
+    added_ids:
+        Ids of the nodes the algorithm added (excludes initial nodes).
+    trace:
+        Per-placement log aligned with ``added_ids``.
+    messages:
+        Message accounting, or ``None`` for centralized/random.
+    params:
+        Method-specific parameters for provenance (cell size, rc, ...).
+    """
+
+    method: str
+    k: int
+    deployment: Deployment
+    coverage: CoverageState
+    added_ids: np.ndarray
+    trace: PlacementTrace
+    messages: MessageStats | None = None
+    params: dict = field(default_factory=dict)
+
+    @property
+    def added_count(self) -> int:
+        return int(self.added_ids.size)
+
+    @property
+    def total_alive(self) -> int:
+        return self.deployment.n_alive
+
+    def final_covered_fraction(self, k: int | None = None) -> float:
+        return self.coverage.covered_fraction(self.k if k is None else k)
+
+    def coverage_trajectory(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(nodes_deployed, k_covered_fraction)`` curves for Figure 7.
+
+        ``nodes_deployed`` counts total alive nodes after each placement
+        (initial nodes included as the starting offset).
+        """
+        if len(self.trace) != self.added_count:
+            raise ExperimentError(
+                "trace length does not match the number of added nodes"
+            )
+        n0 = self.total_alive - self.added_count
+        xs = n0 + 1 + np.arange(self.added_count)
+        return xs.astype(np.intp), self.trace.covered_fraction
+
+    def summary(self) -> dict:
+        """Flat scalar summary for tables/CSV."""
+        out = {
+            "method": self.method,
+            "k": self.k,
+            "nodes_added": self.added_count,
+            "nodes_total": self.total_alive,
+            "covered_fraction": self.final_covered_fraction(),
+        }
+        if self.messages is not None:
+            out["messages_total"] = self.messages.total
+            out["messages_per_cell"] = self.messages.mean_per_cell
+            out["messages_per_node"] = self.messages.mean_per_node_with_rotation
+        out.update({f"param_{k}": v for k, v in self.params.items()})
+        return out

@@ -1,0 +1,56 @@
+"""Low-discrepancy point generation and discrepancy measurement.
+
+The paper's key representational trick (§3.2) is to approximate the
+continuous monitored area by a finite point set whose *discrepancy* is low —
+i.e. every axis-aligned box contains a share of points proportional to its
+area.  The uncovered region is then represented implicitly as the subset of
+points not yet k-covered.
+
+Implemented from scratch:
+
+* :func:`~repro.discrepancy.vdc.van_der_corput` — radical-inverse sequence,
+  the 1-D building block.
+* :func:`~repro.discrepancy.halton.halton` — O(log^d N / N) discrepancy.
+* :func:`~repro.discrepancy.hammersley.hammersley` — O(log^{d-1} N / N).
+* :func:`~repro.discrepancy.random_points.uniform_random` and
+  :func:`~repro.discrepancy.random_points.jittered_lattice` /
+  :func:`~repro.discrepancy.random_points.regular_lattice` baselines.
+* :mod:`~repro.discrepancy.star_discrepancy` — exact star discrepancy for
+  small sets and a Monte-Carlo lower-bound estimator for large ones.
+* :func:`~repro.discrepancy.sequences.field_points` — a registry-driven
+  factory producing a named point set scaled onto a field rectangle.
+"""
+
+from repro.discrepancy.vdc import van_der_corput
+from repro.discrepancy.halton import halton
+from repro.discrepancy.hammersley import hammersley
+from repro.discrepancy.random_points import (
+    uniform_random,
+    regular_lattice,
+    jittered_lattice,
+)
+from repro.discrepancy.star_discrepancy import (
+    star_discrepancy_exact,
+    star_discrepancy_estimate,
+)
+from repro.discrepancy.randomization import cranley_patterson_rotation
+from repro.discrepancy.sequences import (
+    GENERATORS,
+    field_points,
+    unit_points,
+)
+
+__all__ = [
+    "van_der_corput",
+    "halton",
+    "hammersley",
+    "uniform_random",
+    "regular_lattice",
+    "jittered_lattice",
+    "star_discrepancy_exact",
+    "star_discrepancy_estimate",
+    "GENERATORS",
+    "field_points",
+    "unit_points",
+    "cranley_patterson_rotation",
+]

@@ -1,0 +1,112 @@
+"""Star discrepancy of planar point sets.
+
+The star discrepancy of a point set ``P`` in the unit square is::
+
+    D*(P) = sup over boxes B = [0, x) x [0, y)  of  | |P ∩ B| / N  -  area(B) |
+
+It quantifies how well the discrete set stands in for the continuous area —
+the exact property the paper leans on when it replaces the uncovered region
+by uncovered Halton points (§3.2).
+
+Two evaluators are provided:
+
+* :func:`star_discrepancy_exact` — an ``O(N^2 log N)`` exact algorithm over
+  the critical-box grid induced by the point coordinates (feasible for the
+  test sizes, ``N <= ~1024``).
+* :func:`star_discrepancy_estimate` — a Monte-Carlo lower bound used for the
+  2000-point paper-scale sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import as_points
+
+__all__ = ["star_discrepancy_exact", "star_discrepancy_estimate"]
+
+
+def _validate_unit(points: np.ndarray) -> np.ndarray:
+    pts = as_points(points)
+    if pts.size and (pts.min() < 0.0 or pts.max() > 1.0):
+        raise ConfigurationError("star discrepancy expects points in [0, 1]^2")
+    return pts
+
+
+def star_discrepancy_exact(points: np.ndarray) -> float:
+    """Exact star discrepancy of a planar point set in the unit square.
+
+    The supremum over anchored boxes is attained with box edges at point
+    coordinates (closed count) or just below them (open count), so it
+    suffices to scan the ``(N+1)^2`` critical grid.  For each candidate
+    x-edge we sort the y-coordinates of the points to its left and sweep
+    the candidate y-edges with a prefix count — ``O(N^2 log N)`` total,
+    fully vectorised per x-edge.
+    """
+    pts = _validate_unit(points)
+    n = pts.shape[0]
+    if n == 0:
+        # the empty set misses the whole square
+        return 1.0
+    xs = np.unique(np.concatenate([pts[:, 0], [1.0]]))
+    y_grid = np.unique(np.concatenate([pts[:, 1], [1.0]]))
+    best = 0.0
+    order = np.argsort(pts[:, 0], kind="stable")
+    sorted_x = pts[order, 0]
+    sorted_y = pts[order, 1]
+    for x in xs:
+        # points strictly left of x (open box) and up to x (closed box)
+        n_open = int(np.searchsorted(sorted_x, x, side="left"))
+        n_closed = int(np.searchsorted(sorted_x, x, side="right"))
+        ys_open = np.sort(sorted_y[:n_open])
+        ys_closed = np.sort(sorted_y[:n_closed])
+        # counts below each candidate y edge, open/closed in y as well
+        area = x * y_grid
+        open_counts = np.searchsorted(ys_open, y_grid, side="left")
+        closed_counts = np.searchsorted(ys_closed, y_grid, side="right")
+        # D* considers boxes [0,x) x [0,y); the sup is approached from both
+        # sides, giving the classic max over (closed count - area) and
+        # (area - open count).
+        over = np.max(closed_counts / n - area)
+        under = np.max(area - open_counts / n)
+        best = max(best, float(over), float(under))
+    return best
+
+
+def star_discrepancy_estimate(
+    points: np.ndarray,
+    rng: np.random.Generator,
+    n_probes: int = 4096,
+) -> float:
+    """Monte-Carlo lower bound on the star discrepancy.
+
+    Samples ``n_probes`` random anchored boxes plus the critical boxes
+    through a random subset of points; returns the largest deviation seen.
+    Always a lower bound on the true ``D*``; adequate for *comparing*
+    generators (the orderings random > jittered > Halton ~ Hammersley are
+    robust to estimator noise at the probe counts used here).
+    """
+    pts = _validate_unit(points)
+    n = pts.shape[0]
+    if n == 0:
+        return 1.0
+    if n_probes < 1:
+        raise ConfigurationError(f"need at least one probe, got {n_probes}")
+    # random boxes ∪ boxes anchored at sampled point coordinates
+    corners = rng.random((n_probes, 2))
+    take = min(n, max(1, n_probes // 4))
+    sel = rng.choice(n, size=take, replace=False)
+    corners = np.vstack([corners, np.nextafter(pts[sel], 2.0), pts[sel]])
+    xs = np.sort(pts[:, 0])
+    best = 0.0
+    # chunk to bound memory: (probes x n) boolean products
+    chunk = max(1, int(2**22 // max(n, 1)))
+    for lo in range(0, corners.shape[0], chunk):
+        c = corners[lo : lo + chunk]
+        inside = (pts[None, :, 0] < c[:, None, 0]) & (pts[None, :, 1] < c[:, None, 1])
+        frac = inside.sum(axis=1) / n
+        area = c[:, 0] * c[:, 1]
+        best = max(best, float(np.max(np.abs(frac - area), initial=0.0)))
+    del xs
+    return best

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the reproduction with a single ``except``
+clause while still distinguishing configuration mistakes from runtime
+failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "GeometryError",
+    "CoverageError",
+    "PlacementError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied (e.g. ``rs > rc``)."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A geometric primitive was constructed or queried inconsistently."""
+
+
+class CoverageError(ReproError, RuntimeError):
+    """The coverage state was mutated inconsistently (e.g. double removal)."""
+
+
+class PlacementError(ReproError, RuntimeError):
+    """A placement algorithm could not make progress or exceeded its budget."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment definition was invalid or produced unusable output."""

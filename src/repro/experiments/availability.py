@@ -1,0 +1,234 @@
+"""Continuous-operation availability simulation.
+
+The paper's setting is a long-lived, unattended network: nodes keep
+failing (battery, weather, fauna), failures are noticed only after the
+heartbeat timeout (§3.2), and replacements take real time to arrive
+(a robot drives them out, §1).  The operational metric that summarises
+all of it is **availability**: the fraction of time the field is fully
+k-covered.
+
+:func:`simulate_availability` runs that timeline analytically (no packet
+simulation — the latencies enter as the §3.2 timeout and the dispatch
+makespan, both already validated against the packet level elsewhere):
+
+1. every alive node draws an exponential failure time (rate ``lambda``);
+2. a failure silently degrades coverage; it is *detected* after the
+   failure-detector timeout;
+3. at detection, a repair campaign starts: the greedy computes the
+   replacement sites and a robot fleet delivers them; the nodes come up
+   after the dispatch makespan and immediately join the failure process;
+4. repeat until the horizon.
+
+Raising ``k`` buys availability twice over: the field tolerates failures
+while repairs are pending, and campaigns are rarer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.dispatch import plan_dispatch
+from repro.core.centralized import centralized_greedy
+from repro.errors import ConfigurationError
+from repro.geometry.points import as_point, as_points
+from repro.network.coverage import CoverageState
+from repro.network.deployment import Deployment
+from repro.network.spec import SensorSpec
+
+__all__ = ["AvailabilityConfig", "AvailabilityReport", "simulate_availability"]
+
+
+@dataclass(frozen=True)
+class AvailabilityConfig:
+    """Parameters of the continuous-operation simulation.
+
+    Attributes
+    ----------
+    failure_rate:
+        Per-node exponential failure rate (failures per unit time).
+    detection_delay:
+        Time from a failure to its detection (the §3.2 heartbeat timeout,
+        ``timeout_factor * Tc``).
+    n_robots, robot_speed:
+        Repair-fleet parameters for the dispatch makespan.
+    depot:
+        Robot base position.
+    horizon:
+        Simulated time span.
+    sla_k:
+        The coverage degree whose continuity defines *availability*
+        (default 1: "the field is being monitored at all").  Repairs are
+        still triggered by, and restore, the deployment's design ``k`` —
+        the redundancy margin between ``k`` and ``sla_k`` is exactly what
+        keeps the SLA alive while campaigns are in flight (§2.1).
+    """
+
+    failure_rate: float = 0.001
+    detection_delay: float = 2.5
+    n_robots: int = 1
+    robot_speed: float = 1.0
+    depot: tuple[float, float] = (0.0, 0.0)
+    horizon: float = 10_000.0
+    sla_k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_rate <= 0:
+            raise ConfigurationError("failure rate must be positive")
+        if self.detection_delay < 0:
+            raise ConfigurationError("detection delay must be non-negative")
+        if self.n_robots < 1 or self.robot_speed <= 0:
+            raise ConfigurationError("invalid robot fleet")
+        if self.horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if self.sla_k < 1:
+            raise ConfigurationError("sla_k must be >= 1")
+
+
+@dataclass
+class AvailabilityReport:
+    """Outcome of one availability run.
+
+    Attributes
+    ----------
+    availability:
+        Fraction of the horizon with full ``sla_k``-coverage.
+    n_failures / n_campaigns / nodes_added:
+        Totals over the horizon.
+    outage_durations:
+        Lengths of the individual not-fully-covered intervals.
+    """
+
+    availability: float
+    n_failures: int
+    n_campaigns: int
+    nodes_added: int
+    outage_durations: list[float] = field(default_factory=list)
+
+    @property
+    def mean_outage(self) -> float:
+        if not self.outage_durations:
+            return 0.0
+        return float(np.mean(self.outage_durations))
+
+
+def simulate_availability(
+    field_points: np.ndarray,
+    spec: SensorSpec,
+    k: int,
+    initial_positions: np.ndarray,
+    config: AvailabilityConfig,
+    rng: np.random.Generator,
+) -> AvailabilityReport:
+    """Run the failure/detect/repair timeline; see module docstring.
+
+    Parameters
+    ----------
+    field_points, spec, k:
+        The coverage problem; ``initial_positions`` must k-cover it.
+
+    Notes
+    -----
+    Event kinds on the heap: ``(time, seq, "fail", node_id)`` and
+    ``(time, seq, "repair", positions)``.  Repairs recompute the greedy at
+    detection time against the then-current survivors, so overlapping
+    failure bursts collapse into one campaign per detection event whose
+    placement already accounts for everything known by then.
+    """
+    pts = as_points(field_points)
+    deployment = Deployment(initial_positions)
+    coverage = CoverageState.from_deployment(pts, spec.sensing_radius, deployment)
+    if not coverage.is_fully_covered(k):
+        raise ConfigurationError("the initial deployment must k-cover the field")
+    depot = as_point(np.asarray(config.depot, dtype=float))
+
+    heap: list[tuple[float, int, str, object]] = []
+    seq = 0
+
+    def push(time: float, kind: str, payload) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (time, seq, kind, payload))
+        seq += 1
+
+    for nid in deployment.alive_ids():
+        push(float(rng.exponential(1.0 / config.failure_rate)), "fail", int(nid))
+
+    now = 0.0
+    covered = True
+    uncovered_since: float | None = None
+    outages: list[float] = []
+    n_failures = 0
+    n_campaigns = 0
+    nodes_added = 0
+    uncovered_total = 0.0
+
+    def note_coverage(time: float) -> None:
+        nonlocal covered, uncovered_since, uncovered_total
+        now_covered = coverage.is_fully_covered(config.sla_k)
+        if covered and not now_covered:
+            uncovered_since = time
+            covered = False
+        elif not covered and now_covered:
+            assert uncovered_since is not None
+            outages.append(time - uncovered_since)
+            uncovered_total += time - uncovered_since
+            uncovered_since = None
+            covered = True
+
+    while heap and heap[0][0] <= config.horizon:
+        now, _, kind, payload = heapq.heappop(heap)
+        if kind == "fail":
+            nid = int(payload)  # type: ignore[arg-type]
+            if not deployment.is_alive(nid):
+                continue
+            deployment.fail([nid])
+            coverage.remove_sensor(nid)
+            n_failures += 1
+            note_coverage(now)
+            if coverage.is_fully_covered(k):
+                continue  # redundancy absorbed it; no campaign needed
+            # detection, planning and delivery
+            detect_at = now + config.detection_delay
+            push(detect_at, "repair", None)
+        elif kind == "repair":  # campaign starts at detection time
+            if coverage.is_fully_covered(k):
+                continue  # an earlier campaign already fixed everything
+            n_campaigns += 1
+            result = centralized_greedy(
+                pts, spec, k,
+                initial_positions=deployment.alive_positions(),
+            )
+            sites = result.trace.positions
+            plan = plan_dispatch(
+                sites, depot, n_robots=config.n_robots, speed=config.robot_speed
+            )
+            # nodes come up once the fleet has toured all sites
+            # (per-site staging is below this model's fidelity)
+            push(min(now + plan.makespan, config.horizon), "install", sites)
+        else:  # install: the replacements come online
+            sites = payload  # type: ignore[assignment]
+            for pos in sites:
+                nid = deployment.add(pos)
+                coverage.add_sensor(nid, pos)
+                nodes_added += 1
+                push(
+                    now + float(rng.exponential(1.0 / config.failure_rate)),
+                    "fail",
+                    int(nid),
+                )
+            note_coverage(now)
+
+    # close the books at the horizon
+    if not covered and uncovered_since is not None:
+        outages.append(config.horizon - uncovered_since)
+        uncovered_total += config.horizon - uncovered_since
+    availability = 1.0 - uncovered_total / config.horizon
+    return AvailabilityReport(
+        availability=availability,
+        n_failures=n_failures,
+        n_campaigns=n_campaigns,
+        nodes_added=nodes_added,
+        outage_durations=outages,
+    )

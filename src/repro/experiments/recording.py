@@ -1,0 +1,79 @@
+"""Persistence of figure results (JSON round-trip, CSV export)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureResult
+
+__all__ = ["figure_to_json", "figure_from_json", "figure_to_csv"]
+
+
+def _jsonable(obj):
+    """Recursively convert NumPy containers/scalars to plain Python."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def figure_to_json(result: FigureResult) -> str:
+    """Serialise a figure result to a JSON string."""
+    payload = {
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "xlabel": result.xlabel,
+        "ylabel": result.ylabel,
+        "series": {
+            name: {"x": x.tolist(), "y": y.tolist()}
+            for name, (x, y) in result.series.items()
+        },
+        "meta": _jsonable(result.meta),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def figure_from_json(text: str) -> FigureResult:
+    """Inverse of :func:`figure_to_json`."""
+    try:
+        payload = json.loads(text)
+        series = {
+            name: (
+                np.asarray(entry["x"], dtype=float),
+                np.asarray(entry["y"], dtype=float),
+            )
+            for name, entry in payload["series"].items()
+        }
+        return FigureResult(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            xlabel=payload["xlabel"],
+            ylabel=payload["ylabel"],
+            series=series,
+            meta=payload.get("meta", {}),
+        )
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise ExperimentError(f"malformed figure JSON: {exc}") from exc
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Long-format CSV: ``figure,series,x,y`` rows."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["figure", "series", "x", "y"])
+    for name, (xs, ys) in result.series.items():
+        for x, y in zip(xs, ys):
+            writer.writerow([result.figure_id, name, float(x), float(y)])
+    return buf.getvalue()

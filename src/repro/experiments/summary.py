@@ -1,0 +1,146 @@
+"""Cross-method summary table.
+
+The paper presents its evaluation as eight figures; operators want the
+bottom line per method at their chosen ``k``.  :func:`method_summary`
+collapses the figure suite into one row per method: deployment size,
+waste, communication, failure tolerance, and disaster-repair cost —
+all seed-averaged from the same cached deployments the figures use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.survival import max_tolerable_failure_fraction
+from repro.core.redundancy import redundancy_fraction
+from repro.core.restoration import restore
+from repro.experiments.figures import _METHOD_FNS, _disaster
+from repro.experiments.runner import DeploymentCache, field_for_seed
+from repro.experiments.setup import SERIES, ExperimentSetup
+from repro.errors import ExperimentError
+
+__all__ = ["MethodSummary", "method_summary", "format_summary_table"]
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """One method's seed-averaged bottom line at a fixed k."""
+
+    series: str
+    k: int
+    nodes: float
+    redundancy_pct: float
+    messages_per_cell: float
+    messages_per_node: float
+    max_failures_pct: float
+    disaster_repair_nodes: float
+
+    def as_row(self) -> dict:
+        return {
+            "series": self.series,
+            "k": self.k,
+            "nodes": round(self.nodes, 1),
+            "redundancy_pct": round(self.redundancy_pct, 1),
+            "messages_per_cell": round(self.messages_per_cell, 1),
+            "messages_per_node": round(self.messages_per_node, 1),
+            "max_failures_pct": round(self.max_failures_pct, 1),
+            "disaster_repair_nodes": round(self.disaster_repair_nodes, 1),
+        }
+
+
+def method_summary(
+    setup: ExperimentSetup,
+    k: int,
+    cache: DeploymentCache | None = None,
+) -> list[MethodSummary]:
+    """Summarise every series at coverage requirement ``k``."""
+    if k not in setup.k_values:
+        raise ExperimentError(
+            f"k={k} not in the setup's k_values {setup.k_values}"
+        )
+    cache = cache or DeploymentCache(setup)
+    out: list[MethodSummary] = []
+    for series in SERIES:
+        nodes, red, mpc, mpn, tol, repair_nodes = [], [], [], [], [], []
+        for seed in range(setup.n_seeds):
+            result = cache.get(series, k, seed)
+            nodes.append(result.total_alive)
+            red.append(100.0 * redundancy_fraction(result.coverage, k))
+            if result.messages is not None:
+                mpc.append(result.messages.mean_per_cell)
+                mpn.append(result.messages.mean_per_node_with_rotation)
+            rng = np.random.default_rng(70_000 + seed)
+            tol.append(
+                100.0 * max_tolerable_failure_fraction(result.coverage, rng, k=1)
+            )
+            event = _disaster(setup, result)
+            kwargs: dict = {}
+            if series.method == "grid":
+                kwargs = {
+                    "region": setup.region,
+                    "cell_size": setup.cell_size_for(series),
+                }
+            elif series.method == "random":
+                kwargs = {
+                    "region": setup.region,
+                    "rng": np.random.default_rng(80_000 + seed),
+                }
+            report = restore(
+                field_for_seed(setup, seed),
+                setup.spec_for(series),
+                result.deployment,
+                event,
+                k,
+                _METHOD_FNS[series.method],
+                **kwargs,
+            )
+            repair_nodes.append(report.extra_nodes)
+        out.append(
+            MethodSummary(
+                series=series.name,
+                k=k,
+                nodes=float(np.mean(nodes)),
+                redundancy_pct=float(np.mean(red)),
+                messages_per_cell=float(np.mean(mpc)) if mpc else float("nan"),
+                messages_per_node=float(np.mean(mpn)) if mpn else float("nan"),
+                max_failures_pct=float(np.mean(tol)),
+                disaster_repair_nodes=float(np.mean(repair_nodes)),
+            )
+        )
+    return out
+
+
+def format_summary_table(rows: list[MethodSummary]) -> str:
+    """Aligned text rendering of :func:`method_summary` output."""
+    if not rows:
+        raise ExperimentError("no summary rows")
+    headers = [
+        "series", "nodes", "redundant%", "msgs/cell", "msgs/node",
+        "tolerates%", "repair nodes",
+    ]
+    table: list[list[str]] = []
+    for r in rows:
+        table.append([
+            r.series,
+            f"{r.nodes:.0f}",
+            f"{r.redundancy_pct:.1f}",
+            "-" if np.isnan(r.messages_per_cell) else f"{r.messages_per_cell:.1f}",
+            "-" if np.isnan(r.messages_per_node) else f"{r.messages_per_node:.1f}",
+            f"{r.max_failures_pct:.0f}",
+            f"{r.disaster_repair_nodes:.0f}",
+        ])
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in table))
+        for c in range(len(headers))
+    ]
+    lines = [
+        f"Method summary at k = {rows[0].k} "
+        f"(tolerates% keeps 1-coverage of >= 90% of the area)",
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Grid partition of the monitored region (paper §3.1, grid-based scheme).
+
+The region is tiled into fixed rectangular *cells*; in the grid-based DECOR
+architecture each cell is managed by a single elected leader.  This module is
+purely geometric: it assigns points to cells, enumerates cell neighbourhoods,
+and answers the border question ("which neighbouring cells does a disc of
+radius ``rs`` around this placement intersect?") that drives the message
+accounting of Figure 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.points import as_point, as_points
+from repro.geometry.region import Rect
+
+__all__ = ["GridPartition"]
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """Tiling of a :class:`Rect` into ``nx x ny`` rectangular cells.
+
+    Cells are identified by a flat integer id ``cid = iy * nx + ix`` with
+    ``ix`` increasing eastward and ``iy`` northward (row-major from the
+    lower-left corner, like the raster order of :meth:`Rect.subdivide`).
+
+    Parameters
+    ----------
+    region:
+        The monitored field.
+    cell_width, cell_height:
+        Cell dimensions; the last column/row is truncated if the field is not
+        an exact multiple (the paper's 5x5 and 10x10 cells divide the 100x100
+        field exactly).
+    """
+
+    region: Rect
+    cell_width: float
+    cell_height: float
+    nx: int = field(init=False)
+    ny: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.cell_width <= 0 or self.cell_height <= 0:
+            raise GeometryError("cell dimensions must be positive")
+        object.__setattr__(
+            self, "nx", max(1, math.ceil(self.region.width / self.cell_width - 1e-12))
+        )
+        object.__setattr__(
+            self, "ny", max(1, math.ceil(self.region.height / self.cell_height - 1e-12))
+        )
+
+    @classmethod
+    def square_cells(cls, region: Rect, cell_side: float) -> "GridPartition":
+        """Convenience constructor for square cells of side ``cell_side``."""
+        return cls(region, cell_side, cell_side)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny
+
+    def cell_rect(self, cid: int) -> Rect:
+        """Geometry of cell ``cid`` (truncated at the field boundary)."""
+        self._check_cid(cid)
+        ix, iy = cid % self.nx, cid // self.nx
+        x0 = self.region.x0 + ix * self.cell_width
+        y0 = self.region.y0 + iy * self.cell_height
+        return Rect(
+            x0,
+            y0,
+            min(x0 + self.cell_width, self.region.x1),
+            min(y0 + self.cell_height, self.region.y1),
+        )
+
+    def _check_cid(self, cid: int) -> None:
+        if not (0 <= cid < self.n_cells):
+            raise GeometryError(f"cell id {cid} out of range [0, {self.n_cells})")
+
+    # ------------------------------------------------------------------
+    # point -> cell assignment
+    # ------------------------------------------------------------------
+    def cell_of(self, points: np.ndarray) -> np.ndarray:
+        """Flat cell id for each point, ``(n,)`` intp.
+
+        Points on shared cell edges belong to the cell to their upper-right
+        (half-open binning), except on the field's far boundary where they
+        are clamped into the last cell.  Points outside the field raise.
+        """
+        pts = as_points(points)
+        if not bool(np.all(self.region.contains(pts))):
+            raise GeometryError("points outside the partitioned region")
+        ix = np.floor((pts[:, 0] - self.region.x0) / self.cell_width).astype(np.intp)
+        iy = np.floor((pts[:, 1] - self.region.y0) / self.cell_height).astype(np.intp)
+        np.clip(ix, 0, self.nx - 1, out=ix)
+        np.clip(iy, 0, self.ny - 1, out=iy)
+        return iy * self.nx + ix
+
+    def points_by_cell(self, points: np.ndarray) -> list[np.ndarray]:
+        """Partition point indices by cell: ``result[cid]`` = indices in cell."""
+        cids = self.cell_of(points)
+        order = np.argsort(cids, kind="stable")
+        sorted_cids = cids[order]
+        boundaries = np.searchsorted(sorted_cids, np.arange(self.n_cells + 1))
+        return [
+            order[boundaries[c] : boundaries[c + 1]] for c in range(self.n_cells)
+        ]
+
+    # ------------------------------------------------------------------
+    # cell neighbourhoods
+    # ------------------------------------------------------------------
+    def neighbors_of(self, cid: int, *, diagonal: bool = True) -> np.ndarray:
+        """Ids of cells adjacent to ``cid`` (8-neighbourhood by default)."""
+        self._check_cid(cid)
+        ix, iy = cid % self.nx, cid // self.nx
+        out = []
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dx == 0 and dy == 0:
+                    continue
+                if not diagonal and dx != 0 and dy != 0:
+                    continue
+                jx, jy = ix + dx, iy + dy
+                if 0 <= jx < self.nx and 0 <= jy < self.ny:
+                    out.append(jy * self.nx + jx)
+        return np.asarray(sorted(out), dtype=np.intp)
+
+    def cells_intersecting_disk(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Ids of all cells whose rectangle intersects the closed disc.
+
+        This powers the paper's border-exchange rule: a leader placing a node
+        must inform the leader of every *other* cell the new node's sensing
+        disc reaches into (§3.3).
+        """
+        c = as_point(center)
+        if radius < 0:
+            raise GeometryError(f"negative radius {radius}")
+        # candidate index window
+        ix0 = int(np.floor((c[0] - radius - self.region.x0) / self.cell_width))
+        ix1 = int(np.floor((c[0] + radius - self.region.x0) / self.cell_width))
+        iy0 = int(np.floor((c[1] - radius - self.region.y0) / self.cell_height))
+        iy1 = int(np.floor((c[1] + radius - self.region.y0) / self.cell_height))
+        out = []
+        for iy in range(max(iy0, 0), min(iy1, self.ny - 1) + 1):
+            for ix in range(max(ix0, 0), min(ix1, self.nx - 1) + 1):
+                cid = iy * self.nx + ix
+                rect = self.cell_rect(cid)
+                # distance from disc center to the rectangle
+                dx = max(rect.x0 - c[0], 0.0, c[0] - rect.x1)
+                dy = max(rect.y0 - c[1], 0.0, c[1] - rect.y1)
+                if dx * dx + dy * dy <= radius * radius + 1e-12:
+                    out.append(cid)
+        return np.asarray(out, dtype=np.intp)
+
+    def max_leader_distance(self) -> float:
+        """Maximum distance between leaders of adjacent (8-neighbour) cells.
+
+        For square cells of side ``s`` this is ``2 * s * sqrt(2)`` (opposite
+        corners of a diagonal pair), the quantity the paper uses to justify
+        ``rc = 10 * sqrt(2)`` for 5x5 cells (§4).
+        """
+        return 2.0 * math.hypot(self.cell_width, self.cell_height)

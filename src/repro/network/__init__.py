@@ -1,0 +1,76 @@
+"""Sensor-network model: specs, deployments, coverage, failures, reliability.
+
+Implements the paper's system model (§2):
+
+* :class:`~repro.network.spec.SensorSpec` — homogeneous sensing radius ``rs``
+  and communication radius ``rc`` with the paper's sole assumption
+  ``rs <= rc`` enforced.
+* :class:`~repro.network.deployment.Deployment` — a growing set of node
+  positions with an alive/failed mask (amortised O(1) appends).
+* :class:`~repro.network.coverage.CoverageState` — per-field-point coverage
+  counts ``k_p``, maintained incrementally as nodes are added, removed or
+  fail.
+* :mod:`~repro.network.connectivity` — communication graph and the paper's
+  k-connectivity corollary (``rc >= 2 rs`` + k-coverage => k-connectivity).
+* :mod:`~repro.network.reliability` — the ``1 - q^k`` reliability algebra
+  and the user-requirement-to-k translation (§2.1).
+* :mod:`~repro.network.failures` — random, disc-area and correlated failure
+  models (§2.1).
+"""
+
+from repro.network.spec import SensorSpec
+from repro.network.deployment import Deployment
+from repro.network.coverage import CoverageState
+from repro.network.connectivity import (
+    communication_graph,
+    is_connected,
+    node_connectivity_at_least,
+)
+from repro.network.reliability import (
+    point_reliability,
+    required_k,
+    expected_covered_fraction_after_failures,
+)
+from repro.network.failures import (
+    FailureEvent,
+    random_failures,
+    area_failure,
+    correlated_cluster_failures,
+    apply_failure,
+)
+from repro.network.heterogeneous import SensorType, MixedDeployment
+from repro.network.relays import RelayPlan, connect_components, relays_for_segment
+from repro.network.io import (
+    deployment_to_json,
+    deployment_from_json,
+    deployment_to_csv,
+    field_to_json,
+    field_from_json,
+)
+
+__all__ = [
+    "SensorSpec",
+    "Deployment",
+    "CoverageState",
+    "communication_graph",
+    "is_connected",
+    "node_connectivity_at_least",
+    "point_reliability",
+    "required_k",
+    "expected_covered_fraction_after_failures",
+    "FailureEvent",
+    "random_failures",
+    "area_failure",
+    "correlated_cluster_failures",
+    "apply_failure",
+    "SensorType",
+    "MixedDeployment",
+    "RelayPlan",
+    "connect_components",
+    "relays_for_segment",
+    "deployment_to_json",
+    "deployment_from_json",
+    "deployment_to_csv",
+    "field_to_json",
+    "field_from_json",
+]

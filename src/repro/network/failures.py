@@ -1,0 +1,169 @@
+"""Failure models (paper §2.1).
+
+Three injectors, each returning a :class:`FailureEvent` naming the node ids
+to kill (the caller applies it to a :class:`~repro.network.deployment.Deployment`
+and/or a :class:`~repro.network.coverage.CoverageState`):
+
+* :func:`random_failures` — every alive node fails independently, either
+  with probability ``q`` or as an exact fraction of the population (the
+  x-axis of Figures 11 and 12).
+* :func:`area_failure` — a disaster disc kills every node inside (Figure 6:
+  radius 24 on the 100x100 field, about 17% of the area; Figures 13 and 14).
+* :func:`correlated_cluster_failures` — a seed node fails and drags down
+  geographically close nodes with distance-decaying probability; models the
+  paper's remark that real failures are geographically correlated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import as_point, squared_distances_to
+from repro.network.deployment import Deployment
+
+__all__ = [
+    "FailureEvent",
+    "random_failures",
+    "area_failure",
+    "correlated_cluster_failures",
+    "apply_failure",
+]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A set of node failures with provenance metadata.
+
+    Attributes
+    ----------
+    node_ids:
+        Ids of nodes that fail (all alive at injection time).
+    kind:
+        ``"random"``, ``"area"`` or ``"correlated"``.
+    detail:
+        Model-specific parameters (for experiment records).
+    """
+
+    node_ids: np.ndarray
+    kind: str
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def n_failed(self) -> int:
+        return int(self.node_ids.size)
+
+
+def random_failures(
+    deployment: Deployment,
+    rng: np.random.Generator,
+    *,
+    probability: float | None = None,
+    fraction: float | None = None,
+) -> FailureEvent:
+    """Independent random node failures among the alive nodes.
+
+    Exactly one of ``probability`` (i.i.d. Bernoulli per node) or
+    ``fraction`` (an exact share of the alive population, sampled without
+    replacement — what the paper's "x% of nodes fail" axes mean) must be
+    given.
+    """
+    if (probability is None) == (fraction is None):
+        raise ConfigurationError("give exactly one of probability= or fraction=")
+    alive = deployment.alive_ids()
+    if probability is not None:
+        if not (0.0 <= probability <= 1.0):
+            raise ConfigurationError(f"probability must be in [0, 1], got {probability}")
+        mask = rng.random(alive.size) < probability
+        failed = alive[mask]
+        detail = {"probability": probability}
+    else:
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        n_fail = int(round(fraction * alive.size))
+        failed = rng.choice(alive, size=n_fail, replace=False) if n_fail else alive[:0]
+        detail = {"fraction": fraction}
+    return FailureEvent(np.sort(failed.astype(np.intp)), "random", detail)
+
+
+def area_failure(
+    deployment: Deployment,
+    center: np.ndarray,
+    radius: float,
+) -> FailureEvent:
+    """A disaster disc: every alive node within ``radius`` of ``center`` fails."""
+    if radius < 0:
+        raise ConfigurationError(f"negative disaster radius {radius}")
+    c = as_point(center)
+    alive = deployment.alive_ids()
+    if alive.size == 0:
+        return FailureEvent(alive, "area", {"center": tuple(c), "radius": radius})
+    pos = deployment.positions[alive]
+    d2 = squared_distances_to(pos, c)
+    failed = alive[d2 <= radius * radius + 1e-12]
+    return FailureEvent(
+        np.sort(failed.astype(np.intp)),
+        "area",
+        {"center": (float(c[0]), float(c[1])), "radius": float(radius)},
+    )
+
+
+def correlated_cluster_failures(
+    deployment: Deployment,
+    rng: np.random.Generator,
+    *,
+    n_seeds: int = 1,
+    correlation_radius: float = 10.0,
+    decay: float = 2.0,
+) -> FailureEvent:
+    """Geographically correlated failures.
+
+    ``n_seeds`` alive nodes are picked uniformly and fail; every other alive
+    node fails with probability ``exp(-(d / correlation_radius) ** decay)``
+    where ``d`` is its distance to the nearest seed.  With a small
+    ``correlation_radius`` this degenerates to ``n_seeds`` random failures;
+    with a large one it approaches an area failure around each seed.
+    """
+    if n_seeds < 1:
+        raise ConfigurationError(f"need at least one seed, got {n_seeds}")
+    if correlation_radius <= 0:
+        raise ConfigurationError("correlation radius must be positive")
+    if decay <= 0:
+        raise ConfigurationError("decay must be positive")
+    alive = deployment.alive_ids()
+    if alive.size == 0:
+        return FailureEvent(alive, "correlated", {"n_seeds": n_seeds})
+    n_seeds = min(n_seeds, alive.size)
+    seeds = rng.choice(alive, size=n_seeds, replace=False)
+    pos = deployment.positions
+    alive_pos = pos[alive]
+    d2_min = np.full(alive.size, np.inf)
+    for s in seeds:
+        np.minimum(d2_min, squared_distances_to(alive_pos, pos[s]), out=d2_min)
+    p_fail = np.exp(-((np.sqrt(d2_min) / correlation_radius) ** decay))
+    mask = rng.random(alive.size) < p_fail
+    # seeds always fail
+    mask |= np.isin(alive, seeds)
+    failed = alive[mask]
+    return FailureEvent(
+        np.sort(failed.astype(np.intp)),
+        "correlated",
+        {
+            "n_seeds": int(n_seeds),
+            "correlation_radius": float(correlation_radius),
+            "decay": float(decay),
+        },
+    )
+
+
+def apply_failure(event: FailureEvent, deployment: Deployment, coverage=None) -> None:
+    """Apply a failure event to a deployment (and optionally its coverage state).
+
+    The coverage state must have been keyed by deployment node ids (as
+    :meth:`CoverageState.from_deployment` does).
+    """
+    deployment.fail(event.node_ids)
+    if coverage is not None:
+        coverage.remove_sensors(event.node_ids)

@@ -1,0 +1,167 @@
+"""Heterogeneous sensor fleets (paper §2).
+
+"In a heterogeneous network deployment, the sensing and coverage radii of
+the sensors may vary, depending on the type of the sensors and on the
+deployment conditions.  Our solution is designed to work under such a
+setting, since the only assumption we make is that the sensing radius is
+smaller than or equal to the communication radius."
+
+This module models a *catalog* of sensor types (each with its own radii and
+a unit cost) and deployments mixing them.  The matching placement algorithm
+lives in :mod:`repro.core.mixed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.geometry.points import as_point, as_points
+
+__all__ = ["SensorType", "MixedDeployment"]
+
+
+@dataclass(frozen=True)
+class SensorType:
+    """One entry of a heterogeneous sensor catalog.
+
+    Parameters
+    ----------
+    name:
+        Catalog key (unique within a deployment).
+    sensing_radius, communication_radius:
+        Per-type radii, ``0 < rs <= rc`` (the paper's single assumption).
+    cost:
+        Relative unit cost; the mixed greedy maximises benefit *per cost*.
+    """
+
+    name: str
+    sensing_radius: float
+    communication_radius: float
+    cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sensor type needs a name")
+        if self.sensing_radius <= 0:
+            raise ConfigurationError(
+                f"sensing radius must be positive, got {self.sensing_radius}"
+            )
+        if self.communication_radius < self.sensing_radius:
+            raise ConfigurationError(
+                f"type {self.name!r}: rs <= rc required, got "
+                f"rs={self.sensing_radius}, rc={self.communication_radius}"
+            )
+        if self.cost <= 0:
+            raise ConfigurationError(f"cost must be positive, got {self.cost}")
+
+    @property
+    def rs(self) -> float:
+        return self.sensing_radius
+
+    @property
+    def rc(self) -> float:
+        return self.communication_radius
+
+
+class MixedDeployment:
+    """Node positions with a per-node sensor type.
+
+    A thin sibling of :class:`~repro.network.deployment.Deployment` carrying
+    the type index alongside each position; node ids are stable and failures
+    flip the alive mask.
+    """
+
+    def __init__(self, types: tuple[SensorType, ...] | list[SensorType]):
+        types = tuple(types)
+        if not types:
+            raise ConfigurationError("need at least one sensor type")
+        names = [t.name for t in types]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate type names: {names}")
+        self._types = types
+        self._by_name = {t.name: i for i, t in enumerate(types)}
+        self._positions: list[np.ndarray] = []
+        self._type_idx: list[int] = []
+        self._alive: list[bool] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def types(self) -> tuple[SensorType, ...]:
+        return self._types
+
+    def type_of(self, node_id: int) -> SensorType:
+        self._check(node_id)
+        return self._types[self._type_idx[node_id]]
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    @property
+    def n_alive(self) -> int:
+        return sum(self._alive)
+
+    def _check(self, node_id: int) -> None:
+        if not (0 <= node_id < len(self._positions)):
+            raise GeometryError(f"unknown node id {node_id}")
+
+    # ------------------------------------------------------------------
+    def add(self, position: np.ndarray, type_name: str) -> int:
+        """Append an alive node of the named type; returns its id."""
+        try:
+            t = self._by_name[type_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown sensor type {type_name!r}; catalog: {sorted(self._by_name)}"
+            ) from None
+        self._positions.append(as_point(position))
+        self._type_idx.append(t)
+        self._alive.append(True)
+        return len(self._positions) - 1
+
+    def fail(self, node_ids) -> None:
+        for nid in np.asarray(node_ids, dtype=np.intp).reshape(-1):
+            self._check(int(nid))
+            if not self._alive[nid]:
+                raise GeometryError(f"node {nid} already failed")
+            self._alive[int(nid)] = False
+
+    def is_alive(self, node_id: int) -> bool:
+        self._check(node_id)
+        return self._alive[node_id]
+
+    def position_of(self, node_id: int) -> np.ndarray:
+        self._check(node_id)
+        return self._positions[node_id].copy()
+
+    def alive_ids(self) -> np.ndarray:
+        return np.asarray(
+            [i for i, a in enumerate(self._alive) if a], dtype=np.intp
+        )
+
+    def alive_positions(self) -> np.ndarray:
+        ids = self.alive_ids()
+        if ids.size == 0:
+            return np.empty((0, 2))
+        return np.vstack([self._positions[i] for i in ids])
+
+    # ------------------------------------------------------------------
+    def total_cost(self, *, alive_only: bool = True) -> float:
+        """Summed catalog cost of the (alive) fleet."""
+        total = 0.0
+        for i in range(len(self._positions)):
+            if alive_only and not self._alive[i]:
+                continue
+            total += self._types[self._type_idx[i]].cost
+        return total
+
+    def count_by_type(self, *, alive_only: bool = True) -> dict[str, int]:
+        """Node count per type name."""
+        out = {t.name: 0 for t in self._types}
+        for i in range(len(self._positions)):
+            if alive_only and not self._alive[i]:
+                continue
+            out[self._types[self._type_idx[i]].name] += 1
+        return out

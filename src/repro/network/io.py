@@ -1,0 +1,133 @@
+"""Persistence of fields and deployments (JSON round-trip, CSV export).
+
+Experiments and field deployments are cheap to regenerate but expensive to
+re-derive exactly (seeds, setup versions); serialising the concrete
+artifacts makes runs auditable and lets external tools (GIS, plotting)
+consume them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import as_points
+from repro.network.deployment import Deployment
+from repro.network.spec import SensorSpec
+
+__all__ = [
+    "deployment_to_json",
+    "deployment_from_json",
+    "deployment_to_csv",
+    "field_to_json",
+    "field_from_json",
+]
+
+_FORMAT_VERSION = 1
+
+
+def deployment_to_json(
+    deployment: Deployment, spec: SensorSpec | None = None, **metadata
+) -> str:
+    """Serialise a deployment (positions + alive mask) to JSON.
+
+    ``spec`` and arbitrary scalar ``metadata`` ride along for provenance.
+    """
+    payload = {
+        "format": "repro.deployment",
+        "version": _FORMAT_VERSION,
+        "positions": deployment.positions.tolist(),
+        "alive": deployment.alive_mask.tolist(),
+        "metadata": dict(metadata),
+    }
+    if spec is not None:
+        payload["spec"] = {
+            "sensing_radius": spec.sensing_radius,
+            "communication_radius": spec.communication_radius,
+        }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def deployment_from_json(text: str) -> tuple[Deployment, SensorSpec | None, dict]:
+    """Inverse of :func:`deployment_to_json`.
+
+    Returns
+    -------
+    tuple
+        ``(deployment, spec_or_None, metadata)`` with node ids and the
+        alive mask preserved exactly.
+    """
+    try:
+        payload = json.loads(text)
+        if payload.get("format") != "repro.deployment":
+            raise ConfigurationError("not a repro deployment document")
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported deployment format version {payload.get('version')}"
+            )
+        positions = np.asarray(payload["positions"], dtype=float)
+        alive = np.asarray(payload["alive"], dtype=bool)
+        if positions.shape[0] != alive.shape[0]:
+            raise ConfigurationError("positions/alive length mismatch")
+        deployment = Deployment(positions) if len(positions) else Deployment()
+        dead = np.nonzero(~alive)[0]
+        if dead.size:
+            deployment.fail(dead)
+        spec = None
+        if "spec" in payload:
+            spec = SensorSpec(
+                payload["spec"]["sensing_radius"],
+                payload["spec"]["communication_radius"],
+            )
+        return deployment, spec, dict(payload.get("metadata", {}))
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"malformed deployment JSON: {exc}") from exc
+
+
+def deployment_to_csv(deployment: Deployment) -> str:
+    """CSV export: ``node_id,x,y,alive`` rows."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["node_id", "x", "y", "alive"])
+    positions = deployment.positions
+    alive = deployment.alive_mask
+    for nid in range(len(deployment)):
+        writer.writerow(
+            [nid, float(positions[nid, 0]), float(positions[nid, 1]), int(alive[nid])]
+        )
+    return buf.getvalue()
+
+
+def field_to_json(field_points: np.ndarray, **metadata) -> str:
+    """Serialise a field approximation (with provenance metadata)."""
+    pts = as_points(field_points)
+    return json.dumps(
+        {
+            "format": "repro.field",
+            "version": _FORMAT_VERSION,
+            "points": pts.tolist(),
+            "metadata": dict(metadata),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def field_from_json(text: str) -> tuple[np.ndarray, dict]:
+    """Inverse of :func:`field_to_json`."""
+    try:
+        payload = json.loads(text)
+        if payload.get("format") != "repro.field":
+            raise ConfigurationError("not a repro field document")
+        pts = as_points(np.asarray(payload["points"], dtype=float))
+        return pts, dict(payload.get("metadata", {}))
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"malformed field JSON: {exc}") from exc

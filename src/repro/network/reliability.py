@@ -1,0 +1,98 @@
+"""Reliability algebra for k-covered points (paper §2.1).
+
+With i.i.d. node failure probability ``q``, a point covered by ``k`` sensors
+stays covered with probability ``1 - q^k``.  Inverting this gives the
+coverage requirement ``k`` needed to meet a user reliability target — the
+"user reliability requirement" the paper tunes DECOR with.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "point_reliability",
+    "required_k",
+    "expected_covered_fraction_after_failures",
+]
+
+
+def _check_prob(name: str, p: float) -> None:
+    if not (0.0 <= p <= 1.0):
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {p}")
+
+
+def point_reliability(k: int, q: float) -> float:
+    """Probability that a k-covered point remains covered: ``1 - q**k``.
+
+    Parameters
+    ----------
+    k:
+        Coverage degree of the point (>= 0; ``k = 0`` means never covered).
+    q:
+        Per-node independent failure probability.
+    """
+    if k < 0:
+        raise ConfigurationError(f"coverage degree must be >= 0, got {k}")
+    _check_prob("failure probability q", q)
+    return 1.0 - q**k
+
+
+def required_k(target_reliability: float, q: float, k_max: int = 64) -> int:
+    """Smallest ``k`` with ``1 - q**k >= target_reliability``.
+
+    This is the translation from a user reliability requirement to the
+    coverage degree DECOR should restore.
+
+    Raises
+    ------
+    ConfigurationError
+        If the target is unreachable (``q = 1`` with target > 0, or the
+        needed ``k`` exceeds ``k_max``).
+    """
+    _check_prob("target reliability", target_reliability)
+    _check_prob("failure probability q", q)
+    if target_reliability == 0.0:
+        return 1  # any coverage at all satisfies a zero target; paper's k >= 1
+    if q == 0.0:
+        return 1
+    if q == 1.0:
+        raise ConfigurationError("nodes that always fail cannot meet any target")
+    # 1 - q^k >= t  <=>  k >= log(1 - t) / log(q)
+    k = math.ceil(math.log(1.0 - target_reliability) / math.log(q) - 1e-12)
+    k = max(k, 1)
+    if k > k_max:
+        raise ConfigurationError(
+            f"reliability {target_reliability} with q={q} needs k={k} > k_max={k_max}"
+        )
+    return k
+
+
+def expected_covered_fraction_after_failures(
+    coverage_histogram, q: float
+) -> float:
+    """Expected fraction of points still 1-covered after i.i.d. failures.
+
+    Parameters
+    ----------
+    coverage_histogram:
+        ``hist[j]`` = number of field points covered exactly ``j`` times
+        (e.g. :meth:`~repro.network.coverage.CoverageState.coverage_histogram`).
+    q:
+        Per-node failure probability.
+
+    Notes
+    -----
+    A point covered ``j`` times survives with probability ``1 - q**j``
+    (independent failures); the expectation sums over the histogram.
+    """
+    _check_prob("failure probability q", q)
+    total = float(sum(coverage_histogram))
+    if total == 0:
+        raise ConfigurationError("empty coverage histogram")
+    surviving = sum(
+        n_points * (1.0 - q**j) for j, n_points in enumerate(coverage_histogram)
+    )
+    return surviving / total

@@ -1,0 +1,73 @@
+"""Sensor device specification (paper §2, Figure 1).
+
+Each sensor has a *sensing radius* ``rs`` (it covers the closed disc of
+radius ``rs`` around its position) and a *communication radius* ``rc`` (its
+1-hop neighbours are the nodes within ``rc``).  The paper's only structural
+assumption is ``rs <= rc``; additionally, when ``rc >= 2 rs`` full coverage
+implies connectivity (and k-coverage implies k-connectivity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SensorSpec"]
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Homogeneous sensor parameters.
+
+    Parameters
+    ----------
+    sensing_radius:
+        Coverage radius ``rs`` (> 0).
+    communication_radius:
+        Radio range ``rc`` (>= ``rs``, per §2).
+
+    Examples
+    --------
+    >>> spec = SensorSpec(sensing_radius=4.0, communication_radius=8.0)
+    >>> spec.guarantees_connectivity
+    True
+    """
+
+    sensing_radius: float
+    communication_radius: float
+
+    def __post_init__(self) -> None:
+        if self.sensing_radius <= 0:
+            raise ConfigurationError(
+                f"sensing radius must be positive, got {self.sensing_radius}"
+            )
+        if self.communication_radius < self.sensing_radius:
+            raise ConfigurationError(
+                "the paper's model requires rs <= rc, got "
+                f"rs={self.sensing_radius}, rc={self.communication_radius}"
+            )
+
+    @property
+    def rs(self) -> float:
+        """Alias for :attr:`sensing_radius` (paper notation)."""
+        return self.sensing_radius
+
+    @property
+    def rc(self) -> float:
+        """Alias for :attr:`communication_radius` (paper notation)."""
+        return self.communication_radius
+
+    @property
+    def guarantees_connectivity(self) -> bool:
+        """Whether ``rc >= 2 rs`` holds.
+
+        Under this condition, full area coverage implies network
+        connectivity, and k-coverage implies k-connectivity (§2, refs
+        [19, 22, 23] of the paper).
+        """
+        return self.communication_radius >= 2.0 * self.sensing_radius
+
+    def with_communication_radius(self, rc: float) -> "SensorSpec":
+        """A copy with a different communication radius (Voronoi rc sweeps)."""
+        return SensorSpec(self.sensing_radius, rc)

@@ -1,0 +1,46 @@
+"""Discrete-event simulation substrate for in-network protocol execution.
+
+The analytic algorithms in :mod:`repro.core` model the distributed execution
+as synchronous rounds.  This subpackage provides the packet-level
+counterpart the paper's deployment would actually run on:
+
+* :class:`~repro.sim.engine.Simulator` — a priority-queue discrete-event
+  kernel with timers and deterministic tie-breaking.
+* :class:`~repro.sim.radio.Radio` — unit-disc broadcast/unicast delivery
+  with propagation delay, optional loss, and per-node message/energy
+  accounting.
+* :class:`~repro.sim.protocol.NodeProtocol` — base class for per-node state
+  machines (message + timer handlers).
+* :mod:`~repro.sim.heartbeat` — the paper's §3.2 failure detector: periodic
+  position beacons with period ``Tc`` and timeout-based suspicion.
+* :mod:`~repro.sim.election` — randomised leader election with periodic
+  rotation inside grid cells (the paper's refs [6, 11, 12] behaviourally).
+* :class:`~repro.sim.stats.EnergyModel` — simple per-message transmit /
+  receive energy accounting used to reason about leader rotation.
+"""
+
+from repro.sim.engine import Simulator, Event
+from repro.sim.messages import Message
+from repro.sim.radio import Radio, RadioStats
+from repro.sim.protocol import NodeProtocol
+from repro.sim.heartbeat import HeartbeatNode, HeartbeatConfig
+from repro.sim.election import CellElectionNode, ElectionConfig
+from repro.sim.stats import EnergyModel
+from repro.sim.battery import BatteryConfig, LifetimeReport, simulate_lifetime
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Message",
+    "Radio",
+    "RadioStats",
+    "NodeProtocol",
+    "HeartbeatNode",
+    "HeartbeatConfig",
+    "CellElectionNode",
+    "ElectionConfig",
+    "EnergyModel",
+    "BatteryConfig",
+    "LifetimeReport",
+    "simulate_lifetime",
+]

@@ -1,0 +1,141 @@
+"""Battery-driven network lifetime simulation (paper motivation #3).
+
+Quantifies the paper's lifetime argument end to end: every sensor carries a
+finite energy budget drained by sensing epochs and radio traffic; the
+network is *alive* while the awake sensors still 1-cover the field.  Two
+operating policies are compared:
+
+* ``always-on`` — every sensor senses every epoch; the network dies when
+  battery depletion opens the first coverage hole.
+* ``shift-rotation`` — the deployment is partitioned into sleep shifts
+  (:func:`repro.analysis.lifetime.sleep_shifts`); one shift is awake per
+  epoch, rotating round-robin, so each node drains at ``1/n_shifts`` of the
+  always-on rate.
+
+With a k-covered deployment the rotation multiplies lifetime by roughly the
+shift count — the concrete version of "k-coverage ... increases the
+lifetime for the network" (§1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.lifetime import sleep_shifts
+from repro.errors import SimulationError
+from repro.network.coverage import CoverageState
+
+__all__ = ["BatteryConfig", "LifetimeReport", "simulate_lifetime"]
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Energy accounting per epoch of awake duty.
+
+    Attributes
+    ----------
+    capacity:
+        Initial energy per node.
+    sense_cost:
+        Energy per awake epoch (sampling + listening).
+    epoch:
+        Duration of one epoch in arbitrary time units (scales the reported
+        lifetime).
+    """
+
+    capacity: float = 100.0
+    sense_cost: float = 1.0
+    epoch: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.sense_cost <= 0 or self.epoch <= 0:
+            raise SimulationError("battery parameters must be positive")
+
+    @property
+    def epochs_per_node(self) -> int:
+        """Awake epochs one battery sustains."""
+        return int(self.capacity // self.sense_cost)
+
+
+@dataclass(frozen=True)
+class LifetimeReport:
+    """Outcome of a lifetime simulation.
+
+    Attributes
+    ----------
+    lifetime:
+        Time until the *awake* set first fails to 1-cover the field.
+    epochs:
+        Number of fully covered epochs completed.
+    policy:
+        ``"always-on"`` or ``"shift-rotation"``.
+    n_shifts:
+        Shift count (1 for always-on).
+    """
+
+    lifetime: float
+    epochs: int
+    policy: str
+    n_shifts: int
+
+
+def simulate_lifetime(
+    coverage: CoverageState,
+    config: BatteryConfig = BatteryConfig(),
+    *,
+    policy: str = "shift-rotation",
+    max_epochs: int = 10_000_000,
+) -> LifetimeReport:
+    """Run the epoch loop until coverage is lost; see module docstring.
+
+    Parameters
+    ----------
+    coverage:
+        Coverage state of the full deployment (must 1-cover the field).
+    policy:
+        ``"always-on"`` or ``"shift-rotation"``.
+
+    Notes
+    -----
+    Both policies are deterministic, so the loop is evaluated in closed
+    form where possible: always-on lasts exactly ``epochs_per_node`` epochs
+    (all batteries drain in lockstep); rotation cycles shifts round-robin,
+    each shift sustaining ``epochs_per_node`` awake epochs of its own.
+    The simulation still walks epochs explicitly for the rotation policy to
+    keep the accounting honest when shift sizes differ.
+    """
+    if not coverage.is_fully_covered(1):
+        raise SimulationError("the deployment does not 1-cover the field")
+    if policy == "always-on":
+        epochs = config.epochs_per_node
+        return LifetimeReport(
+            lifetime=epochs * config.epoch, epochs=epochs,
+            policy=policy, n_shifts=1,
+        )
+    if policy != "shift-rotation":
+        raise SimulationError(
+            f"unknown policy {policy!r}; use 'always-on' or 'shift-rotation'"
+        )
+
+    shifts = sleep_shifts(coverage, k_active=1)
+    remaining = {key: config.epochs_per_node for key in coverage.sensor_keys()}
+    epochs = 0
+    shift_no = 0
+    while epochs < max_epochs:
+        shift = shifts[shift_no % len(shifts)]
+        # the shift can only serve if every member still has energy; a
+        # depleted member means its portion of the field goes dark
+        if any(remaining[key] <= 0 for key in shift):
+            break
+        for key in shift:
+            remaining[key] -= 1
+        epochs += 1
+        shift_no += 1
+    else:  # pragma: no cover - defensive cap
+        raise SimulationError(f"exceeded max_epochs={max_epochs}")
+    return LifetimeReport(
+        lifetime=epochs * config.epoch, epochs=epochs,
+        policy=policy, n_shifts=len(shifts),
+    )

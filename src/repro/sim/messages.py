@@ -1,0 +1,34 @@
+"""Message container for the radio layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message carried by the radio.
+
+    Attributes
+    ----------
+    sender:
+        Node id of the transmitter.
+    kind:
+        Application-defined message type tag (e.g. ``"HEARTBEAT"``,
+        ``"PLACE_NOTIFY"``).
+    payload:
+        Arbitrary application data (kept immutable by convention).
+    sent_at:
+        Simulation time the message was transmitted.
+    """
+
+    sender: int
+    kind: str
+    payload: Any = None
+    sent_at: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Message({self.kind} from {self.sender} @ {self.sent_at:.3f})"

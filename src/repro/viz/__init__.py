@@ -1,0 +1,16 @@
+"""Renderings of fields, deployments and failures (ASCII and SVG)."""
+
+from repro.viz.ascii_field import (
+    render_points,
+    render_coverage,
+    render_deployment,
+)
+from repro.viz.svg_field import svg_field, save_svg
+
+__all__ = [
+    "render_points",
+    "render_coverage",
+    "render_deployment",
+    "svg_field",
+    "save_svg",
+]

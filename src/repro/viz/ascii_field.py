@@ -1,0 +1,111 @@
+"""ASCII renderings of the sensor field.
+
+Reproduces the paper's illustrative figures in the terminal: Figure 4 (a
+field approximated with Halton points), Figure 5 (a DECOR deployment) and
+Figure 6 (an uncovered disaster area).  Each renderer rasterises onto a
+character grid with y increasing upward (row 0 printed last).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.coverage_map import coverage_raster
+from repro.errors import ConfigurationError
+from repro.geometry.points import as_points
+from repro.geometry.region import Rect
+
+__all__ = ["render_points", "render_coverage", "render_deployment"]
+
+#: Density ramp for coverage counts 0, 1, 2, ...
+_RAMP = " .:-=+*#%@"
+
+
+def _empty_canvas(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _paint_points(
+    canvas: list[list[str]],
+    region: Rect,
+    points: np.ndarray,
+    char: str,
+) -> None:
+    width, height = len(canvas[0]), len(canvas)
+    pts = as_points(points)
+    if len(pts) == 0:
+        return
+    ix = np.clip(
+        ((pts[:, 0] - region.x0) / region.width * width).astype(int), 0, width - 1
+    )
+    iy = np.clip(
+        ((pts[:, 1] - region.y0) / region.height * height).astype(int), 0, height - 1
+    )
+    for x, y in zip(ix, iy):
+        canvas[y][x] = char
+
+
+def _frame(canvas: list[list[str]], title: str) -> str:
+    width = len(canvas[0])
+    top = "+" + "-" * width + "+"
+    body = ["|" + "".join(row) + "|" for row in reversed(canvas)]
+    return "\n".join([title, top, *body, top])
+
+
+def render_points(
+    region: Rect, points: np.ndarray, *, width: int = 60, height: int = 30,
+    title: str = "field points",
+) -> str:
+    """Render a point set (paper Figure 4)."""
+    if width < 1 or height < 1:
+        raise ConfigurationError("canvas dimensions must be positive")
+    canvas = _empty_canvas(width, height)
+    _paint_points(canvas, region, points, ".")
+    return _frame(canvas, title)
+
+
+def render_deployment(
+    region: Rect,
+    field_points: np.ndarray,
+    sensor_positions: np.ndarray,
+    *,
+    width: int = 60,
+    height: int = 30,
+    title: str = "deployment",
+) -> str:
+    """Render sensors over the field approximation (paper Figure 5)."""
+    canvas = _empty_canvas(width, height)
+    _paint_points(canvas, region, field_points, ".")
+    _paint_points(canvas, region, sensor_positions, "o")
+    return _frame(canvas, title)
+
+
+def render_coverage(
+    region: Rect,
+    sensor_positions: np.ndarray,
+    rs: float,
+    *,
+    width: int = 60,
+    height: int = 30,
+    k: int | None = None,
+    title: str = "coverage",
+) -> str:
+    """Render the coverage-count field (paper Figure 6 when holes exist).
+
+    With ``k`` given, cells below ``k`` render as ``!`` (uncovered) and the
+    rest by density; otherwise the raw count density ramp is used.
+    """
+    raster = coverage_raster(region, sensor_positions, rs, resolution=max(width, height))
+    # resample the square raster onto the canvas aspect
+    ys = np.linspace(0, raster.shape[0] - 1, height).astype(int)
+    xs = np.linspace(0, raster.shape[1] - 1, width).astype(int)
+    grid = raster[np.ix_(ys, xs)]
+    canvas = _empty_canvas(width, height)
+    for iy in range(height):
+        for ix in range(width):
+            c = int(grid[iy, ix])
+            if k is not None and c < k:
+                canvas[iy][ix] = "!"
+            else:
+                canvas[iy][ix] = _RAMP[min(c, len(_RAMP) - 1)]
+    return _frame(canvas, title)

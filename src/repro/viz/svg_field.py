@@ -1,0 +1,136 @@
+"""Standalone SVG renderings of fields, deployments and disasters.
+
+Dependency-free vector output for reports: field points as dots, sensors
+as translucent sensing discs, an optional disaster outline, and optional
+robot tours from :mod:`repro.analysis.dispatch`.  The string is a complete
+SVG document; :func:`save_svg` writes it to disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.points import as_point, as_points
+from repro.geometry.region import Rect
+
+__all__ = ["svg_field", "save_svg"]
+
+_STYLE = {
+    "field_point": 'fill="#607080" opacity="0.8"',
+    "sensor_disc": 'fill="#2f7ed8" opacity="0.12" stroke="#2f7ed8" '
+                   'stroke-opacity="0.35" stroke-width="0.15"',
+    "sensor_dot": 'fill="#1a4f9c"',
+    "disaster": 'fill="none" stroke="#c0392b" stroke-width="0.6" '
+                'stroke-dasharray="2,1.2"',
+    "tour": 'fill="none" stroke="#27ae60" stroke-width="0.35" opacity="0.85"',
+    "frame": 'fill="none" stroke="#222" stroke-width="0.4"',
+}
+
+
+def _fmt(value: float) -> str:
+    out = f"{value:.3f}".rstrip("0").rstrip(".")
+    return "0" if out == "-0" else out
+
+
+def svg_field(
+    region: Rect,
+    *,
+    field_points: np.ndarray | None = None,
+    sensors: np.ndarray | None = None,
+    rs: float | None = None,
+    disaster: tuple[np.ndarray, float] | None = None,
+    tours: list[np.ndarray] | None = None,
+    depot: np.ndarray | None = None,
+    width: int = 640,
+    title: str | None = None,
+) -> str:
+    """Render the scene to a complete SVG document string.
+
+    Parameters
+    ----------
+    region:
+        The monitored rectangle; becomes the drawing's coordinate system
+        (y is flipped so north is up).
+    field_points:
+        Optional ``(n, 2)`` approximation points (small dots).
+    sensors:
+        Optional ``(m, 2)`` sensor positions; with ``rs`` given, each also
+        draws its translucent sensing disc.
+    disaster:
+        Optional ``(center, radius)`` outline.
+    tours:
+        Optional list of ``(k_i, 2)`` robot tour polylines (coordinates,
+        not indices); drawn depot -> sites -> depot when ``depot`` given.
+    width:
+        Pixel width; height follows the region's aspect ratio.
+    """
+    if width < 1:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    height = int(round(width * region.height / region.width))
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="{_fmt(region.x0)} {_fmt(-region.y1)} '
+        f'{_fmt(region.width)} {_fmt(region.height)}">'
+    ]
+    if title:
+        parts.append(f"<title>{title}</title>")
+    # y-flip: drawn coordinates use (x, -y)
+    parts.append(
+        f'<rect x="{_fmt(region.x0)}" y="{_fmt(-region.y1)}" '
+        f'width="{_fmt(region.width)}" height="{_fmt(region.height)}" '
+        f'{_STYLE["frame"]}/>'
+    )
+    if field_points is not None:
+        pts = as_points(field_points)
+        r = max(region.width, region.height) / 400.0
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{_fmt(x)}" cy="{_fmt(-y)}" r="{_fmt(r)}" '
+                f'{_STYLE["field_point"]}/>'
+            )
+    if sensors is not None:
+        sens = as_points(sensors)
+        if rs is not None:
+            if rs <= 0:
+                raise ConfigurationError(f"rs must be positive, got {rs}")
+            for x, y in sens:
+                parts.append(
+                    f'<circle cx="{_fmt(x)}" cy="{_fmt(-y)}" r="{_fmt(rs)}" '
+                    f'{_STYLE["sensor_disc"]}/>'
+                )
+        dot = max(region.width, region.height) / 250.0
+        for x, y in sens:
+            parts.append(
+                f'<circle cx="{_fmt(x)}" cy="{_fmt(-y)}" r="{_fmt(dot)}" '
+                f'{_STYLE["sensor_dot"]}/>'
+            )
+    if tours:
+        for tour in tours:
+            coords = as_points(tour)
+            if depot is not None:
+                dp = as_point(depot).reshape(1, 2)
+                coords = np.vstack([dp, coords, dp])
+            if len(coords) < 2:
+                continue
+            pts_attr = " ".join(f"{_fmt(x)},{_fmt(-y)}" for x, y in coords)
+            parts.append(f'<polyline points="{pts_attr}" {_STYLE["tour"]}/>')
+    if disaster is not None:
+        center, radius = disaster
+        c = as_point(center)
+        if radius <= 0:
+            raise ConfigurationError(f"disaster radius must be positive, got {radius}")
+        parts.append(
+            f'<circle cx="{_fmt(c[0])}" cy="{_fmt(-c[1])}" r="{_fmt(radius)}" '
+            f'{_STYLE["disaster"]}/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path: str, document: str) -> None:
+    """Write an SVG document (from :func:`svg_field`) to ``path``."""
+    if not document.lstrip().startswith("<svg"):
+        raise ConfigurationError("not an SVG document")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(document)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discrepancy import field_points
+from repro.geometry import Rect
+from repro.network import SensorSpec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def region() -> Rect:
+    """A 30x30 field — small enough for fast end-to-end runs."""
+    return Rect.square(30.0)
+
+
+@pytest.fixture
+def spec() -> SensorSpec:
+    """The paper's rs = 4 with rc = 2 rs."""
+    return SensorSpec(4.0, 8.0)
+
+
+@pytest.fixture
+def field(region: Rect) -> np.ndarray:
+    """A 200-point Halton approximation of the small field."""
+    return field_points(region, 200, "halton")
+
+
+@pytest.fixture
+def big_region() -> Rect:
+    return Rect.square(50.0)
+
+
+@pytest.fixture
+def big_field(big_region: Rect) -> np.ndarray:
+    return field_points(big_region, 500, "halton")

@@ -1,0 +1,133 @@
+"""Tests for mobile-robot dispatch planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    nearest_neighbor_tour,
+    plan_dispatch,
+    tour_length,
+    two_opt,
+)
+from repro.errors import ConfigurationError
+
+DEPOT = np.array([0.0, 0.0])
+
+
+class TestTourLength:
+    def test_empty(self):
+        assert tour_length(DEPOT, np.empty((0, 2)), np.empty(0, dtype=int)) == 0.0
+
+    def test_single_site_roundtrip(self):
+        assert tour_length(DEPOT, [[3.0, 4.0]], [0]) == pytest.approx(10.0)
+
+    def test_order_matters(self):
+        # two-site closed tours are reversal-symmetric; three are not
+        sites = np.array([[1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        good = tour_length(DEPOT, sites, [0, 1, 2])
+        bad = tour_length(DEPOT, sites, [1, 0, 2])
+        assert good == pytest.approx(6.0)
+        assert bad == pytest.approx(8.0)
+
+
+class TestNearestNeighbor:
+    def test_visits_all_exactly_once(self, rng):
+        sites = rng.random((30, 2)) * 50
+        order = nearest_neighbor_tour(DEPOT, sites)
+        assert sorted(order.tolist()) == list(range(30))
+
+    def test_collinear_optimal(self):
+        sites = np.array([[3.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        order = nearest_neighbor_tour(DEPOT, sites)
+        assert order.tolist() == [1, 2, 0]
+
+    def test_empty(self):
+        assert nearest_neighbor_tour(DEPOT, np.empty((0, 2))).size == 0
+
+
+class TestTwoOpt:
+    def test_never_worsens(self, rng):
+        sites = rng.random((25, 2)) * 40
+        order = nearest_neighbor_tour(DEPOT, sites)
+        before = tour_length(DEPOT, sites, order)
+        improved = two_opt(DEPOT, sites, order)
+        after = tour_length(DEPOT, sites, improved)
+        assert after <= before + 1e-9
+        assert sorted(improved.tolist()) == sorted(order.tolist())
+
+    def test_fixes_a_crossing(self):
+        # square visited in a crossing order; 2-opt must uncross it
+        sites = np.array([[1.0, 1.0], [2.0, 1.0], [1.0, 2.0], [2.0, 2.0]])
+        crossed = np.array([0, 3, 1, 2])
+        improved = two_opt(DEPOT, sites, crossed)
+        assert tour_length(DEPOT, sites, improved) < tour_length(
+            DEPOT, sites, crossed
+        )
+
+    def test_small_tours_untouched(self):
+        sites = np.array([[1.0, 0.0], [2.0, 0.0]])
+        out = two_opt(DEPOT, sites, np.array([0, 1]))
+        assert out.tolist() == [0, 1]
+
+    def test_bad_passes(self):
+        with pytest.raises(ConfigurationError):
+            two_opt(DEPOT, [[1.0, 1.0]], [0], max_passes=-1)
+
+
+class TestPlanDispatch:
+    def test_partition_covers_all_sites(self, rng):
+        sites = rng.random((40, 2)) * 60
+        plan = plan_dispatch(sites, DEPOT, n_robots=3)
+        visited = sorted(
+            int(s) for tour in plan.tours for s in tour
+        )
+        assert visited == list(range(40))
+        assert plan.n_robots == 3
+        assert len(plan.robot_of_site()) == 40
+
+    def test_more_robots_cut_makespan(self, rng):
+        sites = rng.random((60, 2)) * 80 + 10
+        single = plan_dispatch(sites, DEPOT, n_robots=1)
+        quad = plan_dispatch(sites, DEPOT, n_robots=4)
+        assert quad.makespan < single.makespan
+
+    def test_speed_scales_time(self, rng):
+        sites = rng.random((20, 2)) * 30
+        slow = plan_dispatch(sites, DEPOT, speed=1.0)
+        fast = plan_dispatch(sites, DEPOT, speed=2.0)
+        assert fast.makespan == pytest.approx(slow.makespan / 2.0)
+        assert fast.total_distance == pytest.approx(slow.total_distance)
+
+    def test_empty_sites(self):
+        plan = plan_dispatch(np.empty((0, 2)), DEPOT, n_robots=2)
+        assert plan.makespan == 0.0 and plan.total_distance == 0.0
+
+    def test_validation(self, rng):
+        sites = rng.random((5, 2))
+        with pytest.raises(ConfigurationError):
+            plan_dispatch(sites, DEPOT, n_robots=0)
+        with pytest.raises(ConfigurationError):
+            plan_dispatch(sites, DEPOT, speed=0.0)
+
+    def test_makespan_is_slowest_robot(self, rng):
+        sites = rng.random((30, 2)) * 50
+        plan = plan_dispatch(sites, DEPOT, n_robots=3, speed=2.0)
+        assert plan.makespan == pytest.approx(max(plan.distances) / 2.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 30),
+    n_robots=st.integers(1, 5),
+    seed=st.integers(0, 2**31),
+)
+def test_dispatch_properties(n, n_robots, seed):
+    """Property: every site assigned exactly once; distances consistent."""
+    rng = np.random.default_rng(seed)
+    sites = rng.random((n, 2)) * 100
+    plan = plan_dispatch(sites, DEPOT, n_robots=n_robots)
+    assigned = sorted(int(s) for tour in plan.tours for s in tour)
+    assert assigned == list(range(n))
+    for tour, dist in zip(plan.tours, plan.distances):
+        assert dist == pytest.approx(tour_length(DEPOT, sites, tour))

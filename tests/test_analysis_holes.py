@@ -1,0 +1,94 @@
+"""Tests for coverage-hole analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.holes import find_holes
+from repro.core import centralized_greedy
+from repro.errors import CoverageError
+from repro.network import CoverageState, area_failure
+
+
+class TestFindHoles:
+    def test_fully_covered_has_none(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        assert find_holes(result.coverage, 1) == []
+
+    def test_empty_network_is_one_hole(self, field, spec):
+        cov = CoverageState(field, spec.rs)
+        holes = find_holes(cov, 1)
+        # all points deficient and (for the 30-field at rs=4) connected
+        assert len(holes) == 1
+        assert holes[0].n_points == len(field)
+        assert holes[0].total_deficiency == len(field)
+
+    def test_disaster_makes_one_big_hole(self, field, region, spec):
+        result = centralized_greedy(field, spec, 1)
+        event = area_failure(result.deployment, region.center, 8.0)
+        survivor = result.deployment.copy()
+        survivor.fail(event.node_ids)
+        cov = CoverageState.from_deployment(field, spec.rs, survivor)
+        holes = find_holes(cov, 1)
+        assert len(holes) >= 1
+        big = holes[0]
+        # the dominant hole sits at the disaster and spans most deficiency
+        assert np.linalg.norm(big.centroid - region.center) < 6.0
+        assert big.n_points >= 0.6 * sum(h.n_points for h in holes)
+
+    def test_two_separated_holes(self):
+        # two distant deficient clusters, one covered strip between them
+        pts = np.vstack([
+            np.array([[x, 0.0] for x in np.linspace(0, 4, 5)]),
+            np.array([[x, 0.0] for x in np.linspace(50, 54, 5)]),
+        ])
+        cov = CoverageState(pts, sensing_radius=2.0)
+        holes = find_holes(cov, 1)
+        assert len(holes) == 2
+        assert {h.n_points for h in holes} == {5}
+
+    def test_merge_radius_controls_granularity(self):
+        pts = np.array([[0.0, 0.0], [5.0, 0.0]])
+        cov = CoverageState(pts, sensing_radius=1.0)
+        assert len(find_holes(cov, 1)) == 2                       # 2 rs = 2 < 5
+        assert len(find_holes(cov, 1, merge_radius=6.0)) == 1
+
+    def test_deficiency_accounting(self):
+        pts = np.array([[0.0, 0.0]])
+        cov = CoverageState(pts, 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        holes = find_holes(cov, 3)
+        assert holes[0].total_deficiency == 2
+
+    def test_sorted_largest_first(self, rng):
+        pts = np.vstack([
+            rng.random((20, 2)) * 3,           # big cluster at origin
+            rng.random((5, 2)) * 3 + 100.0,    # small far cluster
+        ])
+        cov = CoverageState(pts, sensing_radius=2.0)
+        holes = find_holes(cov, 1)
+        assert [h.n_points for h in holes] == sorted(
+            (h.n_points for h in holes), reverse=True
+        )
+
+    def test_validation(self, field, spec):
+        cov = CoverageState(field, spec.rs)
+        with pytest.raises(CoverageError):
+            find_holes(cov, 0)
+        with pytest.raises(CoverageError):
+            find_holes(cov, 1, merge_radius=0.0)
+
+    def test_repair_driven_by_holes(self, field, region, spec):
+        """Operational loop: find the dominant hole, repair only near it."""
+        from repro.core import centralized_greedy as greedy
+
+        result = greedy(field, spec, 1)
+        event = area_failure(result.deployment, region.center, 8.0)
+        survivor = result.deployment.copy()
+        survivor.fail(event.node_ids)
+        cov = CoverageState.from_deployment(field, spec.rs, survivor)
+        holes = find_holes(cov, 1)
+        repair = greedy(field, spec, 1, initial_positions=survivor.alive_positions())
+        # every repair node lands within the dominant hole's neighbourhood
+        big = holes[0]
+        for pos in repair.trace.positions:
+            assert np.linalg.norm(pos - big.centroid) <= big.radius + 2 * spec.rs

@@ -1,0 +1,63 @@
+"""Tests for sleep-shift scheduling (paper motivation #3)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import lifetime_factor, sleep_shifts
+from repro.core import centralized_greedy
+from repro.errors import CoverageError
+from repro.network import CoverageState
+
+
+class TestShifts:
+    def test_each_shift_covers_alone(self, field, spec):
+        result = centralized_greedy(field, spec, 3)
+        shifts = sleep_shifts(result.coverage, k_active=1)
+        for shift in shifts:
+            counts = np.zeros(len(field), dtype=int)
+            for key in shift:
+                counts[result.coverage.points_covered_by(key)] += 1
+            assert bool(np.all(counts >= 1)), "a shift fails to 1-cover"
+
+    def test_shifts_partition_sensors(self, field, spec):
+        result = centralized_greedy(field, spec, 3)
+        shifts = sleep_shifts(result.coverage, k_active=1)
+        flat = [key for shift in shifts for key in shift]
+        assert sorted(flat) == result.coverage.sensor_keys()
+        assert len(set(flat)) == len(flat)
+
+    def test_k3_gives_at_least_two_shifts(self, field, spec):
+        """A 3-covered field should split into >= 2 independent 1-covers —
+        the lifetime multiplication the paper promises."""
+        result = centralized_greedy(field, spec, 3)
+        assert lifetime_factor(result.coverage) >= 2
+
+    def test_more_k_more_lifetime(self, field, spec):
+        l1 = lifetime_factor(centralized_greedy(field, spec, 1).coverage)
+        l4 = lifetime_factor(centralized_greedy(field, spec, 4).coverage)
+        assert l4 > l1
+
+    def test_k_active_above_supply_rejected(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        with pytest.raises(CoverageError):
+            sleep_shifts(result.coverage, k_active=5)
+
+    def test_max_shifts_cap(self, field, spec):
+        result = centralized_greedy(field, spec, 4)
+        shifts = sleep_shifts(result.coverage, k_active=1, max_shifts=2)
+        # leftovers folded into the last shift; union is still everything
+        flat = [key for s in shifts for key in s]
+        assert sorted(flat) == result.coverage.sensor_keys()
+        assert len(shifts) <= 2
+
+    def test_bad_k_active(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        with pytest.raises(CoverageError):
+            sleep_shifts(result.coverage, k_active=0)
+
+    def test_single_sensor_field(self):
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        cov.add_sensor(1, [0.1, 0.0])
+        shifts = sleep_shifts(cov, k_active=1)
+        assert len(shifts) == 2

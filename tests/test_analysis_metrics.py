@@ -1,0 +1,47 @@
+"""Tests for deployment metrics."""
+
+import pytest
+
+from repro.analysis import evaluate_deployment
+from repro.core import centralized_greedy, random_placement
+from repro.geometry import Rect
+
+
+class TestMetrics:
+    def test_complete_run_metrics(self, field, region, spec):
+        result = centralized_greedy(field, spec, 2)
+        m = evaluate_deployment(result, area=region.area)
+        assert m.covered_fraction == pytest.approx(1.0)
+        assert m.min_coverage >= 2
+        assert m.nodes_total == result.total_alive
+        assert m.overprovision >= 1.0
+        assert 0.0 <= m.redundancy <= 1.0
+        assert m.mean_coverage >= 2.0
+
+    def test_lower_bound_value(self, field, region, spec):
+        m = evaluate_deployment(centralized_greedy(field, spec, 1), area=region.area)
+        import math
+
+        assert m.lower_bound == math.ceil(region.area / (math.pi * spec.rs**2))
+
+    def test_default_area_from_bounding_box(self, field, spec):
+        m = evaluate_deployment(centralized_greedy(field, spec, 1))
+        assert m.lower_bound >= 1
+
+    def test_random_much_more_overprovisioned(self, field, region, spec, rng):
+        greedy = evaluate_deployment(
+            centralized_greedy(field, spec, 1), area=region.area
+        )
+        rand = evaluate_deployment(
+            random_placement(field, spec, 1, rng, region=region), area=region.area
+        )
+        assert rand.overprovision > 2.0 * greedy.overprovision
+        assert rand.redundancy > greedy.redundancy
+
+    def test_as_row_is_flat(self, field, spec):
+        row = evaluate_deployment(centralized_greedy(field, spec, 1)).as_row()
+        assert set(row) == {
+            "nodes_total", "nodes_added", "lower_bound", "overprovision",
+            "redundancy", "covered_fraction", "min_coverage", "mean_coverage",
+        }
+        assert all(isinstance(v, (int, float)) for v in row.values())

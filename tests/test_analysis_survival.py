@@ -1,0 +1,108 @@
+"""Tests for the progressive-failure survival machinery (Figs 11-12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import max_tolerable_failure_fraction, removal_survival_curve
+from repro.core import centralized_greedy
+from repro.errors import CoverageError
+from repro.network import CoverageState
+
+
+class TestSurvivalCurve:
+    def test_starts_at_current_fraction(self, field, spec):
+        result = centralized_greedy(field, spec, 2)
+        cov = result.coverage
+        curve = removal_survival_curve(cov, cov.sensor_keys(), 2)
+        assert curve[0] == pytest.approx(1.0)
+        assert curve[-1] == 0.0  # all sensors gone
+
+    def test_monotone_nonincreasing(self, field, spec, rng):
+        result = centralized_greedy(field, spec, 2)
+        cov = result.coverage
+        order = rng.permutation(cov.sensor_keys())
+        curve = removal_survival_curve(cov, order, 2)
+        assert bool(np.all(np.diff(curve) <= 1e-12))
+
+    def test_matches_bruteforce_recount(self, field, spec, rng):
+        result = centralized_greedy(field, spec, 2)
+        cov = result.coverage
+        order = rng.permutation(cov.sensor_keys())[:10]
+        curve = removal_survival_curve(cov, order, 2)
+        counts = cov.counts.copy()
+        assert curve[0] == np.count_nonzero(counts >= 2) / cov.n_points
+        for i, key in enumerate(order):
+            counts[cov.points_covered_by(int(key))] -= 1
+            assert curve[i + 1] == pytest.approx(
+                np.count_nonzero(counts >= 2) / cov.n_points
+            )
+
+    def test_does_not_mutate(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        before = result.coverage.counts.copy()
+        removal_survival_curve(result.coverage, result.coverage.sensor_keys(), 1)
+        np.testing.assert_array_equal(result.coverage.counts, before)
+
+    def test_partial_order_allowed(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        cov = result.coverage
+        curve = removal_survival_curve(cov, cov.sensor_keys()[:3], 1)
+        assert curve.shape == (4,)
+
+    def test_duplicate_keys_rejected(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        keys = result.coverage.sensor_keys()
+        with pytest.raises(CoverageError):
+            removal_survival_curve(result.coverage, [keys[0], keys[0]], 1)
+
+    def test_unknown_key_rejected(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        with pytest.raises(CoverageError):
+            removal_survival_curve(result.coverage, [999_999], 1)
+
+
+class TestMaxTolerable:
+    def test_higher_k_tolerates_more(self, field, spec, rng):
+        """Figure 12's core message: redundancy buys failure tolerance."""
+        f1 = max_tolerable_failure_fraction(
+            centralized_greedy(field, spec, 1).coverage, np.random.default_rng(0)
+        )
+        f4 = max_tolerable_failure_fraction(
+            centralized_greedy(field, spec, 4).coverage, np.random.default_rng(0)
+        )
+        assert f4 > f1
+
+    def test_range(self, field, spec, rng):
+        f = max_tolerable_failure_fraction(
+            centralized_greedy(field, spec, 2).coverage, rng
+        )
+        assert 0.0 <= f <= 1.0
+
+    def test_target_one_is_strict(self, field, spec, rng):
+        f = max_tolerable_failure_fraction(
+            centralized_greedy(field, spec, 1).coverage, rng, target_fraction=1.0
+        )
+        # exact coverage: any meaningful loss breaks 100%... tolerance is tiny
+        assert f < 0.5
+
+    def test_bad_target(self, field, spec, rng):
+        result = centralized_greedy(field, spec, 1)
+        with pytest.raises(CoverageError):
+            max_tolerable_failure_fraction(result.coverage, rng, target_fraction=0.0)
+
+    def test_no_sensors_rejected(self, field, rng):
+        with pytest.raises(CoverageError):
+            max_tolerable_failure_fraction(CoverageState(field, 2.0), rng)
+
+
+@settings(max_examples=15, deadline=None)
+@given(k=st.integers(1, 3), seed=st.integers(0, 2**31))
+def test_curve_between_zero_and_one(k, seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((40, 2)) * 12
+    cov = CoverageState(pts, 3.0)
+    for key in range(25):
+        cov.add_sensor(key, rng.random(2) * 12)
+    curve = removal_survival_curve(cov, rng.permutation(25), k)
+    assert bool(np.all((curve >= 0.0) & (curve <= 1.0)))

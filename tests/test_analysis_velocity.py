@@ -1,0 +1,71 @@
+"""Tests for intruder velocity estimation (speed and direction, §1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import estimate_velocity
+from repro.errors import ConfigurationError
+
+
+def constant_velocity_track(v=(2.0, 1.0), n=40, dt=0.5):
+    t = np.arange(n) * dt
+    pos = np.column_stack([5.0 + v[0] * t, 7.0 + v[1] * t])
+    return pos, t
+
+
+class TestExactTracks:
+    def test_constant_velocity_recovered(self):
+        pos, t = constant_velocity_track()
+        vel = estimate_velocity(pos, t)
+        interior = vel[3:-3]
+        np.testing.assert_allclose(interior[:, 0], 2.0, atol=1e-9)
+        np.testing.assert_allclose(interior[:, 1], 1.0, atol=1e-9)
+
+    def test_speed_and_direction(self):
+        pos, t = constant_velocity_track(v=(3.0, 4.0))
+        vel = estimate_velocity(pos, t)
+        speed = np.linalg.norm(vel[5])
+        heading = np.arctan2(vel[5, 1], vel[5, 0])
+        assert speed == pytest.approx(5.0)
+        assert heading == pytest.approx(np.arctan2(4.0, 3.0))
+
+    def test_nan_fixes_skipped(self):
+        pos, t = constant_velocity_track()
+        pos[10] = np.nan
+        vel = estimate_velocity(pos, t)
+        # neighbours of the missing fix still get velocity from the window
+        assert not np.isnan(vel[11, 0])
+
+    def test_too_few_fixes_gives_nan(self):
+        pos, t = constant_velocity_track(n=10)
+        pos[:] = np.nan
+        pos[0] = [0.0, 0.0]
+        vel = estimate_velocity(pos, t)
+        assert bool(np.all(np.isnan(vel)))
+
+
+class TestNoise:
+    def test_window_suppresses_noise(self):
+        rng = np.random.default_rng(0)
+        pos, t = constant_velocity_track(n=200, dt=1.0)
+        noisy = pos + rng.normal(0.0, 0.3, pos.shape)
+        small = estimate_velocity(noisy, t, window=3)
+        large = estimate_velocity(noisy, t, window=9)
+        err_small = np.nanmean(np.abs(small[:, 0] - 2.0))
+        err_large = np.nanmean(np.abs(large[:, 0] - 2.0))
+        assert err_large < err_small
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            estimate_velocity(np.zeros((5, 2)), np.zeros(4))
+
+    def test_nonmonotone_times(self):
+        with pytest.raises(ConfigurationError):
+            estimate_velocity(np.zeros((3, 2)), np.array([0.0, 2.0, 1.0]))
+
+    def test_even_window(self):
+        pos, t = constant_velocity_track(n=10)
+        with pytest.raises(ConfigurationError):
+            estimate_velocity(pos, t, window=4)

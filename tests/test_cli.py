@@ -1,0 +1,106 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_figure_numbers_restricted(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "decor" in capsys.readouterr().out
+
+
+class TestDeploy:
+    def test_prints_metrics(self, capsys):
+        code = main(
+            ["deploy", "--k", "1", "--method", "centralized",
+             "--side", "20", "--points", "100"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "nodes_total" in out
+        assert "covered_fraction: 1.0" in out
+
+    def test_ascii_render(self, capsys):
+        code = main(
+            ["deploy", "--k", "1", "--method", "voronoi",
+             "--side", "20", "--points", "100", "--ascii"]
+        )
+        assert code == 0
+        assert "o" in capsys.readouterr().out
+
+    def test_grid_method(self, capsys):
+        code = main(
+            ["deploy", "--k", "1", "--method", "grid", "--cell-size", "5",
+             "--side", "20", "--points", "100"]
+        )
+        assert code == 0
+
+
+class TestFigure:
+    def test_figure_8_smoke_tiny(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        code = main(["figure", "8", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig08" in out and "centralized" in out
+
+    def test_json_and_csv_written(self, tmp_path, capsys):
+        jpath = tmp_path / "fig.json"
+        cpath = tmp_path / "fig.csv"
+        code = main(
+            ["figure", "13", "--seeds", "1",
+             "--json", str(jpath), "--csv", str(cpath)]
+        )
+        assert code == 0
+        payload = json.loads(jpath.read_text())
+        assert payload["figure_id"] == "fig13"
+        assert cpath.read_text().startswith("figure,series,x,y")
+
+
+class TestSummaryRestoreLifetime:
+    def test_summary(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        code = main(["summary", "--k", "2", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Method summary at k = 2" in out
+        assert "voronoi-big" in out
+
+    def test_restore(self, capsys):
+        code = main(
+            ["restore", "--k", "1", "--method", "centralized",
+             "--side", "25", "--points", "150"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repair" in out and "100%" in out
+
+    def test_lifetime(self, capsys):
+        code = main(
+            ["lifetime", "--k", "3", "--side", "25", "--points", "150"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "shift rotation" in out
+
+
+def test_gallery(capsys):
+    code = main(["gallery"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Figure 4" in out and "Figure 5" in out and "Figure 6" in out
+    assert "!" in out  # the disaster hole is visible

@@ -1,0 +1,152 @@
+"""Tests for the benefit engine — the paper's Eq. (1) and its incremental
+maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BenefitEngine
+from repro.core.benefit import same_cell_benefit_adjacency
+from repro.errors import CoverageError, PlacementError
+from repro.geometry import GridPartition, Rect
+from repro.geometry.neighbors import radius_adjacency
+
+
+@pytest.fixture
+def line_engine() -> BenefitEngine:
+    """Points at x = 0, 1, 9; rs = 2; k = 1."""
+    return BenefitEngine(
+        np.array([[0.0, 0.0], [1.0, 0.0], [9.0, 0.0]]), sensing_radius=2.0, k=1
+    )
+
+
+class TestInitialBenefit:
+    def test_eq1_by_hand(self, line_engine):
+        """b(p) = sum of deficiencies within rs: points 0, 1 see each other."""
+        assert line_engine.benefit.tolist() == [2.0, 2.0, 1.0]
+
+    def test_k_scales_deficiency(self):
+        eng = BenefitEngine(np.array([[0.0, 0.0], [1.0, 0.0]]), 2.0, k=3)
+        assert eng.benefit.tolist() == [6.0, 6.0]
+
+    def test_initial_counts_respected(self):
+        eng = BenefitEngine(
+            np.array([[0.0, 0.0], [5.0, 0.0]]),
+            2.0,
+            k=2,
+            initial_counts=np.array([1, 0]),
+        )
+        assert eng.benefit.tolist() == [1.0, 2.0]
+
+    def test_bad_k(self):
+        with pytest.raises(CoverageError):
+            BenefitEngine(np.array([[0.0, 0.0]]), 1.0, k=0)
+
+    def test_bad_initial_counts(self):
+        with pytest.raises(CoverageError):
+            BenefitEngine(
+                np.array([[0.0, 0.0]]), 1.0, k=1, initial_counts=np.array([-1])
+            )
+
+
+class TestPlacement:
+    def test_place_covers_and_updates(self, line_engine):
+        covered = line_engine.place_at(0)
+        assert sorted(covered) == [0, 1]
+        assert line_engine.counts.tolist() == [1, 1, 0]
+        assert line_engine.benefit.tolist() == [0.0, 0.0, 1.0]
+
+    def test_saturated_points_stop_contributing(self):
+        eng = BenefitEngine(np.array([[0.0, 0.0], [1.0, 0.0]]), 2.0, k=2)
+        eng.place_at(0)
+        assert eng.benefit.tolist() == [2.0, 2.0]
+        eng.place_at(1)
+        assert eng.benefit.tolist() == [0.0, 0.0]
+        eng.place_at(0)  # over-covering changes nothing in the benefit
+        assert eng.benefit.tolist() == [0.0, 0.0]
+
+    def test_argmax_global_and_restricted(self, line_engine):
+        assert line_engine.argmax() == 0  # tie 0/1 breaks low
+        assert line_engine.argmax(candidates=np.array([2])) == 2
+
+    def test_argmax_empty_candidates(self, line_engine):
+        with pytest.raises(PlacementError):
+            line_engine.argmax(candidates=np.array([], dtype=np.intp))
+
+    def test_place_out_of_range(self, line_engine):
+        with pytest.raises(PlacementError):
+            line_engine.place_at(17)
+
+    def test_is_fully_covered_transition(self, line_engine):
+        assert not line_engine.is_fully_covered()
+        line_engine.place_at(0)
+        line_engine.place_at(2)
+        assert line_engine.is_fully_covered()
+        assert line_engine.total_deficiency() == 0
+
+
+class TestExternalSensors:
+    def test_off_grid_position(self, line_engine):
+        covered = line_engine.add_sensor_at_position([0.5, 0.0])
+        assert sorted(covered) == [0, 1]
+        line_engine.validate()
+
+    def test_remove_covered_roundtrip(self, line_engine):
+        covered = line_engine.add_sensor_at_position([0.5, 0.0])
+        line_engine.remove_covered(covered)
+        assert line_engine.counts.tolist() == [0, 0, 0]
+        line_engine.validate()
+
+    def test_remove_below_zero_rejected(self, line_engine):
+        with pytest.raises(CoverageError):
+            line_engine.remove_covered(np.array([0]))
+
+
+class TestRestrictedBenefitAdjacency:
+    def test_same_cell_filter(self):
+        region = Rect.square(10.0)
+        pts = np.array([[1.0, 1.0], [4.0, 1.0], [6.0, 1.0]])  # cells 0, 0, 1
+        partition = GridPartition.square_cells(region, 5.0)
+        cov = radius_adjacency(pts, 3.0)
+        ben = same_cell_benefit_adjacency(cov, partition.cell_of(pts))
+        eng = BenefitEngine(pts, 3.0, k=1, benefit_adjacency=ben)
+        # point 1 is within rs of point 2 but they are in different cells:
+        # its benefit only counts itself and point 0
+        assert eng.benefit.tolist() == [2.0, 2.0, 1.0]
+
+    def test_shape_mismatch_rejected(self):
+        from scipy import sparse
+
+        with pytest.raises(CoverageError):
+            BenefitEngine(
+                np.array([[0.0, 0.0]]),
+                1.0,
+                k=1,
+                benefit_adjacency=sparse.identity(3, format="csr"),
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    k=st.integers(1, 4),
+    n_ops=st.integers(1, 40),
+    seed=st.integers(0, 2**31),
+)
+def test_incremental_benefit_equals_recompute(n, k, n_ops, seed):
+    """Property: after arbitrary place/add/remove sequences the incremental
+    benefit vector equals A @ deficiency recomputed from scratch."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * 8
+    eng = BenefitEngine(pts, 1.5, k=k)
+    removable: list[np.ndarray] = []
+    for _ in range(n_ops):
+        r = rng.random()
+        if r < 0.5:
+            eng.place_at(int(rng.integers(n)))
+        elif r < 0.8 or not removable:
+            removable.append(eng.add_sensor_at_position(rng.random(2) * 8))
+        else:
+            eng.remove_covered(removable.pop())
+    eng.validate()
+    np.testing.assert_allclose(eng.benefit, eng.recomputed_benefit())

@@ -1,0 +1,78 @@
+"""Tests for the benefit-mode ablation (deficiency vs binary weighting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BenefitEngine, centralized_greedy
+from repro.errors import CoverageError
+from repro.network import SensorSpec
+
+
+class TestBinaryMode:
+    def test_initial_weights(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        dfc = BenefitEngine(pts, 2.0, k=3)
+        binary = BenefitEngine(pts, 2.0, k=3, benefit_mode="binary")
+        assert dfc.benefit.tolist() == [6.0, 6.0]
+        assert binary.benefit.tolist() == [2.0, 2.0]
+
+    def test_modes_agree_at_k1(self):
+        pts = np.random.default_rng(0).random((30, 2)) * 8
+        a = BenefitEngine(pts, 2.0, k=1)
+        b = BenefitEngine(pts, 2.0, k=1, benefit_mode="binary")
+        np.testing.assert_allclose(a.benefit, b.benefit)
+
+    def test_binary_drops_only_at_saturation(self):
+        pts = np.array([[0.0, 0.0]])
+        eng = BenefitEngine(pts, 1.0, k=3, benefit_mode="binary")
+        assert eng.benefit[0] == 1.0
+        eng.place_at(0)
+        assert eng.benefit[0] == 1.0  # still deficient (1 of 3)
+        eng.place_at(0)
+        assert eng.benefit[0] == 1.0
+        eng.place_at(0)
+        assert eng.benefit[0] == 0.0  # crossed to 3-covered
+
+    def test_binary_removal_restores(self):
+        pts = np.array([[0.0, 0.0]])
+        eng = BenefitEngine(pts, 1.0, k=2, benefit_mode="binary")
+        c1 = eng.place_at(0)
+        c2 = eng.place_at(0)
+        assert eng.benefit[0] == 0.0
+        eng.remove_covered(c2)
+        assert eng.benefit[0] == 1.0
+        eng.validate()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(CoverageError):
+            BenefitEngine(np.array([[0.0, 0.0]]), 1.0, k=1, benefit_mode="fancy")
+
+    def test_greedy_completes_in_binary_mode(self, field, spec):
+        result = centralized_greedy(field, spec, 3, benefit_mode="binary")
+        assert result.final_covered_fraction() == 1.0
+        assert result.params["benefit_mode"] == "binary"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    k=st.integers(1, 4),
+    n_ops=st.integers(1, 30),
+    seed=st.integers(0, 2**31),
+)
+def test_binary_incremental_equals_recompute(k, n_ops, seed):
+    """Property: the binary mode's incremental updates match the batch
+    recompute under arbitrary place/remove interleavings."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((40, 2)) * 8
+    eng = BenefitEngine(pts, 1.5, k=k, benefit_mode="binary")
+    removable = []
+    for _ in range(n_ops):
+        r = rng.random()
+        if r < 0.5:
+            eng.place_at(int(rng.integers(len(pts))))
+        elif r < 0.8 or not removable:
+            removable.append(eng.add_sensor_at_position(rng.random(2) * 8))
+        else:
+            eng.remove_covered(removable.pop())
+    eng.validate()

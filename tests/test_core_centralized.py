@@ -1,0 +1,97 @@
+"""Tests for the centralized greedy baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import centralized_greedy
+from repro.discrepancy import field_points
+from repro.errors import PlacementError
+from repro.geometry import Rect, minimum_disks_lower_bound
+from repro.network import SensorSpec
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_reaches_full_k_coverage(self, field, spec, k):
+        result = centralized_greedy(field, spec, k)
+        assert result.final_covered_fraction() == 1.0
+        assert bool(np.all(result.coverage.counts >= k))
+
+    def test_trace_matches_added(self, field, spec):
+        result = centralized_greedy(field, spec, 2)
+        assert len(result.trace) == result.added_count
+        assert result.trace.positions.shape == (result.added_count, 2)
+
+    def test_coverage_trajectory_monotone(self, field, spec):
+        result = centralized_greedy(field, spec, 2)
+        xs, ys = result.coverage_trajectory()
+        assert bool(np.all(np.diff(ys) >= -1e-12))
+        assert ys[-1] == pytest.approx(1.0)
+        assert xs[-1] == result.total_alive
+
+    def test_benefits_recorded_positive(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        assert bool(np.all(result.trace.benefits >= 1.0))
+
+
+class TestEfficiency:
+    def test_near_lower_bound(self, big_field, big_region, spec):
+        """The greedy should land within ~1.6x of the disc-packing bound
+        (hexagonal coverings need ~1.21x; greedy on points is a bit worse)."""
+        result = centralized_greedy(big_field, spec, 2)
+        bound = minimum_disks_lower_bound(big_region.area, spec.rs, 2)
+        assert bound <= result.added_count <= 1.6 * bound
+
+    def test_nodes_scale_with_k(self, field, spec):
+        n1 = centralized_greedy(field, spec, 1).added_count
+        n3 = centralized_greedy(field, spec, 3).added_count
+        assert 2.0 * n1 <= n3 <= 4.0 * n1
+
+    def test_placements_at_field_points(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        for pos in result.trace.positions:
+            assert np.min(np.linalg.norm(field - pos, axis=1)) < 1e-12
+
+
+class TestInitialNodes:
+    def test_survivors_reduce_added(self, field, spec):
+        from_scratch = centralized_greedy(field, spec, 2).added_count
+        seeded = centralized_greedy(
+            field, spec, 2, initial_positions=field[::10]
+        )
+        assert seeded.added_count < from_scratch
+        assert seeded.final_covered_fraction() == 1.0
+        assert seeded.total_alive == seeded.added_count + len(field[::10])
+
+    def test_already_covered_adds_nothing(self, field, spec):
+        first = centralized_greedy(field, spec, 1)
+        again = centralized_greedy(
+            field, spec, 1, initial_positions=first.deployment.alive_positions()
+        )
+        assert again.added_count == 0
+
+
+class TestBudget:
+    def test_budget_enforced(self, field, spec):
+        with pytest.raises(PlacementError):
+            centralized_greedy(field, spec, 3, max_nodes=2)
+
+    def test_deterministic(self, field, spec):
+        a = centralized_greedy(field, spec, 2)
+        b = centralized_greedy(field, spec, 2)
+        np.testing.assert_array_equal(a.trace.positions, b.trace.positions)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(10, 120),
+    k=st.integers(1, 3),
+    seed=st.integers(0, 2**31),
+)
+def test_always_terminates_fully_covered(n, k, seed):
+    """Property: on any random field the greedy reaches exact k-coverage."""
+    region = Rect.square(20.0)
+    pts = region.sample(n, np.random.default_rng(seed))
+    result = centralized_greedy(pts, SensorSpec(3.0, 6.0), k)
+    assert bool(np.all(result.coverage.counts >= k))

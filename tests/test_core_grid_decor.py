@@ -1,0 +1,93 @@
+"""Tests for grid-based DECOR."""
+
+import numpy as np
+import pytest
+
+from repro.core import centralized_greedy, grid_decor
+from repro.errors import PlacementError
+from repro.geometry import GridPartition, Rect
+from repro.network import SensorSpec
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("cell_size", [5.0, 10.0])
+    def test_reaches_k_coverage(self, field, region, spec, cell_size):
+        result = grid_decor(field, spec, 2, region, cell_size)
+        assert result.final_covered_fraction() == 1.0
+        assert result.method == "grid"
+        assert result.params["cell_size"] == cell_size
+
+    def test_placements_inside_own_cells(self, field, region, spec):
+        result = grid_decor(field, spec, 1, region, 5.0)
+        partition = GridPartition.square_cells(region, 5.0)
+        for pos, cid in zip(result.trace.positions, result.trace.proposer):
+            assert partition.cell_of(pos.reshape(1, 2))[0] == cid
+
+    def test_empty_cells_tolerated(self, spec):
+        """Field points clustered in one corner: far cells have no points and
+        must simply stay idle."""
+        region = Rect.square(40.0)
+        pts = Rect.square(10.0).sample(60, np.random.default_rng(3))
+        result = grid_decor(pts, spec, 1, region, 5.0)
+        assert result.final_covered_fraction() == 1.0
+
+
+class TestDistributedPenalty:
+    def test_needs_more_nodes_than_centralized(self, big_field, big_region, spec):
+        cent = centralized_greedy(big_field, spec, 2).added_count
+        grid = grid_decor(big_field, spec, 2, big_region, 5.0).added_count
+        assert grid >= cent
+
+    def test_small_cell_worse_than_big_cell(self, big_field, big_region, spec):
+        """Smaller cells mean more myopic benefit -> more nodes (Fig 8)."""
+        small = grid_decor(big_field, spec, 3, big_region, 5.0).added_count
+        big = grid_decor(big_field, spec, 3, big_region, 10.0).added_count
+        assert small >= big
+
+
+class TestMessages:
+    def test_message_stats_present(self, field, region, spec):
+        result = grid_decor(field, spec, 2, region, 5.0)
+        stats = result.messages
+        assert stats is not None
+        assert stats.total == int(result.trace.messages.sum())
+        assert stats.per_cell.shape == (36,)  # 6x6 cells on the 30-field
+
+    def test_messages_bounded_by_affected_cells(self, field, region, spec):
+        """Each placement informs at most the 8 neighbours (cells reachable
+        by an rs = 4 disc from inside a 5x5 cell)."""
+        result = grid_decor(field, spec, 2, region, 5.0)
+        assert bool(np.all(result.trace.messages <= 8))
+
+    def test_base_station_reports_add_one_per_placement(self, field, region, spec):
+        plain = grid_decor(field, spec, 1, region, 5.0)
+        with_reports = grid_decor(
+            field, spec, 1, region, 5.0, count_base_station_reports=True
+        )
+        assert with_reports.messages.total == plain.messages.total + plain.added_count
+
+    def test_nodes_per_cell_accounts_all_alive(self, field, region, spec):
+        result = grid_decor(field, spec, 2, region, 5.0)
+        assert result.messages.nodes_per_cell.sum() == result.total_alive
+
+    def test_rotation_amortisation(self, field, region, spec):
+        stats = grid_decor(field, spec, 2, region, 5.0).messages
+        assert stats.mean_per_node_with_rotation <= stats.mean_per_cell + 1e-9
+
+
+class TestControls:
+    def test_budget_enforced(self, field, region, spec):
+        with pytest.raises(PlacementError):
+            grid_decor(field, spec, 2, region, 5.0, max_nodes=2)
+
+    def test_deterministic(self, field, region, spec):
+        a = grid_decor(field, spec, 2, region, 5.0)
+        b = grid_decor(field, spec, 2, region, 5.0)
+        np.testing.assert_array_equal(a.trace.positions, b.trace.positions)
+
+    def test_initial_positions(self, field, region, spec):
+        seeded = grid_decor(
+            field, spec, 2, region, 5.0, initial_positions=field[::8]
+        )
+        assert seeded.final_covered_fraction() == 1.0
+        assert seeded.total_alive == seeded.added_count + len(field[::8])

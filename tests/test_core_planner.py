@@ -1,0 +1,87 @@
+"""Tests for run_method dispatch and the DecorPlanner facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecorPlanner, METHODS, run_method
+from repro.errors import ConfigurationError
+from repro.geometry import Rect
+from repro.network import SensorSpec, area_failure
+
+
+class TestRunMethod:
+    def test_all_methods_dispatch(self, field, region, spec, rng):
+        for name in METHODS:
+            result = run_method(
+                name, field, spec, 1,
+                region=region, rng=rng, cell_size=5.0,
+            )
+            assert result.final_covered_fraction() == 1.0
+
+    def test_unknown_method(self, field, spec):
+        with pytest.raises(ConfigurationError):
+            run_method("simulated-annealing", field, spec, 1)
+
+    def test_grid_requires_region_and_cell(self, field, spec):
+        with pytest.raises(ConfigurationError):
+            run_method("grid", field, spec, 1)
+
+    def test_random_requires_rng(self, field, spec):
+        with pytest.raises(ConfigurationError):
+            run_method("random", field, spec, 1)
+
+
+class TestPlanner:
+    @pytest.fixture
+    def planner(self):
+        return DecorPlanner(
+            Rect.square(30.0), SensorSpec(4.0, 8.0), n_points=200, seed=0
+        )
+
+    def test_field_inside_region(self, planner):
+        assert bool(np.all(planner.region.contains(planner.field_points)))
+
+    def test_deploy_each_method(self, planner):
+        for method in METHODS:
+            result = planner.deploy(1, method=method, cell_size=5.0)
+            assert result.final_covered_fraction() == 1.0
+
+    def test_k_for_reliability(self, planner):
+        assert planner.k_for_reliability(0.999, 0.1) == 3
+
+    def test_scatter_initial(self, planner):
+        init = planner.scatter_initial(20)
+        assert init.shape == (20, 2)
+        assert bool(np.all(planner.region.contains(init)))
+
+    def test_restore_after(self, planner):
+        result = planner.deploy(2, method="voronoi")
+        event = area_failure(result.deployment, planner.region.center, 8.0)
+        report = planner.restore_after(result, event, method="voronoi")
+        assert report.covered_after_repair == pytest.approx(1.0)
+        assert report.extra_nodes > 0
+
+    def test_restore_after_grid_needs_cell_size(self, planner):
+        result = planner.deploy(1, method="voronoi")
+        event = area_failure(result.deployment, planner.region.center, 5.0)
+        with pytest.raises(ConfigurationError):
+            planner.restore_after(result, event, method="grid")
+        report = planner.restore_after(result, event, method="grid", cell_size=5.0)
+        assert report.covered_after_repair == pytest.approx(1.0)
+
+    def test_bad_n_points(self):
+        with pytest.raises(ConfigurationError):
+            DecorPlanner(Rect.square(10.0), SensorSpec(1.0, 2.0), n_points=0)
+
+    def test_unknown_restore_method(self, planner):
+        result = planner.deploy(1, method="voronoi")
+        event = area_failure(result.deployment, planner.region.center, 5.0)
+        with pytest.raises(ConfigurationError):
+            planner.restore_after(result, event, method="magic")
+
+    def test_docstring_example(self):
+        planner = DecorPlanner(
+            Rect.square(50.0), SensorSpec(4.0, 8.0), n_points=500
+        )
+        result = planner.deploy(k=2, method="voronoi")
+        assert result.final_covered_fraction() == 1.0

@@ -1,0 +1,61 @@
+"""Tests for the random placement baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import centralized_greedy, random_placement
+from repro.errors import PlacementError
+from repro.geometry import Rect
+from repro.network import SensorSpec
+
+
+class TestCompleteness:
+    def test_reaches_k_coverage(self, field, spec, rng):
+        result = random_placement(field, spec, 2, rng, region=Rect.square(30.0))
+        assert result.final_covered_fraction() == 1.0
+        assert result.method == "random"
+
+    def test_default_region_is_bounding_box(self, field, spec, rng):
+        result = random_placement(field, spec, 1, rng)
+        assert result.final_covered_fraction() == 1.0
+
+    def test_trace_complete(self, field, spec, rng):
+        result = random_placement(field, spec, 1, rng)
+        assert len(result.trace) == result.added_count
+
+
+class TestInefficiency:
+    def test_much_worse_than_greedy(self, field, spec, rng):
+        """The paper reports ~4x more nodes than informed methods."""
+        greedy = centralized_greedy(field, spec, 2).added_count
+        rand = random_placement(field, spec, 2, rng, region=Rect.square(30.0))
+        assert rand.added_count > 2.0 * greedy
+
+    def test_stops_at_first_full_coverage(self, field, spec, rng):
+        result = random_placement(field, spec, 1, rng, batch_size=64)
+        # removing the last node must leave the field not fully covered
+        last = result.added_ids[-1]
+        cov = result.coverage
+        covered_by_last = cov.points_covered_by(int(last))
+        assert bool(np.any(cov.counts[covered_by_last] == 1))
+
+
+class TestControls:
+    def test_budget_enforced(self, field, spec, rng):
+        with pytest.raises(PlacementError):
+            random_placement(field, spec, 3, rng, max_nodes=3)
+
+    def test_bad_batch_size(self, field, spec, rng):
+        with pytest.raises(PlacementError):
+            random_placement(field, spec, 1, rng, batch_size=0)
+
+    def test_seed_reproducible(self, field, spec):
+        a = random_placement(field, spec, 1, np.random.default_rng(42))
+        b = random_placement(field, spec, 1, np.random.default_rng(42))
+        np.testing.assert_array_equal(a.trace.positions, b.trace.positions)
+
+    def test_initial_positions_respected(self, field, spec, rng):
+        result = random_placement(
+            field, spec, 1, rng, initial_positions=field[::5]
+        )
+        assert result.total_alive == result.added_count + len(field[::5])

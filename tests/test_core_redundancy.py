@@ -1,0 +1,113 @@
+"""Tests for redundant-node identification (Figure 9's metric)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    centralized_greedy,
+    random_placement,
+    redundancy_fraction,
+    redundant_nodes,
+)
+from repro.errors import CoverageError
+from repro.network import CoverageState
+from repro.geometry import Rect
+from repro.network.spec import SensorSpec
+
+
+class TestIdentification:
+    def test_stacked_spare_detected(self):
+        """Two sensors on the same point, k = 1: exactly one is redundant."""
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        cov.add_sensor(1, [0.0, 0.0])
+        red = redundant_nodes(cov, 1)
+        assert red.size == 1
+
+    def test_not_both_mutual_spares_removed(self):
+        """Sequentiality: removing one spare de-redundantises the other."""
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        for key in range(5):
+            cov.add_sensor(key, [0.0, 0.0])
+        assert redundant_nodes(cov, 1).size == 4
+
+    def test_exact_coverage_has_no_redundancy(self):
+        cov = CoverageState([[0.0, 0.0], [5.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        cov.add_sensor(1, [5.0, 0.0])
+        assert redundant_nodes(cov, 1).size == 0
+
+    def test_sensor_covering_nothing_is_redundant(self):
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        cov.add_sensor(1, [50.0, 50.0])
+        assert redundant_nodes(cov, 1).tolist() == [1]
+
+    def test_explicit_order_respected(self):
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        cov.add_sensor(1, [0.0, 0.0])
+        first = redundant_nodes(cov, 1, order=[0, 1])
+        second = redundant_nodes(cov, 1, order=[1, 0])
+        assert first.tolist() == [0]
+        assert second.tolist() == [1]
+
+    def test_bad_order_rejected(self):
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        with pytest.raises(CoverageError):
+            redundant_nodes(cov, 1, order=[0, 0])
+
+    def test_bad_k_rejected(self):
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        with pytest.raises(CoverageError):
+            redundant_nodes(cov, 0)
+
+    def test_does_not_mutate_state(self, field, spec):
+        result = centralized_greedy(field, spec, 1)
+        before = result.coverage.counts.copy()
+        redundant_nodes(result.coverage, 1)
+        np.testing.assert_array_equal(result.coverage.counts, before)
+
+
+class TestFraction:
+    def test_among_restricts_population(self):
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        cov.add_sensor(1, [0.0, 0.0])
+        assert redundancy_fraction(cov, 1) == pytest.approx(0.5)
+        # only the newest node considered: it is the redundant one
+        assert redundancy_fraction(cov, 1, among=[1]) == pytest.approx(1.0)
+
+    def test_empty_population(self):
+        cov = CoverageState([[0.0, 0.0]], 1.0)
+        cov.add_sensor(0, [0.0, 0.0])
+        assert redundancy_fraction(cov, 1, among=[]) == 0.0
+
+
+class TestPaperShape:
+    def test_greedy_low_random_high(self, field, spec, rng):
+        """Figure 9: centralized ~0 redundancy, random placement huge."""
+        greedy = centralized_greedy(field, spec, 2)
+        rand = random_placement(field, spec, 2, rng, region=Rect.square(30.0))
+        assert redundancy_fraction(greedy.coverage, 2) < 0.1
+        assert redundancy_fraction(rand.coverage, 2) > 0.4
+
+
+@settings(max_examples=15, deadline=None)
+@given(n_sensors=st.integers(1, 40), k=st.integers(1, 3), seed=st.integers(0, 2**31))
+def test_removal_preserves_k_coverage(n_sensors, k, seed):
+    """Property: removing every reported redundant node leaves every point
+    that was k-covered still k-covered."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((40, 2)) * 10
+    cov = CoverageState(pts, 2.5)
+    for key in range(n_sensors):
+        cov.add_sensor(key, rng.random(2) * 10)
+    was_k_covered = cov.counts >= k
+    red = redundant_nodes(cov, k)
+    for key in red:
+        cov.remove_sensor(int(key))
+    still = cov.counts >= k
+    assert bool(np.all(still[was_k_covered]))

@@ -1,0 +1,78 @@
+"""Tests for failure-then-repair workflows (Figures 13-14 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import centralized_greedy, restore, voronoi_decor, grid_decor
+from repro.core.restoration import coverage_after_failure
+from repro.network import area_failure, random_failures
+
+
+class TestCoverageAfterFailure:
+    def test_no_failure_no_change(self, field, spec):
+        result = centralized_greedy(field, spec, 2)
+        event = random_failures(
+            result.deployment, np.random.default_rng(0), fraction=0.0
+        )
+        frac = coverage_after_failure(field, spec, result.deployment, event, 2)
+        assert frac == pytest.approx(1.0)
+
+    def test_does_not_mutate(self, field, spec, rng):
+        result = centralized_greedy(field, spec, 2)
+        event = random_failures(result.deployment, rng, fraction=0.3)
+        coverage_after_failure(field, spec, result.deployment, event, 2)
+        assert result.deployment.n_failed == 0
+
+    def test_area_failure_drops_coverage(self, field, region, spec):
+        result = centralized_greedy(field, spec, 1)
+        event = area_failure(result.deployment, region.center, 10.0)
+        frac = coverage_after_failure(field, spec, result.deployment, event, 1)
+        assert frac < 1.0
+
+
+class TestRestore:
+    def test_full_roundtrip_centralized(self, field, region, spec):
+        result = centralized_greedy(field, spec, 2)
+        event = area_failure(result.deployment, region.center, 10.0)
+        report = restore(
+            field, spec, result.deployment, event, 2, centralized_greedy
+        )
+        assert report.covered_before == pytest.approx(1.0)
+        assert report.covered_after_failure < 1.0
+        assert report.covered_after_repair == pytest.approx(1.0)
+        assert report.extra_nodes == report.repair.added_count
+        assert report.extra_nodes > 0
+
+    def test_restore_with_voronoi(self, field, region, spec):
+        result = voronoi_decor(field, spec, 2)
+        event = area_failure(result.deployment, region.center, 8.0)
+        report = restore(field, spec, result.deployment, event, 2, voronoi_decor)
+        assert report.covered_after_repair == pytest.approx(1.0)
+
+    def test_restore_with_grid_kwargs(self, field, region, spec):
+        result = grid_decor(field, spec, 1, region, 5.0)
+        event = area_failure(result.deployment, region.center, 8.0)
+        report = restore(
+            field, spec, result.deployment, event, 1, grid_decor,
+            region=region, cell_size=5.0,
+        )
+        assert report.covered_after_repair == pytest.approx(1.0)
+
+    def test_original_deployment_untouched(self, field, region, spec):
+        result = centralized_greedy(field, spec, 1)
+        n_before = result.deployment.n_total
+        event = area_failure(result.deployment, region.center, 8.0)
+        restore(field, spec, result.deployment, event, 1, centralized_greedy)
+        assert result.deployment.n_total == n_before
+        assert result.deployment.n_failed == 0
+
+    def test_repair_cheaper_than_full_redeploy(self, field, region, spec):
+        """Restoring a 17%-area hole must need far fewer nodes than a fresh
+        full deployment."""
+        result = centralized_greedy(field, spec, 2)
+        full = result.added_count
+        event = area_failure(result.deployment, region.center, 8.0)
+        report = restore(
+            field, spec, result.deployment, event, 2, centralized_greedy
+        )
+        assert report.extra_nodes < 0.6 * full

@@ -1,0 +1,102 @@
+"""Tests for the end-to-end in-network restoration protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import grid_decor, run_restoration_protocol
+from repro.discrepancy import field_points
+from repro.errors import SimulationError
+from repro.geometry import Rect
+from repro.network import SensorSpec, area_failure
+from repro.sim import HeartbeatConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    region = Rect.square(25.0)
+    pts = field_points(region, 200)
+    spec = SensorSpec(4.0, 10.0)
+    deployed = grid_decor(pts, spec, 2, region, 5.0)
+    return region, pts, spec, deployed
+
+
+def run(world, failed_ids, **kw):
+    region, pts, spec, deployed = world
+    return run_restoration_protocol(
+        pts, spec, 2, region, 5.0,
+        deployed.deployment.alive_positions(), failed_ids, **kw,
+    )
+
+
+class TestHappyPath:
+    def test_area_failure_detected_and_restored(self, world):
+        region, pts, spec, deployed = world
+        event = area_failure(deployed.deployment, region.center, 7.0)
+        report = run(world, event.node_ids)
+        assert report.covered_fraction == pytest.approx(1.0)
+        assert report.n_replacements > 0
+        assert report.detection_latency is not None
+        assert report.restoration_latency is not None
+        assert report.restoration_latency >= report.detection_latency
+
+    def test_detection_latency_bounded_by_timeout(self, world):
+        region, pts, spec, deployed = world
+        event = area_failure(deployed.deployment, region.center, 7.0)
+        config = HeartbeatConfig(period=1.0, timeout_factor=2.5, jitter=0.1)
+        report = run(world, event.node_ids, heartbeat=config)
+        assert report.detection_latency <= config.timeout + 2 * config.period
+
+    def test_single_node_failure(self, world):
+        report = run(world, np.array([0]))
+        assert report.covered_fraction == pytest.approx(1.0)
+        # repairing one node needs at most a handful of replacements
+        assert report.n_replacements <= 4
+
+    def test_no_failure_is_a_quiet_run(self, world):
+        report = run(world, np.array([], dtype=int), crash_time=2.0)
+        assert report.n_replacements == 0
+        assert report.first_suspicion_time is None
+        assert report.covered_fraction == pytest.approx(1.0)
+
+    def test_replacements_land_in_damaged_cells(self, world):
+        region, pts, spec, deployed = world
+        event = area_failure(deployed.deployment, region.center, 7.0)
+        report = run(world, event.node_ids)
+        from repro.geometry import GridPartition
+
+        partition = GridPartition.square_cells(region, 5.0)
+        center_cell = int(partition.cell_of(region.center.reshape(1, 2))[0])
+        cells = {cell for _, cell, _ in report.replacements}
+        assert center_cell in cells
+
+
+class TestOrphanCells:
+    def test_wiped_cells_are_reseeded_by_neighbors(self, world):
+        """Kill every node of the central cells: the paper's neighbouring-
+        leader rule must reseed them."""
+        region, pts, spec, deployed = world
+        event = area_failure(deployed.deployment, region.center, 9.0)
+        assert event.n_failed >= 8
+        report = run(world, event.node_ids)
+        assert report.covered_fraction == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_node_ids_rejected(self, world):
+        with pytest.raises(SimulationError):
+            run(world, np.array([10_000]))
+
+    def test_undercovered_network_rejected(self, world):
+        region, pts, spec, _ = world
+        with pytest.raises(SimulationError):
+            run_restoration_protocol(
+                pts, spec, 2, region, 5.0,
+                pts[:3], np.array([], dtype=int),
+            )
+
+    def test_messages_counted(self, world):
+        region, pts, spec, deployed = world
+        event = area_failure(deployed.deployment, region.center, 7.0)
+        report = run(world, event.node_ids)
+        # at minimum every alive node beaconed several times
+        assert report.messages_sent > deployed.total_alive

@@ -1,0 +1,130 @@
+"""Tests for zoned (per-point) coverage requirements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BenefitEngine
+from repro.core.variable_k import (
+    CoverageZone,
+    requirement_map,
+    variable_k_greedy,
+)
+from repro.errors import ConfigurationError, CoverageError, PlacementError
+from repro.network import SensorSpec
+
+
+class TestEnginePerPointK:
+    def test_vector_deficiency(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        eng = BenefitEngine(pts, 2.0, np.array([3, 1]))
+        assert eng.deficiency().tolist() == [3, 1]
+        assert eng.benefit.tolist() == [3.0, 1.0]
+        assert eng.k_per_point.tolist() == [3, 1]
+        with pytest.raises(CoverageError):
+            _ = eng.k  # no uniform k to report
+
+    def test_scalar_still_exposes_k(self):
+        eng = BenefitEngine(np.array([[0.0, 0.0]]), 1.0, 2)
+        assert eng.k == 2
+        assert eng.k_per_point.tolist() == [2]
+
+    def test_zero_requirement_points_never_deficient(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        eng = BenefitEngine(pts, 2.0, np.array([0, 2]))
+        assert eng.deficient_indices().tolist() == [1]
+        eng.place_at(1)
+        eng.place_at(1)
+        assert eng.is_fully_covered()
+        eng.validate()
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(CoverageError):
+            BenefitEngine(np.array([[0.0, 0.0]]), 1.0, np.array([1, 2]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(CoverageError):
+            BenefitEngine(np.array([[0.0, 0.0]]), 1.0, np.array([-1]))
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(CoverageError):
+            BenefitEngine(np.array([[0.0, 0.0]]), 1.0, np.array([0]))
+
+
+class TestRequirementMap:
+    def test_zoned_targets(self, field):
+        zone = CoverageZone(center=(15.0, 15.0), radius=8.0,
+                            target_reliability=0.999)
+        req = requirement_map(field, [zone], q=0.1)
+        d = np.linalg.norm(field - np.array([15.0, 15.0]), axis=1)
+        assert bool(np.all(req[d <= 8.0] == 3))   # 1 - 0.1^3 >= 0.999
+        assert bool(np.all(req[d > 8.0] == 1))    # base: any coverage
+
+    def test_overlapping_zones_take_strictest(self, field):
+        a = CoverageZone((15.0, 15.0), 10.0, 0.9)
+        b = CoverageZone((15.0, 15.0), 5.0, 0.999)
+        req = requirement_map(field, [a, b], q=0.1)
+        d = np.linalg.norm(field - np.array([15.0, 15.0]), axis=1)
+        assert bool(np.all(req[d <= 5.0] == 3))
+        ring = (d > 5.0) & (d <= 10.0)
+        assert bool(np.all(req[ring] == 1))  # 0.9 at q=0.1 -> k=1
+
+    def test_base_reliability(self, field):
+        req = requirement_map(field, [], q=0.1, base_reliability=0.99)
+        assert bool(np.all(req == 2))
+
+    def test_zone_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoverageZone((0.0, 0.0), 0.0, 0.9)
+        with pytest.raises(ConfigurationError):
+            CoverageZone((0.0, 0.0), 1.0, 1.0)
+
+
+class TestVariableKGreedy:
+    def test_meets_every_points_requirement(self, field, spec, rng):
+        req = rng.integers(0, 4, size=len(field))
+        req[0] = 2  # guarantee at least one positive
+        result = variable_k_greedy(field, spec, req)
+        assert result.satisfied()
+        assert bool(np.all(result.margin() >= 0))
+
+    def test_cheaper_than_uniform_max(self, field, spec):
+        """Zoning pays: satisfying k=3 only inside a small zone costs far
+        fewer nodes than uniform k=3."""
+        zone = CoverageZone((15.0, 15.0), 6.0, 0.999)
+        req = requirement_map(field, [zone], q=0.1)
+        zoned = variable_k_greedy(field, spec, req)
+        uniform = variable_k_greedy(field, spec, np.full(len(field), 3))
+        assert zoned.added_count < 0.75 * uniform.added_count
+
+    def test_initial_positions_counted(self, field, spec):
+        req = np.ones(len(field), dtype=int)
+        fresh = variable_k_greedy(field, spec, req)
+        seeded = variable_k_greedy(field, spec, req, initial_positions=field[::8])
+        assert seeded.added_count < fresh.added_count
+        assert seeded.satisfied()
+
+    def test_budget(self, field, spec):
+        with pytest.raises(PlacementError):
+            variable_k_greedy(field, spec, np.full(len(field), 2), max_nodes=1)
+
+    def test_uniform_vector_matches_scalar_greedy(self, field, spec):
+        from repro.core import centralized_greedy
+
+        scalar = centralized_greedy(field, spec, 2)
+        vector = variable_k_greedy(field, spec, np.full(len(field), 2))
+        np.testing.assert_allclose(
+            vector.trace.positions, scalar.trace.positions
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31), kmax=st.integers(1, 4))
+def test_variable_k_property(seed, kmax):
+    """Property: any random requirement vector is met exactly."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((60, 2)) * 15
+    req = rng.integers(0, kmax + 1, size=60)
+    req[int(rng.integers(60))] = kmax
+    result = variable_k_greedy(pts, SensorSpec(3.0, 6.0), req)
+    assert bool(np.all(result.counts >= req))

@@ -1,0 +1,91 @@
+"""Tests for Voronoi-based DECOR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import centralized_greedy, voronoi_decor
+from repro.errors import PlacementError
+from repro.network import SensorSpec
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("rc", [8.0, 14.0])
+    def test_reaches_k_coverage(self, field, rc, spec):
+        result = voronoi_decor(field, spec.with_communication_radius(rc), 2)
+        assert result.final_covered_fraction() == 1.0
+        assert result.method == "voronoi"
+        assert result.params["rc"] == rc
+
+    def test_bootstraps_from_empty(self, field, spec):
+        """With no initial nodes the run self-seeds (trace row 0, NaN benefit)."""
+        result = voronoi_decor(field, spec, 1)
+        assert result.added_count >= 1
+        assert math.isnan(result.trace.benefits[0])
+
+    def test_starts_from_initial_nodes(self, field, spec):
+        result = voronoi_decor(field, spec, 1, initial_positions=field[::6])
+        assert result.final_covered_fraction() == 1.0
+        # no bootstrap seed: every trace benefit is a real score
+        assert not np.any(np.isnan(result.trace.benefits))
+
+    def test_covers_remote_uncovered_regions(self, spec):
+        """A single seed far from most of the field: the frontier must grow
+        outward cell by cell until everything is covered (§3.2)."""
+        from repro.geometry import Rect
+
+        region = Rect.square(60.0)
+        pts = region.sample(300, np.random.default_rng(5))
+        result = voronoi_decor(
+            pts, spec, 1, initial_positions=np.array([[1.0, 1.0]])
+        )
+        assert result.final_covered_fraction() == 1.0
+
+
+class TestKnowledgeHorizon:
+    def test_bigger_rc_no_worse(self, big_field, spec):
+        """More knowledge should not cost nodes (Fig 9's trend)."""
+        small = voronoi_decor(big_field, spec.with_communication_radius(8.0), 3)
+        big = voronoi_decor(big_field, spec.with_communication_radius(14.0), 3)
+        assert big.added_count <= small.added_count * 1.1
+
+    def test_close_to_centralized(self, big_field, spec):
+        """Paper: Voronoi lands within ~15-25% of the centralized count."""
+        cent = centralized_greedy(big_field, spec, 3).added_count
+        vor = voronoi_decor(big_field, spec.with_communication_radius(14.0), 3)
+        assert vor.added_count <= 1.35 * cent
+
+
+class TestMessages:
+    def test_stats_shape(self, field, spec):
+        result = voronoi_decor(field, spec, 2)
+        stats = result.messages
+        assert stats is not None
+        assert stats.per_cell.shape[0] == result.deployment.n_total
+        assert bool(np.all(stats.nodes_per_cell == 1))
+
+    def test_total_matches_trace(self, field, spec):
+        result = voronoi_decor(field, spec, 2)
+        assert result.messages.total == int(result.trace.messages.sum())
+
+    def test_bigger_rc_more_messages(self, big_field, spec):
+        """Each placement notifies the nodes within rc (Fig 10's trend)."""
+        small = voronoi_decor(big_field, spec.with_communication_radius(8.0), 2)
+        big = voronoi_decor(big_field, spec.with_communication_radius(14.0), 2)
+        assert big.messages.total > small.messages.total
+
+
+class TestControls:
+    def test_budget_enforced(self, field, spec):
+        with pytest.raises(PlacementError):
+            voronoi_decor(field, spec, 2, max_nodes=2)
+
+    def test_deterministic(self, field, spec):
+        a = voronoi_decor(field, spec, 2)
+        b = voronoi_decor(field, spec, 2)
+        np.testing.assert_array_equal(a.trace.positions, b.trace.positions)
+
+    def test_proposers_recorded(self, field, spec):
+        result = voronoi_decor(field, spec, 1, initial_positions=field[::6])
+        assert bool(np.all(result.trace.proposer >= 0))

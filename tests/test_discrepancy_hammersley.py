@@ -1,0 +1,67 @@
+"""Tests for repro.discrepancy.hammersley."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.discrepancy import hammersley, van_der_corput
+
+
+class TestConstruction:
+    def test_first_coordinate_is_stratified(self):
+        pts = hammersley(10)
+        np.testing.assert_allclose(pts[:, 0], (np.arange(10) + 0.5) / 10)
+
+    def test_uncentered_variant(self):
+        pts = hammersley(10, centered=False)
+        np.testing.assert_allclose(pts[:, 0], np.arange(10) / 10)
+
+    def test_second_coordinate_is_vdc_base2(self):
+        pts = hammersley(16)
+        np.testing.assert_allclose(pts[:, 1], van_der_corput(16, base=2))
+
+    def test_3d(self):
+        pts = hammersley(8, dim=3)
+        assert pts.shape == (8, 3)
+        np.testing.assert_allclose(pts[:, 2], van_der_corput(8, base=3))
+
+    def test_1d_degenerates_to_stratified(self):
+        pts = hammersley(5, dim=1)
+        assert pts.shape == (5, 1)
+
+
+class TestValidation:
+    def test_duplicate_bases(self):
+        with pytest.raises(ConfigurationError):
+            hammersley(4, dim=3, bases=(2, 2))
+
+    def test_negative_n(self):
+        with pytest.raises(ConfigurationError):
+            hammersley(-2)
+
+    def test_zero_dim(self):
+        with pytest.raises(ConfigurationError):
+            hammersley(4, dim=0)
+
+    def test_empty(self):
+        assert hammersley(0).shape == (0, 2)
+
+
+class TestDistribution:
+    @given(n=st.integers(1, 1024))
+    def test_unit_square(self, n):
+        pts = hammersley(n)
+        assert bool(np.all((pts >= 0.0) & (pts < 1.0)))
+
+    def test_is_a_set_not_a_sequence(self):
+        """Changing n changes all the first coordinates (unlike Halton)."""
+        a = hammersley(10)
+        b = hammersley(20)
+        assert not np.allclose(a[:, 0], b[:10, 0])
+
+    def test_row_balance(self):
+        """Horizontal strata each hold an equal share by construction."""
+        pts = hammersley(1000)
+        counts = np.histogram(pts[:, 0], bins=10, range=(0, 1))[0]
+        assert bool(np.all(counts == 100))

@@ -1,0 +1,65 @@
+"""Tests for the baseline point generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.discrepancy import jittered_lattice, regular_lattice, uniform_random
+
+
+class TestUniformRandom:
+    def test_shape_and_range(self, rng):
+        pts = uniform_random(100, rng)
+        assert pts.shape == (100, 2)
+        assert bool(np.all((pts >= 0) & (pts < 1)))
+
+    def test_seed_reproducible(self):
+        a = uniform_random(50, np.random.default_rng(7))
+        b = uniform_random(50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            uniform_random(-1, rng)
+
+    def test_dim(self, rng):
+        assert uniform_random(10, rng, dim=3).shape == (10, 3)
+
+
+class TestRegularLattice:
+    @given(n=st.integers(0, 500))
+    def test_exact_count(self, n):
+        assert regular_lattice(n).shape == (n, 2)
+
+    def test_square_case(self):
+        pts = regular_lattice(9)
+        xs = np.unique(pts[:, 0])
+        np.testing.assert_allclose(xs, [1 / 6, 3 / 6, 5 / 6])
+
+    def test_interior(self):
+        pts = regular_lattice(100)
+        assert bool(np.all((pts > 0) & (pts < 1)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            regular_lattice(-5)
+
+
+class TestJitteredLattice:
+    def test_shape(self, rng):
+        assert jittered_lattice(37, rng).shape == (37, 2)
+
+    def test_in_unit_square(self, rng):
+        pts = jittered_lattice(200, rng)
+        assert bool(np.all((pts >= 0) & (pts < 1 + 1e-12)))
+
+    def test_stratification(self, rng):
+        """One point per stratum row: the y histogram over rows is flat."""
+        n = 100  # 10 x 10
+        pts = jittered_lattice(n, rng)
+        counts = np.histogram(pts[:, 1], bins=10, range=(0, 1))[0]
+        assert bool(np.all(counts == 10))
+
+    def test_empty(self, rng):
+        assert jittered_lattice(0, rng).shape == (0, 2)

@@ -1,0 +1,86 @@
+"""Tests for the generator registry / field factory / randomization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.discrepancy import (
+    GENERATORS,
+    cranley_patterson_rotation,
+    field_points,
+    halton,
+    star_discrepancy_exact,
+    unit_points,
+)
+from repro.geometry import Rect
+
+
+class TestRegistry:
+    def test_all_names_produce_points(self, rng):
+        for name in GENERATORS:
+            pts = unit_points(name, 32, rng)
+            assert pts.shape == (32, 2)
+            assert bool(np.all((pts >= 0) & (pts < 1 + 1e-12)))
+
+    def test_unknown_name(self, rng):
+        with pytest.raises(ConfigurationError):
+            unit_points("sobol", 8, rng)
+
+    def test_case_insensitive(self):
+        np.testing.assert_array_equal(unit_points("Halton", 8), unit_points("halton", 8))
+
+    def test_stochastic_requires_rng(self):
+        with pytest.raises(ConfigurationError):
+            unit_points("random", 8)
+
+    def test_deterministic_ignores_rng(self, rng):
+        np.testing.assert_array_equal(
+            unit_points("halton", 16), unit_points("halton", 16, rng)
+        )
+
+
+class TestFieldPoints:
+    def test_scaled_into_region(self):
+        region = Rect(10.0, 20.0, 30.0, 60.0)
+        pts = field_points(region, 100, "halton")
+        assert bool(np.all(region.contains(pts)))
+
+    def test_paper_configuration(self):
+        """2000 Halton points on the 100x100 field (Figure 4)."""
+        pts = field_points(Rect.square(100.0), 2000, "halton")
+        assert pts.shape == (2000, 2)
+        # density is ~uniform: every 25x25 quadrant-of-quadrant has ~125
+        counts, _, _ = np.histogram2d(pts[:, 0], pts[:, 1], bins=4, range=[[0, 100]] * 2)
+        assert counts.min() > 100 and counts.max() < 150
+
+
+class TestCranleyPatterson:
+    def test_preserves_unit_square(self, rng):
+        pts = cranley_patterson_rotation(halton(256), rng)
+        assert bool(np.all((pts >= 0) & (pts < 1)))
+
+    def test_changes_points(self, rng):
+        base = halton(64)
+        shifted = cranley_patterson_rotation(base, rng)
+        assert not np.allclose(base, shifted)
+
+    def test_preserves_low_discrepancy(self):
+        """The rotated set's discrepancy stays well below random-set levels."""
+        base = halton(256)
+        d0 = star_discrepancy_exact(base)
+        worst = max(
+            star_discrepancy_exact(
+                cranley_patterson_rotation(base, np.random.default_rng(s))
+            )
+            for s in range(5)
+        )
+        assert worst < 4.0 * d0
+
+    def test_rejects_out_of_range(self, rng):
+        with pytest.raises(ConfigurationError):
+            cranley_patterson_rotation(np.array([[1.5, 0.0]]), rng)
+
+    def test_seed_dependence(self):
+        a = cranley_patterson_rotation(halton(32), np.random.default_rng(1))
+        b = cranley_patterson_rotation(halton(32), np.random.default_rng(2))
+        assert not np.allclose(a, b)

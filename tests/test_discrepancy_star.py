@@ -1,0 +1,103 @@
+"""Tests for star discrepancy — including the paper's core claim that
+Halton/Hammersley beat random points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.discrepancy import (
+    halton,
+    hammersley,
+    star_discrepancy_estimate,
+    star_discrepancy_exact,
+    uniform_random,
+)
+
+
+class TestExact:
+    def test_empty_set(self):
+        assert star_discrepancy_exact(np.empty((0, 2))) == 1.0
+
+    def test_single_point_at_origin(self):
+        # boxes just below (1,1) contain the point but have area ~1 -> sup is
+        # attained by the box excluding it: D* = max over (x*y - 0, 1/1 - x*y)
+        d = star_discrepancy_exact(np.array([[0.0, 0.0]]))
+        assert d == pytest.approx(1.0)
+
+    def test_single_point_at_center(self):
+        # the box [0, 0.5)^2 has area 0.25, zero points -> deviation 0.25;
+        # the closed box through the point has count 1, area 0.25 -> 0.75
+        d = star_discrepancy_exact(np.array([[0.5, 0.5]]))
+        assert d == pytest.approx(0.75)
+
+    def test_regular_grid_formula(self):
+        """A centered n x n lattice has D* = 1/n + 1/n - 1/n^2 ... bounded by
+        ~2/n; just assert the right order and monotonicity."""
+        from repro.discrepancy import regular_lattice
+
+        d4 = star_discrepancy_exact(regular_lattice(16))
+        d8 = star_discrepancy_exact(regular_lattice(64))
+        assert d8 < d4 < 0.6
+
+    def test_rejects_points_outside_unit_square(self):
+        with pytest.raises(ConfigurationError):
+            star_discrepancy_exact(np.array([[1.5, 0.5]]))
+
+    def test_estimate_lower_bounds_exact(self, rng):
+        pts = uniform_random(64, rng)
+        exact = star_discrepancy_exact(pts)
+        est = star_discrepancy_estimate(pts, np.random.default_rng(0), n_probes=2048)
+        assert est <= exact + 1e-9
+        assert est >= 0.5 * exact  # the estimator is not wildly loose
+
+
+class TestPaperClaim:
+    """§3.2: Halton/Hammersley approximate the area much better than an
+    equal number of random points."""
+
+    @pytest.mark.parametrize("n", [128, 256, 512])
+    def test_halton_beats_random(self, n, rng):
+        d_h = star_discrepancy_exact(halton(n))
+        d_r = np.median(
+            [
+                star_discrepancy_exact(uniform_random(n, np.random.default_rng(s)))
+                for s in range(5)
+            ]
+        )
+        assert d_h < d_r
+
+    def test_hammersley_beats_halton_order(self):
+        """Hammersley's O(log N / N) should not lose to Halton's
+        O(log^2 N / N) at moderate N."""
+        n = 512
+        assert star_discrepancy_exact(hammersley(n)) <= star_discrepancy_exact(
+            halton(n)
+        ) * 1.25
+
+    def test_halton_discrepancy_decays(self):
+        ds = [star_discrepancy_exact(halton(n)) for n in (64, 256, 1024)]
+        assert ds[0] > ds[1] > ds[2]
+
+    def test_halton_near_theoretical_rate(self):
+        """D*(halton, N) <= C log^2 N / N with a modest constant."""
+        n = 1024
+        d = star_discrepancy_exact(halton(n))
+        rate = (np.log(n) ** 2) / n
+        assert d < 2.0 * rate
+
+
+class TestEstimator:
+    def test_needs_probes(self, rng):
+        with pytest.raises(ConfigurationError):
+            star_discrepancy_estimate(halton(16), rng, n_probes=0)
+
+    def test_empty_set(self, rng):
+        assert star_discrepancy_estimate(np.empty((0, 2)), rng) == 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(1, 128), seed=st.integers(0, 2**31))
+    def test_estimate_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        est = star_discrepancy_estimate(uniform_random(n, rng), rng, n_probes=256)
+        assert 0.0 <= est <= 1.0

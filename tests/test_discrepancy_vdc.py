@@ -1,0 +1,75 @@
+"""Tests for repro.discrepancy.vdc."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.discrepancy import van_der_corput
+from repro.discrepancy.vdc import radical_inverse
+
+
+class TestKnownValues:
+    def test_base2_prefix(self):
+        """phi_2: 0, 1/2, 1/4, 3/4, 1/8, 5/8, 3/8, 7/8."""
+        got = van_der_corput(8, base=2)
+        np.testing.assert_allclose(
+            got, [0, 0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875]
+        )
+
+    def test_base3_prefix(self):
+        got = van_der_corput(6, base=3)
+        np.testing.assert_allclose(got, [0, 1 / 3, 2 / 3, 1 / 9, 4 / 9, 7 / 9])
+
+    def test_start_offset(self):
+        np.testing.assert_allclose(
+            van_der_corput(3, base=2, start=1), van_der_corput(4, base=2)[1:]
+        )
+
+
+class TestValidation:
+    def test_base_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            van_der_corput(4, base=1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            van_der_corput(-1)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            radical_inverse(np.array([-1]), 2)
+
+    def test_empty(self):
+        assert van_der_corput(0).shape == (0,)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(1, 512),
+        base=st.integers(2, 13),
+        start=st.integers(0, 100),
+    )
+    def test_range_and_distinct(self, n, base, start):
+        vals = van_der_corput(n, base=base, start=start)
+        assert bool(np.all((vals >= 0.0) & (vals < 1.0)))
+        # radical inverse is injective on integers
+        assert len(np.unique(vals)) == n
+
+    @given(base=st.integers(2, 7))
+    def test_first_base_terms_equidistribute(self, base):
+        """The first `base` values are exactly {0, 1/b, ..., (b-1)/b}."""
+        vals = np.sort(van_der_corput(base, base=base))
+        np.testing.assert_allclose(vals, np.arange(base) / base)
+
+    def test_prefix_stability(self):
+        """Longer sequences extend shorter ones (it is a sequence, not a set)."""
+        short = van_der_corput(100, base=2)
+        long = van_der_corput(200, base=2)
+        np.testing.assert_allclose(long[:100], short)
+
+    def test_equidistribution_at_powers(self):
+        """At n = b^m the sequence hits every 1/n-width bin exactly once."""
+        vals = van_der_corput(64, base=2)
+        bins = np.floor(vals * 64).astype(int)
+        assert sorted(bins.tolist()) == list(range(64))

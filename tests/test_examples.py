@@ -1,0 +1,39 @@
+"""Smoke-run every example script end to end.
+
+The examples are the documentation users actually execute; running them in
+the test suite keeps them from rotting.  Each runs in a temp directory (one
+writes an SVG) with stdout captured.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_enumerated():
+    """Every example on disk is exercised below (guards against drift)."""
+    assert set(EXAMPLES) == {
+        "quickstart.py",
+        "wildfire_recovery.py",
+        "intruder_detection.py",
+        "network_lifetime.py",
+        "field_gallery.py",
+        "in_network_protocol.py",
+        "heterogeneous_fleet.py",
+        "connectivity_and_lifetime.py",
+        "zoned_reliability.py",
+        "robot_dispatch.py",
+    }
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # robot_dispatch writes an SVG
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"

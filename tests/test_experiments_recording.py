@@ -1,0 +1,50 @@
+"""Tests for JSON/CSV persistence of figure results."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import figure_from_json, figure_to_csv, figure_to_json
+from repro.experiments.figures import FigureResult
+
+
+def make_result() -> FigureResult:
+    return FigureResult(
+        "fig08",
+        "Nodes vs k",
+        "k",
+        "nodes",
+        {"centralized": (np.array([1.0, 2.0]), np.array([72.0, 130.0]))},
+        meta={"note": "test", "values": np.array([1, 2])},
+    )
+
+
+class TestJson:
+    def test_roundtrip(self):
+        original = make_result()
+        restored = figure_from_json(figure_to_json(original))
+        assert restored.figure_id == original.figure_id
+        assert restored.title == original.title
+        np.testing.assert_allclose(
+            restored.series["centralized"][1], original.series["centralized"][1]
+        )
+        assert restored.meta["note"] == "test"
+
+    def test_numpy_meta_serialised(self):
+        text = figure_to_json(make_result())
+        assert '"values"' in text
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure_from_json("not json")
+        with pytest.raises(ExperimentError):
+            figure_from_json('{"missing": "fields"}')
+
+
+class TestCsv:
+    def test_long_format(self):
+        csv_text = figure_to_csv(make_result())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "figure,series,x,y"
+        assert lines[1] == "fig08,centralized,1.0,72.0"
+        assert len(lines) == 3

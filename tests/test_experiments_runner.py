@@ -1,0 +1,79 @@
+"""Tests for the seed-averaged runner and cache."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import DeploymentCache, ExperimentSetup, run_series
+from repro.experiments.runner import field_for_seed, initial_for_seed
+
+
+@pytest.fixture(scope="module")
+def setup() -> ExperimentSetup:
+    # extra small for unit tests
+    return ExperimentSetup(
+        field_side=30.0, n_points=200, n_initial=20, n_seeds=2, k_values=(1, 2)
+    )
+
+
+class TestSeeding:
+    def test_field_reproducible(self, setup):
+        np.testing.assert_array_equal(
+            field_for_seed(setup, 3), field_for_seed(setup, 3)
+        )
+
+    def test_fields_differ_across_seeds(self, setup):
+        a, b = field_for_seed(setup, 0), field_for_seed(setup, 1)
+        assert not np.allclose(a, b)
+
+    def test_fields_stay_low_discrepancy(self, setup):
+        """The Cranley-Patterson rotated fields keep near-uniform density."""
+        pts = field_for_seed(setup, 4)
+        counts, _, _ = np.histogram2d(
+            pts[:, 0], pts[:, 1], bins=2, range=[[0, 30]] * 2
+        )
+        assert counts.min() > 35 and counts.max() < 65
+
+    def test_initial_reproducible(self, setup):
+        np.testing.assert_array_equal(
+            initial_for_seed(setup, 2), initial_for_seed(setup, 2)
+        )
+        assert initial_for_seed(setup, 2).shape == (20, 2)
+
+
+class TestRunSeries:
+    def test_every_series_completes(self, setup):
+        for name in ("grid-small", "voronoi-big", "centralized", "random"):
+            result = run_series(setup, name, 1, 0, use_initial=False)
+            assert result.final_covered_fraction() == 1.0
+
+    def test_initial_deployment_used(self, setup):
+        with_init = run_series(setup, "centralized", 1, 0, use_initial=True)
+        without = run_series(setup, "centralized", 1, 0, use_initial=False)
+        assert with_init.total_alive >= without.total_alive
+        assert with_init.total_alive - with_init.added_count == 20
+
+    def test_explicit_initial_positions(self, setup):
+        init = field_for_seed(setup, 0)[::10]
+        result = run_series(setup, "centralized", 1, 0, initial_positions=init)
+        assert result.total_alive - result.added_count == len(init)
+
+    def test_reproducible(self, setup):
+        a = run_series(setup, "random", 1, 1, use_initial=False)
+        b = run_series(setup, "random", 1, 1, use_initial=False)
+        assert a.added_count == b.added_count
+
+
+class TestCache:
+    def test_cache_hits(self, setup):
+        cache = DeploymentCache(setup)
+        r1 = cache.get("centralized", 1, 0)
+        r2 = cache.get("centralized", 1, 0)
+        assert r1 is r2
+        assert len(cache) == 1
+
+    def test_cache_distinguishes_keys(self, setup):
+        cache = DeploymentCache(setup)
+        cache.get("centralized", 1, 0)
+        cache.get("centralized", 2, 0)
+        cache.get("centralized", 1, 1)
+        assert len(cache) == 3

@@ -1,0 +1,78 @@
+"""Tests for the experiment setup constants."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import ExperimentSetup, SERIES, series_by_name
+
+
+class TestPaperConstants:
+    def test_paper_values(self):
+        s = ExperimentSetup.paper()
+        assert s.field_side == 100.0
+        assert s.n_points == 2000
+        assert s.rs == 4.0
+        assert s.rc_small == 8.0
+        assert s.rc_big == pytest.approx(10.0 * math.sqrt(2.0))
+        assert s.cell_small == 5.0 and s.cell_big == 10.0
+        assert s.n_initial == 200 and s.n_seeds == 5
+        assert s.k_values == (1, 2, 3, 4, 5)
+        assert s.disaster_radius == pytest.approx(24.0)
+
+    def test_smoke_preserves_geometry(self):
+        s = ExperimentSetup.smoke()
+        # same rs/cells, same point density as the paper
+        assert s.rs == 4.0
+        paper = ExperimentSetup.paper()
+        density_paper = paper.n_points / paper.field_side**2
+        density_smoke = s.n_points / s.field_side**2
+        assert density_smoke == pytest.approx(density_paper)
+
+    def test_from_env(self):
+        assert ExperimentSetup.from_env(None) == ExperimentSetup.smoke()
+        assert ExperimentSetup.from_env("smoke") == ExperimentSetup.smoke()
+        assert ExperimentSetup.from_env("paper") == ExperimentSetup.paper()
+        with pytest.raises(ConfigurationError):
+            ExperimentSetup.from_env("huge")
+
+    def test_with_seeds(self):
+        assert ExperimentSetup.smoke().with_seeds(1).n_seeds == 1
+
+
+class TestSeries:
+    def test_six_series(self):
+        assert len(SERIES) == 6
+        assert {s.name for s in SERIES} == {
+            "grid-small", "grid-big", "voronoi-small", "voronoi-big",
+            "centralized", "random",
+        }
+
+    def test_lookup(self):
+        assert series_by_name("centralized").method == "centralized"
+        with pytest.raises(ConfigurationError):
+            series_by_name("quantum")
+
+    def test_spec_for_voronoi_variants(self):
+        s = ExperimentSetup.paper()
+        assert s.spec_for(series_by_name("voronoi-small")).rc == 8.0
+        assert s.spec_for(series_by_name("voronoi-big")).rc == pytest.approx(
+            10.0 * math.sqrt(2.0)
+        )
+
+    def test_cell_size_for(self):
+        s = ExperimentSetup.paper()
+        assert s.cell_size_for(series_by_name("grid-small")) == 5.0
+        assert s.cell_size_for(series_by_name("grid-big")) == 10.0
+        assert s.cell_size_for(series_by_name("centralized")) is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSetup(field_side=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSetup(rc_small=1.0)  # below rs = 4
+        with pytest.raises(ConfigurationError):
+            ExperimentSetup(k_values=())
+        with pytest.raises(ConfigurationError):
+            ExperimentSetup(n_seeds=0)

@@ -1,0 +1,72 @@
+"""Tests for the cross-method summary."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    DeploymentCache,
+    ExperimentSetup,
+    format_summary_table,
+    method_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def setup() -> ExperimentSetup:
+    return ExperimentSetup(
+        field_side=30.0, n_points=200, n_initial=0, n_seeds=1, k_values=(1, 2)
+    )
+
+
+@pytest.fixture(scope="module")
+def rows(setup):
+    return method_summary(setup, 2, DeploymentCache(setup))
+
+
+class TestSummary:
+    def test_one_row_per_series(self, rows):
+        assert [r.series for r in rows] == [
+            "grid-small", "grid-big", "voronoi-small", "voronoi-big",
+            "centralized", "random",
+        ]
+
+    def test_orderings(self, rows):
+        by = {r.series: r for r in rows}
+        assert by["centralized"].nodes <= by["voronoi-big"].nodes
+        assert by["random"].nodes > 2 * by["centralized"].nodes
+        assert by["random"].redundancy_pct > by["centralized"].redundancy_pct
+        assert by["random"].disaster_repair_nodes == max(
+            r.disaster_repair_nodes for r in rows
+        )
+
+    def test_messages_only_for_distributed(self, rows):
+        by = {r.series: r for r in rows}
+        assert np.isnan(by["centralized"].messages_per_cell)
+        assert np.isnan(by["random"].messages_per_cell)
+        assert by["grid-small"].messages_per_cell > 0
+
+    def test_as_row_flat(self, rows):
+        row = rows[0].as_row()
+        assert row["series"] == "grid-small"
+        assert set(row) == {
+            "series", "k", "nodes", "redundancy_pct", "messages_per_cell",
+            "messages_per_node", "max_failures_pct", "disaster_repair_nodes",
+        }
+
+    def test_bad_k_rejected(self, setup):
+        with pytest.raises(ExperimentError):
+            method_summary(setup, 9)
+
+
+class TestFormat:
+    def test_table_renders(self, rows):
+        text = format_summary_table(rows)
+        lines = text.splitlines()
+        assert "k = 2" in lines[0]
+        assert len(lines) == 3 + len(rows)
+        assert "centralized" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_summary_table([])

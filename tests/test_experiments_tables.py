@@ -1,0 +1,53 @@
+"""Tests for table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FigureResult
+from repro.experiments.tables import format_figure_table
+
+
+def make_result() -> FigureResult:
+    return FigureResult(
+        "fig99",
+        "A test figure",
+        "k",
+        "nodes",
+        {
+            "alpha": (np.array([1.0, 2.0, 3.0]), np.array([10.0, 20.5, 30.0])),
+            "beta": (np.array([1.0, 3.0]), np.array([5.0, 15.0])),
+        },
+    )
+
+
+class TestFormat:
+    def test_header_and_rows(self):
+        text = format_figure_table(make_result())
+        lines = text.splitlines()
+        assert lines[0].startswith("fig99:")
+        assert "alpha" in lines[2] and "beta" in lines[2]
+        assert len(lines) == 4 + 3  # title, ylabel, header, rule, 3 x-rows
+
+    def test_missing_samples_dashed(self):
+        text = format_figure_table(make_result())
+        row2 = [ln for ln in text.splitlines() if ln.strip().startswith("2")][0]
+        assert row2.rstrip().endswith("-")
+
+    def test_float_formatting(self):
+        text = format_figure_table(make_result())
+        assert "20.5" in text
+        assert "10" in text  # integers rendered without decimals
+
+    def test_max_rows_subsampling(self):
+        xs = np.arange(100.0)
+        result = FigureResult(
+            "f", "t", "x", "y", {"s": (xs, xs * 2)}
+        )
+        text = format_figure_table(result, max_rows=10)
+        data_lines = text.splitlines()[4:]
+        assert len(data_lines) <= 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_figure_table(FigureResult("f", "t", "x", "y", {}))

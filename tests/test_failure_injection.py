@@ -1,0 +1,99 @@
+"""Failure-injection tests: protocols under radio loss and chaos.
+
+The analytic models assume perfect communication; these tests exercise the
+packet-level substrate under adverse conditions — lost beacons, lost
+announcements, cascades of crashes — and assert the safety/liveness
+properties that must survive them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import grid_decor, run_restoration_protocol
+from repro.discrepancy import field_points
+from repro.geometry import Rect
+from repro.network import SensorSpec, area_failure
+from repro.sim import (
+    HeartbeatConfig,
+    HeartbeatNode,
+    Radio,
+    Simulator,
+)
+
+
+class TestHeartbeatUnderLoss:
+    @pytest.mark.parametrize("loss", [0.1, 0.3])
+    def test_no_permanent_false_suspicions(self, loss):
+        """Accuracy under loss: a healthy node may be transiently suspected
+        but the suspicion is rescinded by the next delivered beacon."""
+        sim = Simulator()
+        rng = np.random.default_rng(5)
+        radio = Radio(sim, rc=10.0, loss_probability=loss, rng=rng)
+        config = HeartbeatConfig(period=1.0, timeout_factor=3.5)
+        nodes = [
+            HeartbeatNode(i, sim, radio, [2.0 * i, 0.0], config, rng)
+            for i in range(3)
+        ]
+        for n in nodes:
+            n.start(delay=0.01 * n.node_id)
+        sim.run(until=300.0)
+        # after a long run with everyone alive, no suspicion may persist
+        for n in nodes:
+            assert n.suspected() == set(), f"node {n.node_id} stuck suspecting"
+
+    def test_detection_still_complete_at_heavy_loss(self):
+        """Completeness: a genuinely dead node is eventually suspected even
+        when half the beacons are lost (there are none to deliver)."""
+        sim = Simulator()
+        rng = np.random.default_rng(6)
+        radio = Radio(sim, rc=10.0, loss_probability=0.5, rng=rng)
+        config = HeartbeatConfig(period=1.0, timeout_factor=3.0)
+        suspicions = []
+        nodes = [
+            HeartbeatNode(i, sim, radio, [2.0 * i, 0.0], config, rng,
+                          on_suspect=lambda a, b: suspicions.append((a, b)))
+            for i in range(2)
+        ]
+        for n in nodes:
+            n.start()
+        sim.run(until=10.0)
+        nodes[1].fail()
+        sim.run(until=60.0)
+        assert (0, 1) in suspicions
+
+
+class TestRestorationUnderChaos:
+    @pytest.fixture(scope="class")
+    def world(self):
+        region = Rect.square(20.0)
+        pts = field_points(region, 130)
+        spec = SensorSpec(4.0, 10.0)
+        deployed = grid_decor(pts, spec, 2, region, 5.0)
+        return region, pts, spec, deployed
+
+    def test_two_waves_of_failures(self, world):
+        """A second disaster while the first repair is underway: model it as
+        the union failing at once (worst case for orphaned cells)."""
+        region, pts, spec, deployed = world
+        first = area_failure(deployed.deployment, np.array([6.0, 6.0]), 5.0)
+        second = area_failure(deployed.deployment, np.array([15.0, 15.0]), 5.0)
+        both = np.unique(np.concatenate([first.node_ids, second.node_ids]))
+        report = run_restoration_protocol(
+            pts, spec, 2, region, 5.0,
+            deployed.deployment.alive_positions(), both,
+        )
+        assert report.covered_fraction == pytest.approx(1.0)
+
+    def test_majority_failure(self, world):
+        """60% of all nodes die at once; the survivors must still converge."""
+        region, pts, spec, deployed = world
+        n = deployed.deployment.n_alive
+        rng = np.random.default_rng(0)
+        doomed = rng.choice(n, size=int(0.6 * n), replace=False)
+        report = run_restoration_protocol(
+            pts, spec, 2, region, 5.0,
+            deployed.deployment.alive_positions(), doomed,
+            horizon=500.0,
+        )
+        assert report.covered_fraction == pytest.approx(1.0)
+        assert report.n_replacements >= int(0.3 * n)

@@ -1,0 +1,81 @@
+"""Tests for repro.geometry.disks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    Rect,
+    disk_area,
+    disk_intersects_rect,
+    minimum_disks_lower_bound,
+    points_in_disk,
+)
+
+
+class TestDiskArea:
+    def test_unit(self):
+        assert disk_area(1.0) == pytest.approx(math.pi)
+
+    def test_paper_rs(self):
+        assert disk_area(4.0) == pytest.approx(16.0 * math.pi)
+
+    def test_negative_raises(self):
+        with pytest.raises(GeometryError):
+            disk_area(-1.0)
+
+
+class TestPointsInDisk:
+    def test_boundary_inclusive(self):
+        mask = points_in_disk(
+            [[0.0, 0.0], [2.0, 0.0], [2.0001, 0.0]], [0.0, 0.0], 2.0
+        )
+        assert mask.tolist() == [True, True, False]
+
+    def test_matches_distance(self, rng):
+        pts = rng.random((100, 2)) * 10
+        c = rng.random(2) * 10
+        mask = points_in_disk(pts, c, 3.0)
+        want = np.linalg.norm(pts - c, axis=1) <= 3.0 + 1e-12
+        np.testing.assert_array_equal(mask, want)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            points_in_disk([[0.0, 0.0]], [0.0, 0.0], -0.5)
+
+
+class TestDiskRect:
+    def test_disk_inside(self):
+        assert disk_intersects_rect([5.0, 5.0], 1.0, Rect.square(10.0))
+
+    def test_disk_overlapping_edge(self):
+        assert disk_intersects_rect([-0.5, 5.0], 1.0, Rect.square(10.0))
+
+    def test_disk_outside(self):
+        assert not disk_intersects_rect([-5.0, 5.0], 1.0, Rect.square(10.0))
+
+    def test_disk_touching_corner(self):
+        # center at (-1, -1), radius sqrt(2): touches the corner (0, 0)
+        assert disk_intersects_rect([-1.0, -1.0], math.sqrt(2.0), Rect.square(10.0))
+
+
+class TestLowerBound:
+    def test_paper_anchor(self):
+        """k = 4 on the 100x100 field with rs = 4 -> bound 796, right next to
+        the paper's 788-node centralized result."""
+        assert minimum_disks_lower_bound(10000.0, 4.0, k=4) == 796
+
+    def test_scales_linearly_in_k(self):
+        b1 = minimum_disks_lower_bound(1000.0, 2.0, k=1)
+        b3 = minimum_disks_lower_bound(1000.0, 2.0, k=3)
+        assert b1 * 3 - 2 <= b3 <= b1 * 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GeometryError):
+            minimum_disks_lower_bound(-1.0, 2.0)
+        with pytest.raises(GeometryError):
+            minimum_disks_lower_bound(10.0, 0.0)
+        with pytest.raises(GeometryError):
+            minimum_disks_lower_bound(10.0, 2.0, k=0)

@@ -1,0 +1,147 @@
+"""Tests for repro.geometry.grid."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import GridPartition, Rect
+
+
+@pytest.fixture
+def paper_grid() -> GridPartition:
+    """The paper's 5x5 cells on the 100x100 field."""
+    return GridPartition.square_cells(Rect.square(100.0), 5.0)
+
+
+class TestShape:
+    def test_paper_grid_has_400_cells(self, paper_grid):
+        assert (paper_grid.nx, paper_grid.ny) == (20, 20)
+        assert paper_grid.n_cells == 400
+
+    def test_big_cells(self):
+        g = GridPartition.square_cells(Rect.square(100.0), 10.0)
+        assert g.n_cells == 100
+
+    def test_truncated_last_cells(self):
+        g = GridPartition.square_cells(Rect.square(10.0), 4.0)
+        assert (g.nx, g.ny) == (3, 3)
+        last = g.cell_rect(g.n_cells - 1)
+        assert last.width == pytest.approx(2.0)
+        assert last.height == pytest.approx(2.0)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(GeometryError):
+            GridPartition.square_cells(Rect.square(10.0), 0.0)
+
+    def test_cell_rect_out_of_range(self, paper_grid):
+        with pytest.raises(GeometryError):
+            paper_grid.cell_rect(400)
+
+    def test_cells_tile_region(self, paper_grid):
+        total = sum(paper_grid.cell_rect(c).area for c in range(paper_grid.n_cells))
+        assert total == pytest.approx(10000.0)
+
+
+class TestAssignment:
+    def test_cell_of_matches_rects(self, paper_grid, rng):
+        pts = Rect.square(100.0).sample(200, rng)
+        cids = paper_grid.cell_of(pts)
+        for p, c in zip(pts, cids):
+            assert bool(paper_grid.cell_rect(int(c)).contains(p.reshape(1, 2))[0])
+
+    def test_outside_raises(self, paper_grid):
+        with pytest.raises(GeometryError):
+            paper_grid.cell_of(np.array([[101.0, 5.0]]))
+
+    def test_far_boundary_clamped(self, paper_grid):
+        cid = paper_grid.cell_of(np.array([[100.0, 100.0]]))[0]
+        assert cid == paper_grid.n_cells - 1
+
+    def test_points_by_cell_partition(self, paper_grid, rng):
+        pts = Rect.square(100.0).sample(300, rng)
+        groups = paper_grid.points_by_cell(pts)
+        assert len(groups) == paper_grid.n_cells
+        all_idx = np.sort(np.concatenate(groups))
+        np.testing.assert_array_equal(all_idx, np.arange(300))
+        cids = paper_grid.cell_of(pts)
+        for c, g in enumerate(groups):
+            assert bool(np.all(cids[g] == c))
+
+
+class TestNeighbors:
+    def test_interior_has_8(self, paper_grid):
+        interior = 21  # (1, 1)
+        assert paper_grid.neighbors_of(interior).size == 8
+
+    def test_corner_has_3(self, paper_grid):
+        assert paper_grid.neighbors_of(0).size == 3
+
+    def test_edge_has_5(self, paper_grid):
+        assert paper_grid.neighbors_of(1).size == 5
+
+    def test_von_neumann_only(self, paper_grid):
+        assert paper_grid.neighbors_of(21, diagonal=False).size == 4
+
+    def test_symmetry(self, paper_grid):
+        for c in (0, 5, 21, 399):
+            for n in paper_grid.neighbors_of(c):
+                assert c in paper_grid.neighbors_of(int(n))
+
+
+class TestDiskIntersection:
+    def test_center_of_small_cell_reaches_neighbors(self, paper_grid):
+        # rs = 4 from the center of a 5x5 cell reaches all 4 edge neighbours
+        center = paper_grid.cell_rect(21).center
+        cells = paper_grid.cells_intersecting_disk(center, 4.0)
+        assert 21 in cells
+        assert cells.size >= 5
+
+    def test_tiny_disk_stays_home(self, paper_grid):
+        center = paper_grid.cell_rect(21).center
+        cells = paper_grid.cells_intersecting_disk(center, 1.0)
+        assert cells.tolist() == [21]
+
+    def test_disk_off_field_corner(self, paper_grid):
+        cells = paper_grid.cells_intersecting_disk(np.array([0.0, 0.0]), 4.0)
+        assert 0 in cells
+        assert bool(np.all(cells < paper_grid.n_cells))
+
+    def test_exhaustive_against_rect_distance(self, paper_grid, rng):
+        center = Rect.square(100.0).sample(1, rng)[0]
+        r = 7.0
+        got = set(paper_grid.cells_intersecting_disk(center, r).tolist())
+        want = set()
+        for c in range(paper_grid.n_cells):
+            rect = paper_grid.cell_rect(c)
+            dx = max(rect.x0 - center[0], 0.0, center[0] - rect.x1)
+            dy = max(rect.y0 - center[1], 0.0, center[1] - rect.y1)
+            if dx * dx + dy * dy <= r * r + 1e-12:
+                want.add(c)
+        assert got == want
+
+    def test_negative_radius_raises(self, paper_grid):
+        with pytest.raises(GeometryError):
+            paper_grid.cells_intersecting_disk(np.array([5.0, 5.0]), -1.0)
+
+
+def test_max_leader_distance_matches_paper():
+    """The paper motivates rc = 10 sqrt(2) as the max leader distance for
+    5x5 cells."""
+    g = GridPartition.square_cells(Rect.square(100.0), 5.0)
+    assert g.max_leader_distance() == pytest.approx(10.0 * math.sqrt(2.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    side=st.floats(5.0, 200.0),
+    cell=st.floats(1.0, 50.0),
+    seed=st.integers(0, 2**31),
+)
+def test_cell_of_always_in_range(side, cell, seed):
+    g = GridPartition.square_cells(Rect.square(side), cell)
+    pts = Rect.square(side).sample(50, np.random.default_rng(seed))
+    cids = g.cell_of(pts)
+    assert bool(np.all((cids >= 0) & (cids < g.n_cells)))

@@ -1,0 +1,130 @@
+"""Tests for repro.geometry.neighbors — including the KD-tree vs grid-hash
+cross-check (two independent implementations must agree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import NeighborIndex, UniformGridIndex, radius_adjacency
+from repro.geometry.points import distances_to
+
+
+class TestNeighborIndex:
+    def test_query_ball_basic(self):
+        idx = NeighborIndex([[0.0, 0.0], [3.0, 0.0], [10.0, 0.0]])
+        assert sorted(idx.query_ball([1.0, 0.0], 2.5)) == [0, 1]
+
+    def test_query_ball_closed(self):
+        idx = NeighborIndex([[0.0, 0.0], [2.0, 0.0]])
+        assert sorted(idx.query_ball([0.0, 0.0], 2.0)) == [0, 1]
+
+    def test_query_ball_empty_index(self):
+        idx = NeighborIndex(np.empty((0, 2)))
+        assert idx.query_ball([0.0, 0.0], 1.0).size == 0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            NeighborIndex([[0.0, 0.0]]).query_ball([0.0, 0.0], -1.0)
+
+    def test_query_ball_many(self, rng):
+        pts = rng.random((50, 2)) * 10
+        idx = NeighborIndex(pts)
+        results = idx.query_ball_many(pts[:5], 2.0)
+        assert len(results) == 5
+        for i, r in enumerate(results):
+            assert sorted(r) == sorted(idx.query_ball(pts[i], 2.0))
+
+    def test_count_in_balls(self, rng):
+        pts = rng.random((60, 2)) * 10
+        idx = NeighborIndex(pts)
+        probes = rng.random((9, 2)) * 10
+        counts = idx.count_in_balls(probes, 1.5)
+        for p, c in zip(probes, counts):
+            assert c == idx.query_ball(p, 1.5).size
+
+    def test_nearest(self):
+        idx = NeighborIndex([[0.0, 0.0], [10.0, 0.0]])
+        d, i = idx.nearest([[1.0, 0.0], [9.0, 0.0]])
+        np.testing.assert_allclose(d, [1.0, 1.0])
+        assert i.tolist() == [0, 1]
+
+    def test_nearest_empty_raises(self):
+        with pytest.raises(GeometryError):
+            NeighborIndex(np.empty((0, 2))).nearest([[0.0, 0.0]])
+
+    def test_points_view_readonly(self):
+        idx = NeighborIndex([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            idx.points[0, 0] = 9.0
+
+
+class TestUniformGridIndex:
+    def test_matches_brute_force(self, rng):
+        pts = rng.random((80, 2)) * 20
+        grid = UniformGridIndex(pts, radius=3.0)
+        for probe in rng.random((10, 2)) * 20:
+            got = sorted(grid.query_ball(probe))
+            want = sorted(np.nonzero(distances_to(pts, probe) <= 3.0 + 1e-12)[0])
+            assert got == want
+
+    def test_radius_above_build_raises(self):
+        grid = UniformGridIndex([[0.0, 0.0]], radius=1.0)
+        with pytest.raises(GeometryError):
+            grid.query_ball([0.0, 0.0], 2.0)
+
+    def test_smaller_query_radius_ok(self):
+        grid = UniformGridIndex([[0.0, 0.0], [0.8, 0.0]], radius=1.0)
+        assert sorted(grid.query_ball([0.0, 0.0], 0.5)) == [0]
+
+    def test_empty(self):
+        grid = UniformGridIndex(np.empty((0, 2)), radius=1.0)
+        assert grid.query_ball([0.0, 0.0]).size == 0
+
+    def test_nonpositive_radius_raises(self):
+        with pytest.raises(GeometryError):
+            UniformGridIndex([[0.0, 0.0]], radius=0.0)
+
+
+class TestRadiusAdjacency:
+    def test_diagonal_present(self, rng):
+        pts = rng.random((30, 2)) * 10
+        adj = radius_adjacency(pts, 1.0)
+        np.testing.assert_allclose(adj.diagonal(), 1.0)
+
+    def test_symmetric(self, rng):
+        pts = rng.random((40, 2)) * 10
+        adj = radius_adjacency(pts, 2.0)
+        assert (adj != adj.T).nnz == 0
+
+    def test_matches_dense(self, rng):
+        pts = rng.random((25, 2)) * 5
+        adj = radius_adjacency(pts, 1.5).toarray()
+        from repro.geometry.points import pairwise_distances
+
+        dense = (pairwise_distances(pts) <= 1.5).astype(float)
+        np.testing.assert_allclose(adj, dense)
+
+    def test_empty(self):
+        adj = radius_adjacency(np.empty((0, 2)), 1.0)
+        assert adj.shape == (0, 0)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            radius_adjacency([[0.0, 0.0]], -1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 60),
+    radius=st.floats(0.05, 5.0),
+    seed=st.integers(0, 2**31),
+)
+def test_kdtree_and_gridhash_agree(n, radius, seed):
+    """Property: the two independent spatial indexes return identical balls."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * 10
+    kd = NeighborIndex(pts)
+    gh = UniformGridIndex(pts, radius=radius)
+    for probe in pts[: min(n, 5)]:
+        assert sorted(kd.query_ball(probe, radius)) == sorted(gh.query_ball(probe))

@@ -1,0 +1,115 @@
+"""Tests for repro.geometry.points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import GeometryError
+from repro.geometry.points import (
+    as_point,
+    as_points,
+    bounding_rect_of,
+    distances_to,
+    pairwise_distances,
+    squared_distances_to,
+)
+
+
+class TestCoercion:
+    def test_as_points_from_list(self):
+        pts = as_points([[1, 2], [3, 4]])
+        assert pts.dtype == np.float64
+        assert pts.shape == (2, 2)
+
+    def test_as_points_promotes_single_pair(self):
+        assert as_points([1.0, 2.0]).shape == (1, 2)
+
+    def test_as_points_rejects_3d(self):
+        with pytest.raises(GeometryError):
+            as_points(np.zeros((2, 3)))
+
+    def test_as_points_rejects_nan(self):
+        with pytest.raises(GeometryError):
+            as_points([[np.nan, 0.0]])
+
+    def test_as_point(self):
+        assert as_point([3, 4]).tolist() == [3.0, 4.0]
+
+    def test_as_point_rejects_matrix(self):
+        with pytest.raises(GeometryError):
+            as_point(np.zeros((2, 2)))
+
+    def test_as_point_rejects_inf(self):
+        with pytest.raises(GeometryError):
+            as_point([np.inf, 0.0])
+
+
+class TestDistances:
+    def test_distances_to(self):
+        d = distances_to([[0.0, 0.0], [3.0, 4.0]], [0.0, 0.0])
+        np.testing.assert_allclose(d, [0.0, 5.0])
+
+    def test_squared_matches_square(self, rng):
+        pts = rng.normal(size=(40, 2))
+        t = rng.normal(size=2)
+        np.testing.assert_allclose(
+            squared_distances_to(pts, t), distances_to(pts, t) ** 2, atol=1e-9
+        )
+
+    def test_pairwise_self(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        d = pairwise_distances(pts)
+        assert d.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+        assert d[0, 1] == pytest.approx(1.0)
+        assert d[0, 2] == pytest.approx(2.0)
+        np.testing.assert_allclose(d, d.T)
+
+    def test_pairwise_cross(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [6.0, 8.0]])
+        np.testing.assert_allclose(pairwise_distances(a, b), [[5.0, 10.0]])
+
+
+class TestBoundingRect:
+    def test_bounds_contain_points(self, rng):
+        pts = rng.normal(scale=10.0, size=(100, 2))
+        rect = bounding_rect_of(pts)
+        assert bool(np.all(rect.contains(pts)))
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            bounding_rect_of(np.empty((0, 2)))
+
+    def test_collinear_points_ok(self):
+        rect = bounding_rect_of([[0.0, 0.0], [1.0, 0.0]])
+        assert rect.area > 0.0
+
+    def test_padding(self):
+        rect = bounding_rect_of([[0.0, 0.0], [1.0, 1.0]], pad=2.0)
+        assert rect.x0 == pytest.approx(-2.0)
+        assert rect.x1 == pytest.approx(3.0)
+
+
+finite_points = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 30), st.just(2)),
+    elements=st.floats(-1e6, 1e6),
+)
+
+
+@given(finite_points)
+def test_pairwise_triangle_inequality(pts):
+    d = pairwise_distances(pts)
+    n = d.shape[0]
+    if n >= 3:
+        # d(i,k) <= d(i,j) + d(j,k) for a random triple
+        i, j, k = 0, n // 2, n - 1
+        assert d[i, k] <= d[i, j] + d[j, k] + 1e-6
+
+
+@given(finite_points, st.integers(0, 2**31))
+def test_squared_distance_nonnegative(pts, seed):
+    t = np.random.default_rng(seed).uniform(-1e6, 1e6, 2)
+    assert bool(np.all(squared_distances_to(pts, t) >= 0.0))

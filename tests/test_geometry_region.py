@@ -1,0 +1,123 @@
+"""Tests for repro.geometry.region."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Rect
+
+
+class TestConstruction:
+    def test_square(self):
+        r = Rect.square(100.0)
+        assert (r.x0, r.y0, r.x1, r.y1) == (0.0, 0.0, 100.0, 100.0)
+        assert r.area == 10000.0
+
+    def test_square_with_origin(self):
+        r = Rect.square(10.0, origin=(5.0, -5.0))
+        assert (r.x0, r.y0, r.x1, r.y1) == (5.0, -5.0, 15.0, 5.0)
+
+    def test_unit(self):
+        assert Rect.unit().area == 1.0
+
+    @pytest.mark.parametrize(
+        "coords", [(0, 0, 0, 1), (0, 0, 1, 0), (1, 0, 0, 1), (0, 1, 1, 0)]
+    )
+    def test_degenerate_rejected(self, coords):
+        with pytest.raises(GeometryError):
+            Rect(*coords)
+
+    def test_properties(self):
+        r = Rect(1.0, 2.0, 4.0, 8.0)
+        assert r.width == 3.0
+        assert r.height == 6.0
+        assert np.allclose(r.center, [2.5, 5.0])
+        assert r.diagonal == pytest.approx(np.hypot(3.0, 6.0))
+        assert r.corners.shape == (4, 2)
+
+
+class TestContainment:
+    def test_contains_inside_outside_boundary(self):
+        r = Rect.square(10.0)
+        pts = np.array([[5.0, 5.0], [0.0, 0.0], [10.0, 10.0], [-0.1, 5.0], [5.0, 10.1]])
+        assert r.contains(pts).tolist() == [True, True, True, False, False]
+
+    def test_contains_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            Rect.square(1.0).contains(np.zeros((3, 3)))
+
+    def test_clip(self):
+        r = Rect.square(10.0)
+        out = r.clip(np.array([[-5.0, 5.0], [15.0, 12.0]]))
+        assert out.tolist() == [[0.0, 5.0], [10.0, 10.0]]
+
+
+class TestSampling:
+    def test_sample_inside(self, rng):
+        r = Rect(2.0, 3.0, 7.0, 9.0)
+        pts = r.sample(500, rng)
+        assert pts.shape == (500, 2)
+        assert bool(np.all(r.contains(pts)))
+
+    def test_sample_zero(self, rng):
+        assert Rect.unit().sample(0, rng).shape == (0, 2)
+
+    def test_sample_negative_raises(self, rng):
+        with pytest.raises(GeometryError):
+            Rect.unit().sample(-1, rng)
+
+    def test_scale_roundtrip(self, rng):
+        r = Rect(-3.0, 2.0, 5.0, 11.0)
+        unit = rng.random((50, 2))
+        back = r.to_unit_points(r.scale_unit_points(unit))
+        np.testing.assert_allclose(back, unit, atol=1e-12)
+
+
+class TestSubdivision:
+    def test_exact_tiling(self):
+        cells = list(Rect.square(100.0).subdivide(5.0))
+        assert len(cells) == 400
+        assert sum(c.area for c in cells) == pytest.approx(10000.0)
+
+    def test_truncated_tiling(self):
+        cells = list(Rect.square(10.0).subdivide(4.0))
+        # 3x3 cells, outer ones truncated to 2 wide/high
+        assert len(cells) == 9
+        assert sum(c.area for c in cells) == pytest.approx(100.0)
+
+    def test_rectangular_cells(self):
+        cells = list(Rect.square(10.0).subdivide(5.0, 2.0))
+        assert len(cells) == 10
+
+    def test_bad_cell_size(self):
+        with pytest.raises(GeometryError):
+            list(Rect.unit().subdivide(0.0))
+
+
+class TestGeometryQueries:
+    def test_distance_to_boundary(self):
+        r = Rect.square(10.0)
+        d = r.distance_to_boundary(np.array([[5.0, 5.0], [1.0, 5.0], [5.0, 9.5]]))
+        np.testing.assert_allclose(d, [5.0, 1.0, 0.5])
+
+    def test_distance_to_boundary_outside_negative(self):
+        r = Rect.square(10.0)
+        assert r.distance_to_boundary(np.array([[-1.0, 5.0]]))[0] == -1.0
+
+    def test_intersects_rect(self):
+        a = Rect.square(10.0)
+        assert a.intersects_rect(Rect(5.0, 5.0, 15.0, 15.0))
+        assert a.intersects_rect(Rect(10.0, 0.0, 20.0, 10.0))  # shared edge
+        assert not a.intersects_rect(Rect(10.1, 0.0, 20.0, 10.0))
+
+
+@given(
+    side=st.floats(min_value=0.1, max_value=1e3),
+    n=st.integers(min_value=0, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_sample_always_contained(side, n, seed):
+    r = Rect.square(side)
+    pts = r.sample(n, np.random.default_rng(seed))
+    assert bool(np.all(r.contains(pts)))

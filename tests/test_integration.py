@@ -1,0 +1,125 @@
+"""End-to-end integration tests spanning several subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DecorPlanner,
+    Rect,
+    SensorSpec,
+    area_failure,
+    random_failures,
+    required_k,
+)
+from repro.analysis import evaluate_deployment, sleep_shifts
+from repro.core import redundant_nodes
+from repro.network.connectivity import is_connected, node_connectivity_at_least
+
+
+class TestReliabilityDrivenDeployment:
+    """The paper's end-to-end story: a user reliability requirement fixes k,
+    DECOR deploys, failures happen, the guarantee holds."""
+
+    def test_full_story(self):
+        q = 0.1  # per-node failure probability
+        target = 0.999
+        k = required_k(target, q)
+        assert k == 3
+
+        planner = DecorPlanner(
+            Rect.square(30.0), SensorSpec(4.0, 8.0), n_points=250, seed=1
+        )
+        result = planner.deploy(k, method="voronoi")
+        assert result.final_covered_fraction() == 1.0
+
+        # empirical check: with q-failures the covered fraction stays high
+        rng = np.random.default_rng(0)
+        fracs = []
+        for _ in range(20):
+            dep = result.deployment.copy()
+            event = random_failures(dep, rng, probability=q)
+            dep.fail(event.node_ids)
+            from repro.network import CoverageState
+
+            cov = CoverageState.from_deployment(
+                planner.field_points, planner.spec.rs, dep
+            )
+            fracs.append(cov.covered_fraction(1))
+        assert float(np.mean(fracs)) >= target - 0.01
+
+
+class TestConnectivityCorollary:
+    """§2: rc >= 2 rs + k-coverage => k-connectivity."""
+
+    def test_1_coverage_implies_connected(self):
+        planner = DecorPlanner(
+            Rect.square(30.0), SensorSpec(4.0, 8.0), n_points=250, seed=2
+        )
+        result = planner.deploy(1, method="centralized")
+        assert is_connected(result.deployment.alive_positions(), 8.0)
+
+    def test_2_coverage_implies_2_connected(self):
+        planner = DecorPlanner(
+            Rect.square(25.0), SensorSpec(4.0, 8.0), n_points=200, seed=3
+        )
+        result = planner.deploy(2, method="centralized")
+        assert node_connectivity_at_least(
+            result.deployment.alive_positions(), 8.0, 2
+        )
+
+
+class TestDisasterRecoveryPipeline:
+    def test_wildfire_scenario(self):
+        """Deploy -> disaster -> detect -> restore -> verify, the paper's
+        motivating wild-fire workflow."""
+        planner = DecorPlanner(
+            Rect.square(30.0), SensorSpec(4.0, 8.0), n_points=250, seed=4
+        )
+        result = planner.deploy(2, method="grid", cell_size=5.0)
+        n_before = result.total_alive
+
+        event = area_failure(result.deployment, planner.region.center, 8.0)
+        assert event.n_failed > 0
+
+        report = planner.restore_after(result, event, method="grid", cell_size=5.0)
+        assert report.covered_after_failure < 1.0
+        assert report.covered_after_repair == pytest.approx(1.0)
+        # restoration is local: far fewer nodes than a full redeploy
+        assert report.extra_nodes < n_before
+
+    def test_restoration_cost_scales_with_damage(self):
+        planner = DecorPlanner(
+            Rect.square(30.0), SensorSpec(4.0, 8.0), n_points=250, seed=5
+        )
+        result = planner.deploy(1, method="centralized")
+        costs = []
+        for radius in (4.0, 10.0):
+            event = area_failure(result.deployment, planner.region.center, radius)
+            report = planner.restore_after(result, event, method="centralized")
+            costs.append(report.extra_nodes)
+        assert costs[1] > costs[0]
+
+
+class TestLifetimePipeline:
+    def test_deploy_then_schedule_shifts(self):
+        planner = DecorPlanner(
+            Rect.square(25.0), SensorSpec(4.0, 8.0), n_points=200, seed=6
+        )
+        result = planner.deploy(3, method="voronoi")
+        shifts = sleep_shifts(result.coverage, k_active=1)
+        assert len(shifts) >= 2
+        # metrics agree the network is overprovisioned enough to rotate
+        metrics = evaluate_deployment(result, area=planner.region.area)
+        assert metrics.mean_coverage >= 3.0
+
+
+class TestPruneThenStillCovered:
+    def test_redundancy_removal_keeps_guarantee(self):
+        planner = DecorPlanner(
+            Rect.square(25.0), SensorSpec(4.0, 8.0), n_points=200, seed=7
+        )
+        result = planner.deploy(2, method="grid", cell_size=5.0)
+        cov = result.coverage
+        for key in redundant_nodes(cov, 2):
+            cov.remove_sensor(int(key))
+        assert cov.is_fully_covered(2)

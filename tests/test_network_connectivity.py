@@ -1,0 +1,81 @@
+"""Tests for repro.network.connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.connectivity import (
+    communication_graph,
+    connected_components_count,
+    is_connected,
+    node_connectivity_at_least,
+)
+
+
+class TestGraph:
+    def test_edges_within_rc(self):
+        pos = [[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]]
+        g = communication_graph(pos, rc=2.0)
+        assert set(g.edges) == {(0, 1)}
+
+    def test_edge_at_exact_rc(self):
+        g = communication_graph([[0.0, 0.0], [2.0, 0.0]], rc=2.0)
+        assert g.has_edge(0, 1)
+
+    def test_no_nodes(self):
+        g = communication_graph(np.empty((0, 2)), rc=1.0)
+        assert g.number_of_nodes() == 0
+
+    def test_bad_rc(self):
+        with pytest.raises(ConfigurationError):
+            communication_graph([[0.0, 0.0]], rc=0.0)
+
+
+class TestConnected:
+    def test_chain(self):
+        pos = [[float(i), 0.0] for i in range(5)]
+        assert is_connected(pos, rc=1.0)
+        assert not is_connected(pos, rc=0.5)
+
+    def test_single_node(self):
+        assert is_connected([[0.0, 0.0]], rc=1.0)
+
+    def test_empty(self):
+        assert is_connected(np.empty((0, 2)), rc=1.0)
+
+    def test_components(self):
+        pos = [[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]]
+        assert connected_components_count(pos, rc=2.0) == 2
+
+
+class TestKConnectivity:
+    def test_triangle_is_2_connected(self):
+        pos = [[0.0, 0.0], [1.0, 0.0], [0.5, 0.8]]
+        assert node_connectivity_at_least(pos, rc=1.5, k=2)
+
+    def test_chain_is_not_2_connected(self):
+        pos = [[float(i), 0.0] for i in range(4)]
+        assert node_connectivity_at_least(pos, rc=1.0, k=1)
+        assert not node_connectivity_at_least(pos, rc=1.0, k=2)
+
+    def test_degree_early_exit(self):
+        # star with a leaf of degree 1 cannot be 2-connected
+        pos = [[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0], [0.0, 5.0]]
+        assert not node_connectivity_at_least(pos, rc=1.2, k=2)
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            node_connectivity_at_least([[0.0, 0.0]], rc=1.0, k=0)
+
+
+class TestPaperCorollary:
+    """§2: with rc >= 2 rs, k-coverage of the area implies k-connectivity.
+
+    Verified on actual DECOR output in test_integration; here on a dense
+    grid deployment that certainly 1-covers its bounding box interior."""
+
+    def test_cover_implies_connected(self):
+        xs, ys = np.meshgrid(np.arange(0.0, 10.0, 1.5), np.arange(0.0, 10.0, 1.5))
+        pos = np.column_stack([xs.ravel(), ys.ravel()])
+        rs = 1.5
+        assert is_connected(pos, rc=2 * rs)

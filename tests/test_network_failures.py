@@ -1,0 +1,139 @@
+"""Tests for the failure models of §2.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network import CoverageState, Deployment, area_failure, random_failures
+from repro.network.failures import apply_failure, correlated_cluster_failures
+
+
+@pytest.fixture
+def deployment(rng) -> Deployment:
+    return Deployment(rng.random((100, 2)) * 50)
+
+
+class TestRandomFailures:
+    def test_exact_fraction(self, deployment, rng):
+        event = random_failures(deployment, rng, fraction=0.3)
+        assert event.n_failed == 30
+        assert event.kind == "random"
+
+    def test_fraction_zero_and_one(self, deployment, rng):
+        assert random_failures(deployment, rng, fraction=0.0).n_failed == 0
+        assert random_failures(deployment, rng, fraction=1.0).n_failed == 100
+
+    def test_probability_mode(self, deployment):
+        rng = np.random.default_rng(0)
+        event = random_failures(deployment, rng, probability=0.2)
+        assert 5 <= event.n_failed <= 40  # loose binomial bounds
+
+    def test_only_alive_nodes_fail(self, deployment, rng):
+        deployment.fail(np.arange(50))
+        event = random_failures(deployment, rng, fraction=0.5)
+        assert bool(np.all(event.node_ids >= 50))
+
+    def test_both_modes_rejected(self, deployment, rng):
+        with pytest.raises(ConfigurationError):
+            random_failures(deployment, rng, probability=0.1, fraction=0.1)
+
+    def test_neither_mode_rejected(self, deployment, rng):
+        with pytest.raises(ConfigurationError):
+            random_failures(deployment, rng)
+
+    def test_bad_fraction(self, deployment, rng):
+        with pytest.raises(ConfigurationError):
+            random_failures(deployment, rng, fraction=1.5)
+
+
+class TestAreaFailure:
+    def test_kills_exactly_inside_disc(self, deployment):
+        center = np.array([25.0, 25.0])
+        event = area_failure(deployment, center, 10.0)
+        pos = deployment.positions
+        inside = np.linalg.norm(pos - center, axis=1) <= 10.0 + 1e-12
+        np.testing.assert_array_equal(np.sort(event.node_ids), np.nonzero(inside)[0])
+        assert event.kind == "area"
+
+    def test_paper_disaster_scale(self, rng):
+        """Radius 24 on the 100x100 field kills ~17-18% of uniform nodes."""
+        dep = Deployment(rng.random((2000, 2)) * 100)
+        event = area_failure(dep, [50.0, 50.0], 24.0)
+        frac = event.n_failed / 2000
+        assert 0.14 < frac < 0.22
+
+    def test_empty_deployment(self):
+        event = area_failure(Deployment(), [0.0, 0.0], 5.0)
+        assert event.n_failed == 0
+
+    def test_negative_radius_rejected(self, deployment):
+        with pytest.raises(ConfigurationError):
+            area_failure(deployment, [0.0, 0.0], -1.0)
+
+    def test_skips_already_failed(self, deployment):
+        deployment.fail([0])
+        event = area_failure(deployment, deployment.position_of(0), 1e-6)
+        assert 0 not in event.node_ids
+
+
+class TestCorrelatedFailures:
+    def test_seeds_always_fail(self, deployment, rng):
+        event = correlated_cluster_failures(deployment, rng, n_seeds=3)
+        assert event.n_failed >= 3
+
+    def test_small_radius_approaches_seeds_only(self, deployment, rng):
+        event = correlated_cluster_failures(
+            deployment, rng, n_seeds=2, correlation_radius=1e-3
+        )
+        assert event.n_failed <= 4
+
+    def test_large_radius_kills_many(self, deployment, rng):
+        event = correlated_cluster_failures(
+            deployment, rng, n_seeds=1, correlation_radius=100.0
+        )
+        assert event.n_failed > 50
+
+    def test_validation(self, deployment, rng):
+        with pytest.raises(ConfigurationError):
+            correlated_cluster_failures(deployment, rng, n_seeds=0)
+        with pytest.raises(ConfigurationError):
+            correlated_cluster_failures(deployment, rng, correlation_radius=0.0)
+        with pytest.raises(ConfigurationError):
+            correlated_cluster_failures(deployment, rng, decay=0.0)
+
+    def test_geographic_correlation(self, rng):
+        """Failed nodes cluster: their mean pairwise distance is well below
+        the all-node mean pairwise distance."""
+        dep = Deployment(rng.random((300, 2)) * 100)
+        event = correlated_cluster_failures(
+            dep, rng, n_seeds=1, correlation_radius=15.0
+        )
+        if event.n_failed >= 10:
+            pos = dep.positions
+            failed = pos[event.node_ids]
+            from repro.geometry.points import pairwise_distances
+
+            d_failed = pairwise_distances(failed).mean()
+            d_all = pairwise_distances(pos[::3]).mean()
+            assert d_failed < 0.7 * d_all
+
+
+class TestApplyFailure:
+    def test_applies_to_deployment_and_coverage(self, rng, field, spec):
+        dep = Deployment(field[:30])
+        cov = CoverageState.from_deployment(field, spec.rs, dep)
+        event = random_failures(dep, rng, fraction=0.5)
+        apply_failure(event, dep, cov)
+        assert dep.n_failed == 15
+        assert cov.n_sensors == 15
+        cov.validate()
+
+
+@settings(max_examples=20, deadline=None)
+@given(fraction=st.floats(0.0, 1.0), seed=st.integers(0, 2**31))
+def test_fraction_is_exact_property(fraction, seed):
+    rng = np.random.default_rng(seed)
+    dep = Deployment(rng.random((64, 2)))
+    event = random_failures(dep, rng, fraction=fraction)
+    assert event.n_failed == round(fraction * 64)

@@ -1,0 +1,82 @@
+"""Tests for heterogeneous sensor catalogs and mixed deployments."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.network import MixedDeployment, SensorType
+
+
+CATALOG = (
+    SensorType("small", 3.0, 6.0, cost=1.0),
+    SensorType("big", 6.0, 12.0, cost=3.0),
+)
+
+
+class TestSensorType:
+    def test_valid(self):
+        t = SensorType("mote", 4.0, 8.0, cost=2.0)
+        assert t.rs == 4.0 and t.rc == 8.0
+
+    def test_rs_above_rc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorType("bad", 8.0, 4.0)
+
+    def test_nonpositive_rs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorType("bad", 0.0, 4.0)
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorType("bad", 1.0, 2.0, cost=0.0)
+
+    def test_needs_name(self):
+        with pytest.raises(ConfigurationError):
+            SensorType("", 1.0, 2.0)
+
+
+class TestMixedDeployment:
+    def test_add_and_type_lookup(self):
+        dep = MixedDeployment(CATALOG)
+        a = dep.add([1.0, 1.0], "small")
+        b = dep.add([2.0, 2.0], "big")
+        assert (a, b) == (0, 1)
+        assert dep.type_of(0).name == "small"
+        assert dep.type_of(1).rs == 6.0
+        assert dep.n_alive == 2
+
+    def test_unknown_type_rejected(self):
+        dep = MixedDeployment(CATALOG)
+        with pytest.raises(ConfigurationError):
+            dep.add([0.0, 0.0], "huge")
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixedDeployment(())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixedDeployment((CATALOG[0], CATALOG[0]))
+
+    def test_fail_and_masks(self):
+        dep = MixedDeployment(CATALOG)
+        dep.add([0.0, 0.0], "small")
+        dep.add([1.0, 1.0], "big")
+        dep.fail([0])
+        assert dep.n_alive == 1
+        assert not dep.is_alive(0)
+        assert dep.alive_ids().tolist() == [1]
+        np.testing.assert_allclose(dep.alive_positions(), [[1.0, 1.0]])
+        with pytest.raises(GeometryError):
+            dep.fail([0])
+
+    def test_cost_accounting(self):
+        dep = MixedDeployment(CATALOG)
+        dep.add([0.0, 0.0], "small")
+        dep.add([1.0, 1.0], "big")
+        dep.add([2.0, 2.0], "big")
+        assert dep.total_cost() == 7.0
+        assert dep.count_by_type() == {"small": 1, "big": 2}
+        dep.fail([1])
+        assert dep.total_cost() == 4.0
+        assert dep.total_cost(alive_only=False) == 7.0

@@ -1,0 +1,78 @@
+"""Tests for deployment/field persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import (
+    Deployment,
+    SensorSpec,
+    deployment_from_json,
+    deployment_to_csv,
+    deployment_to_json,
+    field_from_json,
+    field_to_json,
+)
+
+
+class TestDeploymentJson:
+    def test_roundtrip_preserves_everything(self, rng):
+        dep = Deployment(rng.random((20, 2)) * 50)
+        dep.fail([3, 7, 11])
+        spec = SensorSpec(4.0, 8.0)
+        text = deployment_to_json(dep, spec, experiment="fig8", seed=3)
+        restored, rspec, meta = deployment_from_json(text)
+        np.testing.assert_allclose(restored.positions, dep.positions)
+        np.testing.assert_array_equal(restored.alive_mask, dep.alive_mask)
+        assert rspec == spec
+        assert meta == {"experiment": "fig8", "seed": 3}
+
+    def test_roundtrip_without_spec(self):
+        dep = Deployment([[1.0, 2.0]])
+        restored, spec, meta = deployment_from_json(deployment_to_json(dep))
+        assert spec is None and meta == {}
+        assert restored.n_alive == 1
+
+    def test_empty_deployment(self):
+        restored, _, _ = deployment_from_json(deployment_to_json(Deployment()))
+        assert len(restored) == 0
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            deployment_from_json("{}")
+        with pytest.raises(ConfigurationError):
+            deployment_from_json("not json")
+
+    def test_wrong_format_tag_rejected(self):
+        with pytest.raises(ConfigurationError):
+            deployment_from_json('{"format": "something-else", "version": 1}')
+
+    def test_length_mismatch_rejected(self):
+        text = (
+            '{"format": "repro.deployment", "version": 1, '
+            '"positions": [[0, 0]], "alive": [true, false], "metadata": {}}'
+        )
+        with pytest.raises(ConfigurationError):
+            deployment_from_json(text)
+
+
+class TestDeploymentCsv:
+    def test_rows(self):
+        dep = Deployment([[1.0, 2.0], [3.0, 4.0]])
+        dep.fail([1])
+        lines = deployment_to_csv(dep).strip().splitlines()
+        assert lines[0] == "node_id,x,y,alive"
+        assert lines[1] == "0,1.0,2.0,1"
+        assert lines[2] == "1,3.0,4.0,0"
+
+
+class TestFieldJson:
+    def test_roundtrip(self, field):
+        text = field_to_json(field, generator="halton", n=len(field))
+        restored, meta = field_from_json(text)
+        np.testing.assert_allclose(restored, field)
+        assert meta["generator"] == "halton"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            field_from_json('{"format": "repro.deployment"}')

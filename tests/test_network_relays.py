@@ -1,0 +1,93 @@
+"""Tests for connectivity repair via relay insertion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network import connect_components, relays_for_segment
+from repro.network.connectivity import is_connected
+
+
+class TestRelaysForSegment:
+    def test_in_range_needs_none(self):
+        out = relays_for_segment([0.0, 0.0], [3.0, 0.0], rc=5.0)
+        assert out.shape == (0, 2)
+
+    def test_even_spacing(self):
+        out = relays_for_segment([0.0, 0.0], [10.0, 0.0], rc=4.0)
+        assert out.shape == (2, 2)
+        chain = np.vstack([[0.0, 0.0], out, [10.0, 0.0]])
+        gaps = np.linalg.norm(np.diff(chain, axis=0), axis=1)
+        assert bool(np.all(gaps <= 4.0 + 1e-9))
+        assert np.allclose(gaps, gaps[0])
+
+    def test_minimal_count(self):
+        # distance 10, rc 4 -> ceil(10/4) - 1 = 2 relays
+        assert relays_for_segment([0.0, 0.0], [10.0, 0.0], 4.0).shape[0] == 2
+        # exactly divisible: distance 8, rc 4 -> 1 relay
+        assert relays_for_segment([0.0, 0.0], [8.0, 0.0], 4.0).shape[0] == 1
+
+    def test_bad_rc(self):
+        with pytest.raises(ConfigurationError):
+            relays_for_segment([0.0, 0.0], [1.0, 0.0], 0.0)
+
+
+class TestConnectComponents:
+    def test_already_connected(self):
+        plan = connect_components([[0.0, 0.0], [1.0, 0.0]], rc=2.0)
+        assert plan.n_relays == 0
+        assert plan.components_before == 1
+        assert plan.bridged_pairs == []
+
+    def test_two_islands(self):
+        pos = [[0.0, 0.0], [1.0, 0.0], [20.0, 0.0], [21.0, 0.0]]
+        plan = connect_components(pos, rc=5.0)
+        assert plan.components_before == 2
+        assert len(plan.bridged_pairs) == 1
+        merged = np.vstack([pos, plan.relay_positions])
+        assert is_connected(merged, 5.0)
+
+    def test_bridges_closest_pair(self):
+        pos = [[0.0, 0.0], [10.0, 0.0], [100.0, 0.0]]
+        plan = connect_components(pos, rc=4.0)
+        # node 1 bridges to node 0 first (distance 10 < 90)
+        assert plan.bridged_pairs[0] in [(0, 1), (1, 0)]
+
+    def test_single_node(self):
+        plan = connect_components([[5.0, 5.0]], rc=1.0)
+        assert plan.n_relays == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            connect_components(np.empty((0, 2)), rc=1.0)
+
+    def test_restores_partitioned_decor_network(self, field, region):
+        """Paper §2 scenario: rc < 2 rs, so full coverage does NOT imply
+        connectivity — relays must be able to stitch the network back."""
+        from repro.core import centralized_greedy
+        from repro.network import SensorSpec
+
+        spec = SensorSpec(4.0, 4.0)  # rc = rs < 2 rs
+        result = centralized_greedy(field, spec, 1)
+        pos = result.deployment.alive_positions()
+        plan = connect_components(pos, spec.rc)
+        merged = np.vstack([pos, plan.relay_positions]) if plan.n_relays else pos
+        assert is_connected(merged, spec.rc)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 40),
+    rc=st.floats(1.0, 8.0),
+    seed=st.integers(0, 2**31),
+)
+def test_plan_always_connects(n, rc, seed):
+    """Property: after inserting the plan's relays, the merged graph is
+    connected, whatever the original scatter."""
+    rng = np.random.default_rng(seed)
+    pos = rng.random((n, 2)) * 60
+    plan = connect_components(pos, rc)
+    merged = np.vstack([pos, plan.relay_positions]) if plan.n_relays else pos
+    assert is_connected(merged, rc)
+    assert len(plan.bridged_pairs) == plan.components_before - 1

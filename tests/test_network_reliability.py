@@ -1,0 +1,87 @@
+"""Tests for repro.network.reliability — the 1 - q^k algebra of §2.1."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network import required_k
+from repro.network.reliability import (
+    expected_covered_fraction_after_failures,
+    point_reliability,
+)
+
+
+class TestPointReliability:
+    def test_formula(self):
+        assert point_reliability(3, 0.1) == pytest.approx(1 - 1e-3)
+
+    def test_zero_coverage_means_zero_reliability(self):
+        assert point_reliability(0, 0.5) == 0.0
+
+    def test_reliable_nodes(self):
+        assert point_reliability(1, 0.0) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            point_reliability(-1, 0.5)
+        with pytest.raises(ConfigurationError):
+            point_reliability(2, 1.5)
+
+    @given(k=st.integers(0, 20), q=st.floats(0.0, 1.0))
+    def test_bounds(self, k, q):
+        r = point_reliability(k, q)
+        assert 0.0 <= r <= 1.0
+
+    @given(k=st.integers(1, 10), q=st.floats(0.01, 0.99))
+    def test_monotone_in_k(self, k, q):
+        assert point_reliability(k + 1, q) >= point_reliability(k, q)
+
+
+class TestRequiredK:
+    def test_exact_inversion(self):
+        # q = 0.1, target 0.999 -> k = 3
+        assert required_k(0.999, 0.1) == 3
+
+    def test_returned_k_meets_target(self):
+        for q in (0.05, 0.3, 0.5):
+            for target in (0.9, 0.99, 0.9999):
+                k = required_k(target, q)
+                assert point_reliability(k, q) >= target
+                if k > 1:
+                    assert point_reliability(k - 1, q) < target
+
+    def test_perfect_nodes_need_one(self):
+        assert required_k(0.99, 0.0) == 1
+
+    def test_zero_target(self):
+        assert required_k(0.0, 0.5) == 1
+
+    def test_always_failing_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_k(0.9, 1.0)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_k(1.0 - 1e-15, 0.99, k_max=8)
+
+    @given(q=st.floats(0.01, 0.9), target=st.floats(0.5, 0.99999))
+    def test_meets_target_property(self, q, target):
+        k = required_k(target, q, k_max=4096)
+        assert 1.0 - q**k >= target - 1e-12
+
+
+class TestExpectedCoverage:
+    def test_all_uncovered(self):
+        assert expected_covered_fraction_after_failures([10], 0.5) == 0.0
+
+    def test_mixed_histogram(self):
+        # 5 points 1-covered, 5 points 2-covered, q = 0.5
+        got = expected_covered_fraction_after_failures([0, 5, 5], 0.5)
+        assert got == pytest.approx((5 * 0.5 + 5 * 0.75) / 10)
+
+    def test_no_failures(self):
+        assert expected_covered_fraction_after_failures([0, 3, 7], 0.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_covered_fraction_after_failures([], 0.5)

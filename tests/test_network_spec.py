@@ -1,0 +1,54 @@
+"""Tests for repro.network.spec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import SensorSpec
+
+
+class TestValidation:
+    def test_paper_spec(self):
+        spec = SensorSpec(4.0, 8.0)
+        assert spec.rs == 4.0 and spec.rc == 8.0
+
+    def test_rs_equal_rc_allowed(self):
+        SensorSpec(4.0, 4.0)
+
+    def test_rs_greater_than_rc_rejected(self):
+        """The paper's single structural assumption is rs <= rc (§2)."""
+        with pytest.raises(ConfigurationError):
+            SensorSpec(5.0, 4.0)
+
+    def test_zero_rs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSpec(0.0, 4.0)
+
+    def test_negative_rs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSpec(-1.0, 4.0)
+
+
+class TestConnectivityGuarantee:
+    def test_rc_twice_rs(self):
+        assert SensorSpec(4.0, 8.0).guarantees_connectivity
+
+    def test_rc_below_twice_rs(self):
+        assert not SensorSpec(4.0, 7.9).guarantees_connectivity
+
+    def test_paper_big_rc(self):
+        import math
+
+        assert SensorSpec(4.0, 10.0 * math.sqrt(2.0)).guarantees_connectivity
+
+
+def test_with_communication_radius():
+    spec = SensorSpec(4.0, 8.0).with_communication_radius(14.0)
+    assert spec.rs == 4.0 and spec.rc == 14.0
+    with pytest.raises(ConfigurationError):
+        SensorSpec(4.0, 8.0).with_communication_radius(2.0)
+
+
+def test_frozen():
+    spec = SensorSpec(4.0, 8.0)
+    with pytest.raises(AttributeError):
+        spec.sensing_radius = 5.0

@@ -1,0 +1,85 @@
+"""Tests for randomised rotating leader election."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import CellElectionNode, ElectionConfig, Radio, Simulator
+
+
+def make_cell(n=4, cell_id=7, config=None, seed=0):
+    sim = Simulator()
+    radio = Radio(sim, rc=50.0)
+    config = config or ElectionConfig(rotation_period=10.0, settle_delay=0.1)
+    nodes = [
+        CellElectionNode(i, sim, radio, [float(i), 0.0], cell_id, config)
+        for i in range(n)
+    ]
+    for node in nodes:
+        node.start(delay=0.001 * node.node_id)
+    return sim, radio, nodes
+
+
+class TestConfig:
+    def test_bad_rotation(self):
+        with pytest.raises(SimulationError):
+            ElectionConfig(rotation_period=0.0)
+
+    def test_bad_settle(self):
+        with pytest.raises(SimulationError):
+            ElectionConfig(settle_delay=0.0)
+
+
+class TestAgreement:
+    def test_all_members_agree_on_leader(self):
+        sim, _, nodes = make_cell()
+        sim.run(until=5.0)
+        leaders = {n.current_leader for n in nodes}
+        assert len(leaders) == 1
+        assert leaders.pop() in range(4)
+
+    def test_exactly_one_leader(self):
+        sim, _, nodes = make_cell()
+        sim.run(until=5.0)
+        assert sum(n.is_leader for n in nodes) == 1
+
+    def test_other_cells_ignored(self):
+        sim = Simulator()
+        radio = Radio(sim, rc=50.0)
+        config = ElectionConfig(rotation_period=10.0, settle_delay=0.1)
+        a = CellElectionNode(0, sim, radio, [0.0, 0.0], cell_id=1, config=config)
+        b = CellElectionNode(1, sim, radio, [1.0, 0.0], cell_id=2, config=config)
+        a.start(); b.start()
+        sim.run(until=5.0)
+        # each node is alone in its cell and leads it
+        assert a.is_leader and b.is_leader
+
+
+class TestRotation:
+    def test_leadership_rotates_over_rounds(self):
+        sim, _, nodes = make_cell(n=5)
+        sim.run(until=200.0)  # 20 rounds
+        history = nodes[0].leadership_history
+        assert len(history) >= 15
+        # the energy-balancing claim: more than one distinct leader over time
+        assert len(set(history)) >= 3
+
+    def test_round_winner_is_deterministic_across_observers(self):
+        sim, _, nodes = make_cell(n=4)
+        sim.run(until=100.0)
+        h0 = nodes[0].leadership_history
+        for other in nodes[1:]:
+            assert other.leadership_history == h0
+
+
+class TestLiveness:
+    def test_new_leader_after_leader_crash(self):
+        sim, _, nodes = make_cell(n=3)
+        sim.run(until=5.0)
+        leader = next(n for n in nodes if n.is_leader)
+        leader.fail()
+        sim.run(until=45.0)
+        survivors = [n for n in nodes if n is not leader]
+        current = {n.current_leader for n in survivors}
+        assert len(current) == 1
+        assert current.pop() != leader.node_id

@@ -1,0 +1,98 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestOrdering:
+    def test_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("late"))
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(sim.now)
+            sim.schedule(1.0, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
+
+class TestControls:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append("x"))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("x"))
+        sim.run(until=5.0)
+        assert fired == [] and sim.now == 5.0
+        sim.run(until=15.0)
+        assert fired == ["x"] and sim.now == 15.0
+
+    def test_run_until_with_empty_queue_advances(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.1, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_step(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]
+        assert sim.events_processed == 1

@@ -1,0 +1,140 @@
+"""Tests for the unit-disc radio."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Radio, Simulator
+
+
+class Sink:
+    """Records deliveries."""
+
+    def __init__(self):
+        self.inbox = []
+
+    def on_message(self, message):
+        self.inbox.append(message)
+
+
+def make_net(positions, rc=5.0, **kw):
+    sim = Simulator()
+    radio = Radio(sim, rc, **kw)
+    sinks = []
+    for i, pos in enumerate(positions):
+        s = Sink()
+        radio.add_node(i, pos, s)
+        sinks.append(s)
+    return sim, radio, sinks
+
+
+class TestTopology:
+    def test_neighbors_within_rc(self):
+        _, radio, _ = make_net([[0.0, 0.0], [3.0, 0.0], [10.0, 0.0]])
+        assert radio.neighbors_of(0) == [1]
+        assert radio.neighbors_of(2) == []
+
+    def test_duplicate_node_rejected(self):
+        sim = Simulator()
+        radio = Radio(sim, 1.0)
+        radio.add_node(0, [0.0, 0.0], Sink())
+        with pytest.raises(SimulationError):
+            radio.add_node(0, [1.0, 1.0], Sink())
+
+    def test_handler_contract_checked(self):
+        radio = Radio(Simulator(), 1.0)
+        with pytest.raises(SimulationError):
+            radio.add_node(0, [0.0, 0.0], object())
+
+    def test_bad_rc(self):
+        with pytest.raises(SimulationError):
+            Radio(Simulator(), 0.0)
+
+
+class TestBroadcast:
+    def test_delivery_to_all_in_range(self):
+        sim, radio, sinks = make_net([[0.0, 0.0], [3.0, 0.0], [4.0, 0.0], [20.0, 0.0]])
+        n = radio.broadcast(0, "PING", payload=42)
+        sim.run()
+        assert n == 2
+        assert len(sinks[1].inbox) == 1 and sinks[1].inbox[0].payload == 42
+        assert len(sinks[2].inbox) == 1
+        assert sinks[3].inbox == []
+        assert sinks[0].inbox == []  # no self-delivery
+
+    def test_counters(self):
+        sim, radio, _ = make_net([[0.0, 0.0], [1.0, 0.0]])
+        radio.broadcast(0, "PING")
+        sim.run()
+        assert radio.stats.sent[0] == 1
+        assert radio.stats.received[1] == 1
+        assert radio.stats.total_sent() == 1
+
+    def test_dead_sender_rejected(self):
+        sim, radio, _ = make_net([[0.0, 0.0], [1.0, 0.0]])
+        radio.kill_node(0)
+        with pytest.raises(SimulationError):
+            radio.broadcast(0, "PING")
+
+    def test_dead_receiver_skipped(self):
+        sim, radio, sinks = make_net([[0.0, 0.0], [1.0, 0.0]])
+        radio.kill_node(1)
+        n = radio.broadcast(0, "PING")
+        sim.run()
+        assert n == 0 and sinks[1].inbox == []
+
+    def test_receiver_dying_in_flight_misses(self):
+        sim, radio, sinks = make_net([[0.0, 0.0], [1.0, 0.0]], delay=1.0)
+        radio.broadcast(0, "PING")
+        sim.schedule(0.5, lambda: radio.kill_node(1))
+        sim.run()
+        assert sinks[1].inbox == []
+
+    def test_delay_applied(self):
+        sim, radio, sinks = make_net([[0.0, 0.0], [1.0, 0.0]], delay=2.5)
+        radio.broadcast(0, "PING")
+        sim.run()
+        assert sinks[1].inbox[0].sent_at == 0.0
+        assert sim.now == 2.5
+
+
+class TestUnicast:
+    def test_in_range(self):
+        sim, radio, sinks = make_net([[0.0, 0.0], [1.0, 0.0]])
+        assert radio.unicast(0, 1, "MSG") is True
+        sim.run()
+        assert len(sinks[1].inbox) == 1
+
+    def test_out_of_range_raises(self):
+        sim, radio, _ = make_net([[0.0, 0.0], [100.0, 0.0]])
+        with pytest.raises(SimulationError):
+            radio.unicast(0, 1, "MSG")
+
+    def test_to_dead_receiver_returns_false(self):
+        sim, radio, _ = make_net([[0.0, 0.0], [1.0, 0.0]])
+        radio.kill_node(1)
+        assert radio.unicast(0, 1, "MSG") is False
+
+
+class TestLoss:
+    def test_lossy_radio_drops_some(self):
+        sim = Simulator()
+        radio = Radio(sim, 5.0, loss_probability=0.5, rng=np.random.default_rng(0))
+        sinks = [Sink(), Sink()]
+        radio.add_node(0, [0.0, 0.0], sinks[0])
+        radio.add_node(1, [1.0, 0.0], sinks[1])
+        for _ in range(100):
+            radio.broadcast(0, "PING")
+        sim.run()
+        received = len(sinks[1].inbox)
+        assert 25 <= received <= 75
+        assert radio.stats.dropped == 100 - received
+
+    def test_lossy_requires_rng(self):
+        with pytest.raises(SimulationError):
+            Radio(Simulator(), 1.0, loss_probability=0.1)
+
+    def test_invalid_loss(self):
+        with pytest.raises(SimulationError):
+            Radio(Simulator(), 1.0, loss_probability=1.0,
+                  rng=np.random.default_rng(0))

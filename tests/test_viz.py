@@ -1,0 +1,64 @@
+"""Tests for the ASCII renderers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Rect
+from repro.viz import render_coverage, render_deployment, render_points
+
+
+class TestRenderPoints:
+    def test_dimensions(self):
+        out = render_points(Rect.square(10.0), [[5.0, 5.0]], width=20, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 13  # title + top + 10 rows + bottom
+        assert all(len(ln) == 22 for ln in lines[1:])
+
+    def test_point_plotted(self):
+        out = render_points(Rect.square(10.0), [[5.0, 5.0]], width=21, height=11)
+        rows = out.splitlines()[2:-1]
+        assert rows[5][11] == "."
+
+    def test_title(self):
+        out = render_points(Rect.square(1.0), [[0.5, 0.5]], title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_bad_canvas(self):
+        with pytest.raises(ConfigurationError):
+            render_points(Rect.square(1.0), [[0.5, 0.5]], width=0)
+
+
+class TestRenderDeployment:
+    def test_sensors_over_field(self):
+        out = render_deployment(
+            Rect.square(10.0), [[2.0, 2.0]], [[8.0, 8.0]], width=20, height=10
+        )
+        assert "." in out and "o" in out
+
+    def test_empty_deployment(self):
+        out = render_deployment(
+            Rect.square(10.0), [[2.0, 2.0]], np.empty((0, 2)),
+            width=20, height=10, title="empty",
+        )
+        assert "o" not in out
+
+
+class TestRenderCoverage:
+    def test_uncovered_marked(self):
+        out = render_coverage(
+            Rect.square(20.0), [[10.0, 10.0]], 3.0, width=20, height=10, k=1
+        )
+        assert "!" in out  # corners uncovered
+
+    def test_fully_covered_has_no_marks(self):
+        out = render_coverage(
+            Rect.square(4.0), [[2.0, 2.0]], 5.0, width=10, height=6, k=1
+        )
+        assert "!" not in out
+
+    def test_density_ramp_without_k(self):
+        out = render_coverage(
+            Rect.square(10.0), [[5.0, 5.0]] * 3, 4.0, width=20, height=10
+        )
+        assert "-" in out  # count-3 glyph appears at the center

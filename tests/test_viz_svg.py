@@ -1,0 +1,91 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry import Rect
+from repro.viz import save_svg, svg_field
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(doc: str) -> ET.Element:
+    return ET.fromstring(doc)
+
+
+class TestSvgField:
+    def test_valid_xml_with_frame(self):
+        doc = svg_field(Rect.square(50.0))
+        root = parse(doc)
+        assert root.tag == f"{NS}svg"
+        assert root.attrib["viewBox"] == "0 -50 50 50"
+        rects = root.findall(f"{NS}rect")
+        assert len(rects) == 1
+
+    def test_aspect_ratio(self):
+        doc = svg_field(Rect(0.0, 0.0, 100.0, 50.0), width=600)
+        root = parse(doc)
+        assert root.attrib["width"] == "600"
+        assert root.attrib["height"] == "300"
+
+    def test_field_points_drawn(self):
+        pts = np.array([[10.0, 10.0], [20.0, 30.0]])
+        doc = svg_field(Rect.square(50.0), field_points=pts)
+        circles = parse(doc).findall(f"{NS}circle")
+        assert len(circles) == 2
+
+    def test_sensors_with_discs(self):
+        sensors = np.array([[25.0, 25.0]])
+        doc = svg_field(Rect.square(50.0), sensors=sensors, rs=4.0)
+        circles = parse(doc).findall(f"{NS}circle")
+        assert len(circles) == 2  # disc + dot
+        radii = sorted(float(c.attrib["r"]) for c in circles)
+        assert radii[-1] == 4.0
+
+    def test_y_axis_flipped(self):
+        doc = svg_field(Rect.square(50.0), sensors=np.array([[10.0, 40.0]]))
+        circle = parse(doc).find(f"{NS}circle")
+        assert float(circle.attrib["cy"]) == -40.0
+
+    def test_disaster_outline(self):
+        doc = svg_field(
+            Rect.square(50.0), disaster=(np.array([25.0, 25.0]), 12.0)
+        )
+        circles = parse(doc).findall(f"{NS}circle")
+        assert any(float(c.attrib["r"]) == 12.0 for c in circles)
+
+    def test_tours_polylines(self):
+        tours = [np.array([[10.0, 10.0], [20.0, 20.0]])]
+        doc = svg_field(
+            Rect.square(50.0), tours=tours, depot=np.array([0.0, 0.0])
+        )
+        lines = parse(doc).findall(f"{NS}polyline")
+        assert len(lines) == 1
+        assert lines[0].attrib["points"].startswith("0,0 ")
+
+    def test_title(self):
+        doc = svg_field(Rect.square(10.0), title="hello field")
+        assert parse(doc).find(f"{NS}title").text == "hello field"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            svg_field(Rect.square(10.0), width=0)
+        with pytest.raises(ConfigurationError):
+            svg_field(Rect.square(10.0), sensors=[[1.0, 1.0]], rs=0.0)
+        with pytest.raises(ConfigurationError):
+            svg_field(Rect.square(10.0), disaster=(np.zeros(2), -1.0))
+
+
+class TestSaveSvg:
+    def test_roundtrip(self, tmp_path):
+        doc = svg_field(Rect.square(10.0))
+        path = tmp_path / "field.svg"
+        save_svg(str(path), doc)
+        assert parse(path.read_text()).tag == f"{NS}svg"
+
+    def test_rejects_non_svg(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_svg(str(tmp_path / "x.svg"), "<html></html>")
