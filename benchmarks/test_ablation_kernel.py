@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.core import BenefitEngine
-from repro.discrepancy import field_points
 from repro.experiments.runner import field_for_seed
 from repro.network import SensorSpec
 

@@ -10,7 +10,6 @@ whole field.
 import numpy as np
 
 from repro.core import centralized_greedy, lattice_placement
-from repro.core.redundancy import redundancy_fraction
 from repro.experiments.runner import field_for_seed
 from repro.network import SensorSpec
 

@@ -6,7 +6,6 @@ settles on — the crossover from all-small to all-big fleets should track
 the price ratio.
 """
 
-import numpy as np
 
 from repro.core import mixed_centralized_greedy
 from repro.experiments.runner import field_for_seed

@@ -10,7 +10,6 @@ measurable consequences:
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import uncovered_area_fraction
 from repro.core import centralized_greedy

@@ -12,7 +12,7 @@ import numpy as np
 from repro.analysis import plan_dispatch, tour_length, two_opt, nearest_neighbor_tour
 from repro.core import centralized_greedy
 from repro.core.restoration import restore
-from repro.experiments.runner import DeploymentCache, field_for_seed
+from repro.experiments.runner import field_for_seed
 from repro.network import SensorSpec, area_failure
 
 

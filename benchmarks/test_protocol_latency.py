@@ -8,7 +8,6 @@ and checks it scales as the theory predicts, while the message bill grows
 as ``1/Tc``.
 """
 
-import numpy as np
 
 from repro.core import grid_decor, run_restoration_protocol
 from repro.experiments.runner import field_for_seed

@@ -19,6 +19,9 @@ Subpackages
 -----------
 ``repro.geometry``
     Regions, neighbour search, grid partitions, Voronoi ownership.
+``repro.field``
+    Shared, memoised spatial model (indices, adjacencies, partitions)
+    with pluggable neighbour-search backends.
 ``repro.discrepancy``
     Halton/Hammersley/random point sets and star discrepancy.
 ``repro.network``
@@ -44,6 +47,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.geometry import Rect, GridPartition
+from repro.field import FieldModel, as_field_model, available_backends
 from repro.discrepancy import halton, hammersley, field_points
 from repro.network import (
     CoverageState,
@@ -80,6 +84,9 @@ __all__ = [
     # geometry / field
     "Rect",
     "GridPartition",
+    "FieldModel",
+    "as_field_model",
+    "available_backends",
     "halton",
     "hammersley",
     "field_points",

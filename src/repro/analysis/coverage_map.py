@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.field import FieldModel
 from repro.geometry.neighbors import NeighborIndex
 from repro.geometry.points import as_points
 from repro.geometry.region import Rect
@@ -26,20 +27,26 @@ def coverage_raster(
     rs: float,
     *,
     resolution: int = 200,
+    field: FieldModel | None = None,
 ) -> np.ndarray:
     """Coverage-count raster of the region, shape ``(resolution, resolution)``.
 
     Cell ``[iy, ix]`` holds the number of sensors covering the center of the
-    corresponding grid cell (row 0 at the bottom of the region).
+    corresponding grid cell (row 0 at the bottom of the region).  Pass a
+    shared :class:`~repro.field.FieldModel` as ``field`` to reuse its
+    memoised probe grid across repeated rasterisations of the same region.
     """
     if resolution < 1:
         raise ConfigurationError(f"resolution must be >= 1, got {resolution}")
     if rs <= 0:
         raise ConfigurationError(f"sensing radius must be positive, got {rs}")
-    xs = region.x0 + (np.arange(resolution) + 0.5) * region.width / resolution
-    ys = region.y0 + (np.arange(resolution) + 0.5) * region.height / resolution
-    gx, gy = np.meshgrid(xs, ys)
-    probes = np.column_stack([gx.ravel(), gy.ravel()])
+    if field is not None:
+        probes = field.probe_grid(region, resolution)
+    else:
+        xs = region.x0 + (np.arange(resolution) + 0.5) * region.width / resolution
+        ys = region.y0 + (np.arange(resolution) + 0.5) * region.height / resolution
+        gx, gy = np.meshgrid(xs, ys)
+        probes = np.column_stack([gx.ravel(), gy.ravel()])
     sensors = as_points(sensor_positions)
     if len(sensors) == 0:
         return np.zeros((resolution, resolution), dtype=np.int64)
@@ -55,6 +62,7 @@ def uncovered_area_fraction(
     k: int = 1,
     *,
     resolution: int = 400,
+    field: FieldModel | None = None,
 ) -> float:
     """Fraction of the region's *area* not k-covered (dense-grid estimate).
 
@@ -63,5 +71,7 @@ def uncovered_area_fraction(
     """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
-    raster = coverage_raster(region, sensor_positions, rs, resolution=resolution)
+    raster = coverage_raster(
+        region, sensor_positions, rs, resolution=resolution, field=field
+    )
     return float(np.count_nonzero(raster < k)) / raster.size

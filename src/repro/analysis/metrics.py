@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.redundancy import redundancy_fraction
 from repro.core.result import DeploymentResult

@@ -21,7 +21,6 @@ import argparse
 import os
 import sys
 
-import numpy as np
 
 from repro._version import __version__
 from repro.analysis.metrics import evaluate_deployment

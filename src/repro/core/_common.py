@@ -8,6 +8,7 @@ from scipy import sparse
 from repro.core.benefit import BenefitEngine
 from repro.core.result import DeploymentResult, MessageStats, PlacementTrace
 from repro.errors import PlacementError
+from repro.field import FieldModel, as_field_model
 from repro.geometry.points import as_points
 from repro.network.coverage import CoverageState
 from repro.network.deployment import Deployment
@@ -31,18 +32,20 @@ def placement_budget(n_points: int, k: int, max_nodes: int | None) -> int:
 
 
 def init_run(
-    field_points: np.ndarray,
+    field_points: np.ndarray | FieldModel,
     spec: SensorSpec,
     k: int,
     initial_positions: np.ndarray | None,
     *,
     benefit_adjacency: sparse.csr_matrix | None = None,
     benefit_mode: str = "deficiency",
-) -> tuple[Deployment, BenefitEngine]:
-    """Build the deployment and benefit engine, accounting initial nodes."""
-    pts = as_points(field_points)
+) -> tuple[FieldModel, Deployment, BenefitEngine]:
+    """Build the field model, deployment and benefit engine, accounting
+    initial nodes.  Passing an existing :class:`FieldModel` shares its
+    cached adjacency/index across runs."""
+    field = as_field_model(field_points)
     engine = BenefitEngine(
-        pts,
+        field,
         spec.sensing_radius,
         k,
         benefit_adjacency=benefit_adjacency,
@@ -54,14 +57,14 @@ def init_run(
             engine.add_sensor_at_position(deployment.position_of(int(nid)))
     else:
         deployment = Deployment()
-    return deployment, engine
+    return field, deployment, engine
 
 
 def finalize(
     *,
     method: str,
     k: int,
-    field_points: np.ndarray,
+    field_points: np.ndarray | FieldModel,
     spec: SensorSpec,
     deployment: Deployment,
     added_ids: np.ndarray,

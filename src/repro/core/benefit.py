@@ -29,8 +29,9 @@ import numpy as np
 from scipy import sparse
 
 from repro.errors import CoverageError, PlacementError
-from repro.geometry.neighbors import NeighborIndex, radius_adjacency
-from repro.geometry.points import as_point, as_points
+from repro.field import FieldModel, as_field_model
+from repro.field.model import same_cell_adjacency_of
+from repro.geometry.points import as_point
 
 __all__ = ["BenefitEngine", "same_cell_benefit_adjacency"]
 
@@ -41,15 +42,13 @@ def same_cell_benefit_adjacency(
     """Filter an adjacency to pairs lying in the same cell.
 
     This encodes the grid leader's information horizon: it only counts
-    benefit toward points of its own cell (§3.3).
+    benefit toward points of its own cell (§3.3).  CSR inputs are masked in
+    place through ``indptr``/``indices`` (no COO round-trip) and the output
+    is asserted to stay symmetric; prefer
+    :meth:`repro.field.FieldModel.same_cell_adjacency` when a shared model
+    is available (it memoises the result).
     """
-    coo = coverage_adjacency.tocoo()
-    cells = np.asarray(cell_of_point)
-    keep = cells[coo.row] == cells[coo.col]
-    return sparse.csr_matrix(
-        (coo.data[keep], (coo.row[keep], coo.col[keep])),
-        shape=coverage_adjacency.shape,
-    )
+    return same_cell_adjacency_of(coverage_adjacency, cell_of_point)
 
 
 class BenefitEngine:
@@ -58,7 +57,10 @@ class BenefitEngine:
     Parameters
     ----------
     field_points:
-        ``(n, 2)`` field approximation; candidates are exactly these points.
+        ``(n, 2)`` field approximation (candidates are exactly these
+        points), or a shared :class:`~repro.field.FieldModel` over it —
+        engines built on the same model reuse one cached ``rs`` adjacency
+        and neighbour index instead of rebuilding them.
     sensing_radius:
         ``rs``.
     k:
@@ -90,7 +92,7 @@ class BenefitEngine:
 
     def __init__(
         self,
-        field_points: np.ndarray,
+        field_points: np.ndarray | FieldModel,
         sensing_radius: float,
         k: int | np.ndarray,
         *,
@@ -103,7 +105,8 @@ class BenefitEngine:
                 f"benefit_mode must be 'deficiency' or 'binary', got {benefit_mode!r}"
             )
         self._mode = benefit_mode
-        self._points = as_points(field_points)
+        self._field = as_field_model(field_points)
+        self._points = self._field.points
         self._rs = float(sensing_radius)
         n = self._points.shape[0]
         # k may be a scalar (the paper's uniform requirement) or a per-point
@@ -128,12 +131,11 @@ class BenefitEngine:
                 raise CoverageError("at least one point must require coverage")
             self._k_scalar = None
             self._karr = k_arr.copy()
-        self._cov = radius_adjacency(self._points, self._rs)
-        self._ben = self._cov if benefit_adjacency is None else benefit_adjacency.tocsr()
-        if self._ben.shape != (n, n):
-            raise CoverageError(
-                f"benefit adjacency shape {self._ben.shape} != ({n}, {n})"
-            )
+        self._cov = self._field.adjacency(self._rs)
+        if benefit_adjacency is None:
+            self._ben = self._cov
+        else:
+            self._ben = self._validated_benefit_adjacency(benefit_adjacency, n)
         if initial_counts is None:
             self._counts = np.zeros(n, dtype=np.int64)
         else:
@@ -142,7 +144,32 @@ class BenefitEngine:
                 raise CoverageError("invalid initial counts")
             self._counts = counts.copy()
         self._benefit = self._ben @ self._weights()
-        self._field_index: NeighborIndex | None = None  # lazy, for off-grid sensors
+
+    @staticmethod
+    def _validated_benefit_adjacency(
+        benefit_adjacency, n: int
+    ) -> sparse.csr_matrix:
+        """Check a caller-supplied benefit adjacency before it reaches the
+        sparse kernels (shape and symmetry violations would otherwise fail
+        deep inside scipy with opaque errors)."""
+        if not sparse.issparse(benefit_adjacency):
+            raise CoverageError(
+                "benefit_adjacency must be a scipy sparse matrix, got "
+                f"{type(benefit_adjacency).__name__}"
+            )
+        ben = benefit_adjacency.tocsr()
+        if ben.shape != (n, n):
+            raise CoverageError(
+                f"benefit adjacency shape {ben.shape} != ({n}, {n}); it must "
+                "match the coverage adjacency over the field points"
+            )
+        if (ben - ben.T).nnz != 0:
+            raise CoverageError(
+                "benefit adjacency must be symmetric (the benefit sum of "
+                "Eq. 1 is over an undirected neighbourhood); see "
+                "same_cell_benefit_adjacency for a valid construction"
+            )
+        return ben
 
     def _weights(self) -> np.ndarray:
         """Per-point weight in the benefit sum, by mode."""
@@ -189,6 +216,11 @@ class BenefitEngine:
     @property
     def coverage_adjacency(self) -> sparse.csr_matrix:
         return self._cov
+
+    @property
+    def field(self) -> FieldModel:
+        """The shared spatial model of the field approximation."""
+        return self._field
 
     def deficiency(self) -> np.ndarray:
         return np.maximum(self._karr - self._counts, 0)
@@ -278,9 +310,7 @@ class BenefitEngine:
         Returns the covered field-point indices (keep them if the sensor may
         later fail, for :meth:`remove_covered`).
         """
-        if self._field_index is None:
-            self._field_index = NeighborIndex(self._points)
-        covered = self._field_index.query_ball(as_point(position), self._rs)
+        covered = self._field.query_ball(as_point(position), self._rs)
         return self._apply_delta(covered, +1).copy()
 
     def remove_covered(self, covered: np.ndarray) -> None:

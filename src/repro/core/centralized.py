@@ -33,7 +33,8 @@ def centralized_greedy(
     Parameters
     ----------
     field_points:
-        ``(n, 2)`` low-discrepancy approximation of the area.
+        ``(n, 2)`` low-discrepancy approximation of the area, or a shared
+        :class:`~repro.field.FieldModel` over it.
     spec:
         Sensor radii; only ``rs`` matters for the centralized algorithm.
     k:
@@ -53,9 +54,10 @@ def centralized_greedy(
     DeploymentResult
         With ``method == "centralized"`` and one trace entry per added node.
     """
-    deployment, engine = init_run(
+    field, deployment, engine = init_run(
         field_points, spec, k, initial_positions, benefit_mode=benefit_mode
     )
+    pts = field.points
     trace = PlacementTrace()
     added: list[int] = []
     budget = placement_budget(engine.n_points, k, max_nodes)
@@ -70,13 +72,13 @@ def centralized_greedy(
             # impossible: a deficient point is its own candidate with b >= 1
             raise PlacementError("no positive-benefit candidate remains")
         engine.place_at(idx)
-        pos = field_points[idx]
+        pos = pts[idx]
         added.append(deployment.add(pos))
         trace.record(pos, benefit, engine.covered_fraction())
     return finalize(
         method="centralized",
         k=k,
-        field_points=field_points,
+        field_points=field,
         spec=spec,
         deployment=deployment,
         added_ids=np.asarray(added, dtype=np.intp),

@@ -21,12 +21,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core._common import finalize, init_run, placement_budget
-from repro.core.benefit import same_cell_benefit_adjacency
 from repro.core.result import DeploymentResult, MessageStats, PlacementTrace
 from repro.errors import PlacementError
-from repro.geometry.grid import GridPartition
-from repro.geometry.neighbors import radius_adjacency
-from repro.geometry.points import as_points
+from repro.field import as_field_model
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
 
@@ -49,7 +46,10 @@ def grid_decor(
     Parameters
     ----------
     field_points:
-        ``(n, 2)`` field approximation; must lie inside ``region``.
+        ``(n, 2)`` field approximation (must lie inside ``region``), or a
+        shared :class:`~repro.field.FieldModel` over it — repeated grid runs
+        on one model reuse the cached cell assignment and same-cell
+        adjacency.
     spec:
         Sensor radii.  ``rs`` drives coverage/benefit; ``rc`` is assumed
         large enough for leader-to-leader communication (the paper picks
@@ -71,16 +71,17 @@ def grid_decor(
     DeploymentResult
         ``method == "grid"``; ``messages`` holds the per-cell accounting.
     """
-    pts = as_points(field_points)
-    partition = GridPartition.square_cells(region, cell_size)
-    cell_of_point = partition.cell_of(pts)
-    coverage_adjacency = radius_adjacency(pts, spec.sensing_radius)
-    benefit_adjacency = same_cell_benefit_adjacency(coverage_adjacency, cell_of_point)
-    deployment, engine = init_run(
-        pts, spec, k, initial_positions, benefit_adjacency=benefit_adjacency
+    field = as_field_model(field_points)
+    pts = field.points
+    partition = field.grid_partition(region, cell_size)
+    benefit_adjacency = field.same_cell_adjacency(
+        spec.sensing_radius, region, cell_size
+    )
+    _, deployment, engine = init_run(
+        field, spec, k, initial_positions, benefit_adjacency=benefit_adjacency
     )
 
-    points_by_cell = partition.points_by_cell(pts)
+    points_by_cell = field.points_by_cell(region, cell_size)
     occupied_cells = [
         c for c in range(partition.n_cells) if points_by_cell[c].size
     ]
@@ -139,7 +140,7 @@ def grid_decor(
     return finalize(
         method="grid",
         k=k,
-        field_points=pts,
+        field_points=field,
         spec=spec,
         deployment=deployment,
         added_ids=np.asarray(added, dtype=np.intp),

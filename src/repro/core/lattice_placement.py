@@ -26,7 +26,8 @@ import numpy as np
 from repro.core._common import finalize, init_run, placement_budget
 from repro.core.result import DeploymentResult, PlacementTrace
 from repro.errors import PlacementError
-from repro.geometry.points import as_points, bounding_rect_of
+from repro.field import as_field_model
+from repro.geometry.points import bounding_rect_of
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
 
@@ -117,13 +118,14 @@ def lattice_placement(
     is greedy slack vs intrinsic covering cost (ablation benchmark
     ``test_ablation_lattice``).
     """
-    pts = as_points(field_points)
+    field = as_field_model(field_points)
+    pts = field.points
     if region is None:
         region = bounding_rect_of(pts)
     if k < 1:
         raise PlacementError(f"k must be >= 1, got {k}")
 
-    deployment, engine = init_run(pts, spec, k, None)
+    _, deployment, engine = init_run(field, spec, k, None)
     trace = PlacementTrace()
     added: list[int] = []
     budget = placement_budget(engine.n_points, k, max_nodes)
@@ -163,7 +165,7 @@ def lattice_placement(
     return finalize(
         method="lattice",
         k=k,
-        field_points=pts,
+        field_points=field,
         spec=spec,
         deployment=deployment,
         added_ids=np.asarray(added, dtype=np.intp),

@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.core.result import PlacementTrace
 from repro.errors import CoverageError, PlacementError
-from repro.geometry.neighbors import NeighborIndex, radius_adjacency
-from repro.geometry.points import as_point, as_points
+from repro.field import FieldModel, as_field_model
+from repro.geometry.points import as_point
 from repro.network.coverage import CoverageState
 from repro.network.heterogeneous import MixedDeployment, SensorType
 
@@ -47,13 +47,14 @@ class MixedBenefitEngine:
 
     def __init__(
         self,
-        field_points: np.ndarray,
+        field_points: np.ndarray | FieldModel,
         types: tuple[SensorType, ...] | list[SensorType],
         k: int,
     ):
         if k < 1:
             raise CoverageError(f"k must be >= 1, got {k}")
-        self._points = as_points(field_points)
+        self._field = as_field_model(field_points)
+        self._points = self._field.points
         self._types = tuple(types)
         if not self._types:
             raise CoverageError("need at least one sensor type")
@@ -63,13 +64,14 @@ class MixedBenefitEngine:
         self._k = int(k)
         n = self._points.shape[0]
         self._counts = np.zeros(n, dtype=np.int64)
+        # one shared model supplies every per-type adjacency (memoised by
+        # radius, so duplicate radii across the catalog cost one build)
         self._adj = {
-            t.name: radius_adjacency(self._points, t.sensing_radius)
+            t.name: self._field.adjacency(t.sensing_radius)
             for t in self._types
         }
         d = self._deficiency().astype(np.float64)
         self._benefit = {name: adj @ d for name, adj in self._adj.items()}
-        self._index = NeighborIndex(self._points)
 
     # ------------------------------------------------------------------
     @property
@@ -158,7 +160,7 @@ class MixedBenefitEngine:
         """Account for an existing sensor of arbitrary position/radius."""
         if sensing_radius <= 0:
             raise CoverageError("sensing radius must be positive")
-        covered = self._index.query_ball(as_point(position), sensing_radius)
+        covered = self._field.query_ball(as_point(position), sensing_radius)
         self._apply(covered, +1)
         return covered.copy()
 
@@ -238,13 +240,14 @@ def mixed_centralized_greedy(
     -------
     MixedDeploymentResult
     """
-    pts = as_points(field_points)
-    engine = MixedBenefitEngine(pts, types, k)
+    field = as_field_model(field_points)
+    pts = field.points
+    engine = MixedBenefitEngine(field, types, k)
     deployment = MixedDeployment(types)
     min_rs = min(t.sensing_radius for t in types)
     # the coverage state needs a radius; per-sensor radii are passed on add,
     # so the constructor radius is only the default (never used below)
-    coverage = CoverageState(pts, min_rs)
+    coverage = CoverageState(field, min_rs)
 
     # existing sensors register under negative keys so the added fleet keeps
     # the deployment's 0-based node ids

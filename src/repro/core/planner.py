@@ -21,6 +21,7 @@ from repro.core.result import DeploymentResult
 from repro.core.voronoi_decor import voronoi_decor
 from repro.discrepancy.sequences import field_points as make_field_points
 from repro.errors import ConfigurationError
+from repro.field import FieldModel
 from repro.geometry.region import Rect
 from repro.network.failures import FailureEvent
 from repro.network.reliability import required_k
@@ -34,7 +35,7 @@ METHODS: tuple[str, ...] = ("centralized", "grid", "voronoi", "random")
 
 def run_method(
     name: str,
-    field_points: np.ndarray,
+    field_points: np.ndarray | FieldModel,
     spec: SensorSpec,
     k: int,
     *,
@@ -101,6 +102,9 @@ class DecorPlanner:
         Point generator name ("halton", "hammersley", ...).
     seed:
         Seed for all stochastic choices (random baseline, failure models).
+    backend:
+        Neighbour-search backend for the planner's shared
+        :class:`~repro.field.FieldModel` (``None`` = env/default).
 
     Examples
     --------
@@ -119,6 +123,7 @@ class DecorPlanner:
         n_points: int = 2000,
         generator: str = "halton",
         seed: int = 0,
+        backend: str | None = None,
     ):
         if n_points < 1:
             raise ConfigurationError(f"n_points must be >= 1, got {n_points}")
@@ -126,7 +131,17 @@ class DecorPlanner:
         self.spec = spec
         self.generator = generator
         self.rng = np.random.default_rng(seed)
-        self.field_points = make_field_points(region, n_points, generator, self.rng)
+        # one shared spatial model serves every deploy/restore of this
+        # planner: indices and adjacencies are built once, then reused
+        self.field = FieldModel(
+            make_field_points(region, n_points, generator, self.rng),
+            backend=backend,
+        )
+
+    @property
+    def field_points(self) -> np.ndarray:
+        """The field approximation (read-only view of the shared model)."""
+        return self.field.points
 
     # ------------------------------------------------------------------
     def k_for_reliability(self, target_reliability: float, q: float) -> int:
@@ -149,7 +164,7 @@ class DecorPlanner:
         """Deploy (or restore) to full k-coverage with the named method."""
         return run_method(
             method,
-            self.field_points,
+            self.field,
             self.spec,
             k,
             region=self.region,
@@ -183,7 +198,7 @@ class DecorPlanner:
         else:
             raise ConfigurationError(f"unknown method {method!r}; known: {METHODS}")
         return restore(
-            self.field_points,
+            self.field,
             self.spec,
             result.deployment,
             failure,

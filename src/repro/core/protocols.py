@@ -29,11 +29,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core._common import init_run, placement_budget
-from repro.core.benefit import same_cell_benefit_adjacency
 from repro.errors import PlacementError, SimulationError
-from repro.geometry.grid import GridPartition
-from repro.geometry.neighbors import radius_adjacency
-from repro.geometry.points import as_points
+from repro.field import as_field_model
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
 from repro.sim.engine import Simulator
@@ -192,15 +189,16 @@ def run_grid_protocol(
     PlacementError
         If the protocol stalls or exceeds its placement budget.
     """
-    pts = as_points(field_points)
-    partition = GridPartition.square_cells(region, cell_size)
-    cell_of_point = partition.cell_of(pts)
-    coverage_adjacency = radius_adjacency(pts, spec.sensing_radius)
-    benefit_adjacency = same_cell_benefit_adjacency(coverage_adjacency, cell_of_point)
-    _, engine = init_run(
-        pts, spec, k, initial_positions, benefit_adjacency=benefit_adjacency
+    field = as_field_model(field_points)
+    pts = field.points
+    partition = field.grid_partition(region, cell_size)
+    benefit_adjacency = field.same_cell_adjacency(
+        spec.sensing_radius, region, cell_size
     )
-    points_by_cell = partition.points_by_cell(pts)
+    _, _, engine = init_run(
+        field, spec, k, initial_positions, benefit_adjacency=benefit_adjacency
+    )
+    points_by_cell = field.points_by_cell(region, cell_size)
     budget = placement_budget(engine.n_points, k, max_nodes)
 
     sim = Simulator()

@@ -55,9 +55,9 @@ def random_placement(
     """
     if batch_size < 1:
         raise PlacementError(f"batch_size must be >= 1, got {batch_size}")
-    deployment, engine = init_run(field_points, spec, k, initial_positions)
+    field, deployment, engine = init_run(field_points, spec, k, initial_positions)
     if region is None:
-        region = bounding_rect_of(field_points)
+        region = bounding_rect_of(field.points)
     trace = PlacementTrace()
     added: list[int] = []
     budget = placement_budget(engine.n_points, k, max_nodes)
@@ -76,7 +76,7 @@ def random_placement(
     return finalize(
         method="random",
         k=k,
-        field_points=field_points,
+        field_points=field,
         spec=spec,
         deployment=deployment,
         added_ids=np.asarray(added, dtype=np.intp),

@@ -38,7 +38,10 @@ def redundant_nodes(
     ----------
     coverage:
         Coverage state of the deployment under scrutiny.  Not mutated — the
-        sequential deductions happen on a scratch copy of the counts.
+        sequential deductions happen on a scratch copy of the counts.  No
+        spatial index is (re)built here: the per-sensor cover sets recorded
+        by the state's shared :class:`~repro.field.FieldModel` queries are
+        all the geometry redundancy needs.
     k:
         The coverage requirement the deployment must keep satisfying.
     order:

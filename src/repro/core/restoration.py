@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.result import DeploymentResult
 from repro.errors import ExperimentError
+from repro.field import FieldModel, as_field_model
 from repro.network.coverage import CoverageState
 from repro.network.deployment import Deployment
 from repro.network.failures import FailureEvent
@@ -50,7 +51,7 @@ class RestorationReport:
 
 
 def coverage_after_failure(
-    field_points: np.ndarray,
+    field_points: np.ndarray | FieldModel,
     spec: SensorSpec,
     deployment: Deployment,
     failure: FailureEvent,
@@ -61,14 +62,15 @@ def coverage_after_failure(
     Works on a copy; neither the deployment nor any coverage state is
     mutated.  This is the measurement behind Figures 11 and 13.
     """
+    field = as_field_model(field_points)
     survivor = deployment.copy()
     survivor.fail(failure.node_ids)
-    cov = CoverageState.from_deployment(field_points, spec.sensing_radius, survivor)
+    cov = CoverageState.from_deployment(field, spec.sensing_radius, survivor)
     return cov.covered_fraction(k)
 
 
 def restore(
-    field_points: np.ndarray,
+    field_points: np.ndarray | FieldModel,
     spec: SensorSpec,
     deployment: Deployment,
     failure: FailureEvent,
@@ -81,7 +83,10 @@ def restore(
     Parameters
     ----------
     field_points, spec, k:
-        The field approximation and requirement the network must satisfy.
+        The field approximation (points or a shared
+        :class:`~repro.field.FieldModel`) and requirement the network must
+        satisfy; one model serves the before/after coverage measurements
+        and the repair run.
     deployment:
         The damaged network's deployment *before* the failure; it is copied,
         never mutated.
@@ -100,18 +105,19 @@ def restore(
     -------
     RestorationReport
     """
+    field = as_field_model(field_points)
     before = CoverageState.from_deployment(
-        field_points, spec.sensing_radius, deployment
+        field, spec.sensing_radius, deployment
     ).covered_fraction(k)
 
     survivor = deployment.copy()
     survivor.fail(failure.node_ids)
     after_failure = CoverageState.from_deployment(
-        field_points, spec.sensing_radius, survivor
+        field, spec.sensing_radius, survivor
     ).covered_fraction(k)
 
     repair = method(
-        field_points,
+        field,
         spec,
         k,
         initial_positions=survivor.alive_positions(),

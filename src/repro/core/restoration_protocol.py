@@ -29,10 +29,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.benefit import BenefitEngine, same_cell_benefit_adjacency
+from repro.core.benefit import BenefitEngine
 from repro.errors import PlacementError, SimulationError
-from repro.geometry.grid import GridPartition
-from repro.geometry.neighbors import radius_adjacency
+from repro.field import as_field_model
 from repro.geometry.points import as_points
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
@@ -270,7 +269,8 @@ def run_restoration_protocol(
     -------
     RestorationProtocolReport
     """
-    pts = as_points(field_points)
+    field = as_field_model(field_points)
+    pts = field.points
     sensors = as_points(sensor_positions)
     failed = np.asarray(failed_node_ids, dtype=np.intp).reshape(-1)
     if failed.size and (failed.min() < 0 or failed.max() >= len(sensors)):
@@ -278,14 +278,12 @@ def run_restoration_protocol(
     config = heartbeat or HeartbeatConfig()
     rng = np.random.default_rng(seed)
 
-    partition = GridPartition.square_cells(region, cell_size)
-    cell_of_point = partition.cell_of(pts)
-    cov_adj = radius_adjacency(pts, spec.sensing_radius)
-    ben_adj = same_cell_benefit_adjacency(cov_adj, cell_of_point)
+    partition = field.grid_partition(region, cell_size)
+    ben_adj = field.same_cell_adjacency(spec.sensing_radius, region, cell_size)
     engine = BenefitEngine(
-        pts, spec.sensing_radius, k, benefit_adjacency=ben_adj
+        field, spec.sensing_radius, k, benefit_adjacency=ben_adj
     )
-    points_by_cell = partition.points_by_cell(pts)
+    points_by_cell = field.points_by_cell(region, cell_size)
 
     sim = Simulator()
     radio = Radio(sim, spec.communication_radius)

@@ -26,7 +26,7 @@ import numpy as np
 from repro.core._common import finalize, init_run, placement_budget
 from repro.core.result import DeploymentResult, MessageStats, PlacementTrace
 from repro.errors import PlacementError
-from repro.geometry.points import as_points, squared_distances_to
+from repro.geometry.points import squared_distances_to
 from repro.geometry.voronoi import VoronoiOwnership
 from repro.network.spec import SensorSpec
 
@@ -79,7 +79,8 @@ def voronoi_decor(
     Parameters
     ----------
     field_points:
-        ``(n, 2)`` field approximation.
+        ``(n, 2)`` field approximation, or a shared
+        :class:`~repro.field.FieldModel` over it.
     spec:
         Sensor radii; ``rc`` is the knowledge/notification horizon (paper
         sweeps ``rc = 8`` vs ``rc = 10 * sqrt(2)``).
@@ -98,8 +99,8 @@ def voronoi_decor(
         node that placed at least one sensor... per *added or initial* node
         id, since in this architecture every node is its own cell.
     """
-    pts = as_points(field_points)
-    deployment, engine = init_run(pts, spec, k, initial_positions)
+    field, deployment, engine = init_run(field_points, spec, k, initial_positions)
+    pts = field.points
     trace = PlacementTrace()
     added: list[int] = []
 
@@ -181,7 +182,7 @@ def voronoi_decor(
     return finalize(
         method="voronoi",
         k=k,
-        field_points=pts,
+        field_points=field,
         spec=spec,
         deployment=deployment,
         added_ids=np.asarray(added, dtype=np.intp),

@@ -16,7 +16,11 @@
 """
 
 from repro.experiments.setup import ExperimentSetup, Series, SERIES, series_by_name
-from repro.experiments.runner import DeploymentCache, run_series
+from repro.experiments.runner import (
+    DeploymentCache,
+    field_model_for_seed,
+    run_series,
+)
 from repro.experiments.figures import (
     FigureResult,
     fig07_coverage_vs_nodes,
@@ -48,6 +52,7 @@ __all__ = [
     "SERIES",
     "series_by_name",
     "DeploymentCache",
+    "field_model_for_seed",
     "run_series",
     "FigureResult",
     "fig07_coverage_vs_nodes",

@@ -37,8 +37,8 @@ from repro.core.grid_decor import grid_decor
 from repro.core.random_placement import random_placement
 from repro.core.voronoi_decor import voronoi_decor
 from repro.errors import ExperimentError
-from repro.experiments.runner import DeploymentCache, field_for_seed
-from repro.experiments.setup import DECOR_SERIES, SERIES, ExperimentSetup, Series
+from repro.experiments.runner import DeploymentCache
+from repro.experiments.setup import DECOR_SERIES, SERIES, ExperimentSetup
 from repro.network.coverage import CoverageState
 from repro.network.failures import area_failure
 
@@ -109,7 +109,7 @@ def fig07_coverage_vs_nodes(
     n_grid: int = 40,
 ) -> FigureResult:
     """Percentage of k-covered points vs number of deployed nodes (Fig 7)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     k = _effective_k(setup, k)
     # common node-count grid spanning all series (random reaches furthest)
     per_series_curves: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
@@ -147,7 +147,7 @@ def fig08_nodes_vs_k(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
     """Nodes needed for 100% k-coverage vs k (Fig 8)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     ks = np.asarray(setup.k_values, dtype=float)
     out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for series in SERIES:
@@ -172,7 +172,7 @@ def fig09_redundancy(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
     """Percentage of redundant nodes vs k (Fig 9)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     ks = np.asarray(setup.k_values, dtype=float)
     out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     absolute: dict[str, list[float]] = {}
@@ -206,7 +206,7 @@ def fig10_messages(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
     """Message overhead of the four distributed variants vs k (Fig 10)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     ks = np.asarray(setup.k_values, dtype=float)
     out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     per_node: dict[str, list[float]] = {}
@@ -248,7 +248,7 @@ def fig11_random_failures(
     n_fractions: int = 7,
 ) -> FigureResult:
     """k-covered fraction vs fraction of random node failures (Fig 11)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     k = _effective_k(setup, k)
     fractions = np.linspace(0.0, max_fraction, n_fractions)
     out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
@@ -287,7 +287,7 @@ def fig12_max_failures(
     target_fraction: float = 0.9,
 ) -> FigureResult:
     """Max failure fraction keeping 1-coverage of >= 90% of the area (Fig 12)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     ks = np.asarray(setup.k_values, dtype=float)
     out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for series in SERIES:
@@ -326,7 +326,7 @@ def fig13_area_failure(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
     """k-covered fraction right after the disaster disc (Fig 13)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     ks = np.asarray(setup.k_values, dtype=float)
     out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for series in SERIES:
@@ -339,7 +339,7 @@ def fig13_area_failure(
                 survivor = result.deployment.copy()
                 survivor.fail(event.node_ids)
                 cov = CoverageState.from_deployment(
-                    result.coverage.field_points, setup.rs, survivor
+                    result.coverage.field, setup.rs, survivor
                 )
                 vals.append(cov.covered_fraction(k))
             ys.append(100.0 * float(np.mean(vals)))
@@ -366,7 +366,7 @@ def fig14_restoration(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
     """Extra nodes needed to restore coverage after the disaster (Fig 14)."""
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     ks = np.asarray(setup.k_values, dtype=float)
     out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for series in SERIES:
@@ -376,7 +376,7 @@ def fig14_restoration(
             for seed in _seeds(setup):
                 result = cache.get(series, k, seed)
                 event = _disaster(setup, result)
-                pts = field_for_seed(setup, seed)
+                pts = cache.field(seed)
                 method = _METHOD_FNS[series.method]
                 kwargs: dict = {}
                 if series.method == "grid":

@@ -9,6 +9,12 @@ Seeding discipline: run ``seed`` fully determines the random initial
 deployment, the field (for stochastic generators) and every stochastic
 choice of the methods, so results are bitwise reproducible; the 5-run
 averages of the paper map to seeds ``0..4``.
+
+The cache also owns one :class:`~repro.field.FieldModel` per seed
+(:meth:`DeploymentCache.field`): all six series and the entire k sweep of a
+figure suite share that model's KD-tree/adjacency caches, so each spatial
+index is built at most once per (field, radius) — the model's build
+counters make this assertable in tests.
 """
 
 from __future__ import annotations
@@ -20,8 +26,15 @@ from repro.core.result import DeploymentResult
 from repro.discrepancy.randomization import cranley_patterson_rotation
 from repro.discrepancy.sequences import unit_points
 from repro.experiments.setup import ExperimentSetup, Series, series_by_name
+from repro.field import FieldModel
 
-__all__ = ["field_for_seed", "initial_for_seed", "run_series", "DeploymentCache"]
+__all__ = [
+    "field_for_seed",
+    "field_model_for_seed",
+    "initial_for_seed",
+    "run_series",
+    "DeploymentCache",
+]
 
 
 def field_for_seed(setup: ExperimentSetup, seed: int) -> np.ndarray:
@@ -39,6 +52,18 @@ def field_for_seed(setup: ExperimentSetup, seed: int) -> np.ndarray:
     return setup.region.scale_unit_points(unit)
 
 
+def field_model_for_seed(
+    setup: ExperimentSetup, seed: int, *, backend: str | None = None
+) -> FieldModel:
+    """A fresh :class:`~repro.field.FieldModel` over :func:`field_for_seed`.
+
+    Use :meth:`DeploymentCache.field` when running a whole suite — it hands
+    out the *same* model per seed so every series and every k share the
+    cached indices.
+    """
+    return FieldModel(field_for_seed(setup, seed), backend=backend)
+
+
 def initial_for_seed(setup: ExperimentSetup, seed: int) -> np.ndarray:
     """The random initial deployment (paper: up to 200 nodes) for one run."""
     rng = np.random.default_rng(20_000 + seed)
@@ -53,6 +78,7 @@ def run_series(
     *,
     initial_positions: np.ndarray | None = None,
     use_initial: bool = True,
+    field: FieldModel | None = None,
 ) -> DeploymentResult:
     """Run one series at one (k, seed); returns the full placement result.
 
@@ -64,10 +90,14 @@ def run_series(
     use_initial:
         If false, start from an empty field (Figure 7's from-scratch
         trajectories also work seeded; both are supported).
+    field:
+        A shared :class:`~repro.field.FieldModel` for this seed's field.
+        Must cover the same points :func:`field_for_seed` would produce;
+        ``None`` builds the points (and a throwaway model) internally.
     """
     if isinstance(series, str):
         series = series_by_name(series)
-    pts = field_for_seed(setup, seed)
+    pts = field if field is not None else field_for_seed(setup, seed)
     spec = setup.spec_for(series)
     if initial_positions is None and use_initial:
         initial_positions = initial_for_seed(setup, seed)
@@ -92,19 +122,41 @@ class DeploymentCache:
     node counts sit at the disc-packing bound, impossible when 200 randomly
     pre-placed nodes are part of the total); the failure figures then damage
     these same deployments.
+
+    One :class:`~repro.field.FieldModel` per seed (:meth:`field`) backs
+    every run: the six series and the whole k sweep reuse its cached
+    KD-tree, ``rs``-adjacencies and grid decompositions.
     """
 
-    def __init__(self, setup: ExperimentSetup, *, use_initial: bool = False):
+    def __init__(
+        self,
+        setup: ExperimentSetup,
+        *,
+        use_initial: bool = False,
+        backend: str | None = None,
+    ):
         self.setup = setup
         self.use_initial = use_initial
+        self.backend = backend
         self._store: dict[tuple[str, int, int], DeploymentResult] = {}
+        self._fields: dict[int, FieldModel] = {}
+
+    def field(self, seed: int) -> FieldModel:
+        """The shared per-seed :class:`~repro.field.FieldModel`."""
+        key = int(seed)
+        if key not in self._fields:
+            self._fields[key] = field_model_for_seed(
+                self.setup, key, backend=self.backend
+            )
+        return self._fields[key]
 
     def get(self, series: Series | str, k: int, seed: int) -> DeploymentResult:
         name = series if isinstance(series, str) else series.name
         key = (name, int(k), int(seed))
         if key not in self._store:
             self._store[key] = run_series(
-                self.setup, name, k, seed, use_initial=self.use_initial
+                self.setup, name, k, seed,
+                use_initial=self.use_initial, field=self.field(seed),
             )
         return self._store[key]
 

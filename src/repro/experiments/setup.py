@@ -16,7 +16,7 @@ scale-free.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 from repro.geometry.region import Rect

@@ -60,7 +60,7 @@ def method_summary(
         raise ExperimentError(
             f"k={k} not in the setup's k_values {setup.k_values}"
         )
-    cache = cache or DeploymentCache(setup)
+    cache = cache if cache is not None else DeploymentCache(setup)
     out: list[MethodSummary] = []
     for series in SERIES:
         nodes, red, mpc, mpn, tol, repair_nodes = [], [], [], [], [], []

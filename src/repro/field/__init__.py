@@ -1,0 +1,37 @@
+"""Shared field-geometry layer: one memoised spatial model per field.
+
+:class:`FieldModel` owns a field approximation's points and lazily builds,
+caches and shares every spatial artifact the DECOR pipeline needs (neighbour
+index, radius adjacencies, grid decompositions, probe grids) behind a small
+registry of interchangeable neighbour-search backends.  See
+:mod:`repro.field.model` for the artifact/cache-key table and
+:mod:`repro.field.backends` for the backend registry.
+"""
+
+from repro.field.backends import (
+    BACKEND_ENV_VAR,
+    GridHashBackend,
+    KDTreeBackend,
+    available_backends,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.field.model import (
+    FieldModel,
+    FieldModelStats,
+    as_field_model,
+    same_cell_adjacency_of,
+)
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "FieldModel",
+    "FieldModelStats",
+    "GridHashBackend",
+    "KDTreeBackend",
+    "as_field_model",
+    "available_backends",
+    "register_backend",
+    "resolve_backend_name",
+    "same_cell_adjacency_of",
+]

@@ -5,7 +5,8 @@ set; coverage of the area is then the vector of per-point coverage counts
 ``k_p`` = number of alive sensors within the sensing radius of point ``p``
 (§3.2).  :class:`CoverageState` maintains that vector incrementally: adding
 or removing a sensor touches only the points inside its sensing disc, found
-with one KD-tree ball query — never a global recount.
+with one ball query against the shared :class:`~repro.field.FieldModel` —
+never a global recount.
 """
 
 from __future__ import annotations
@@ -13,8 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CoverageError, GeometryError
-from repro.geometry.neighbors import NeighborIndex
-from repro.geometry.points import as_point, as_points
+from repro.field import FieldModel, as_field_model
+from repro.geometry.points import as_point
 
 __all__ = ["CoverageState"]
 
@@ -25,7 +26,9 @@ class CoverageState:
     Parameters
     ----------
     field_points:
-        ``(n, 2)`` approximation of the monitored area.
+        ``(n, 2)`` approximation of the monitored area, or a shared
+        :class:`~repro.field.FieldModel` over it (which lets many coverage
+        states reuse one neighbour index).
     sensing_radius:
         The sensors' common sensing radius ``rs``.
 
@@ -45,14 +48,16 @@ class CoverageState:
     0.5
     """
 
-    def __init__(self, field_points: np.ndarray, sensing_radius: float):
-        self._points = as_points(field_points)
+    def __init__(
+        self, field_points: np.ndarray | FieldModel, sensing_radius: float
+    ):
+        self._field = as_field_model(field_points)
+        self._points = self._field.points
         if self._points.shape[0] == 0:
             raise GeometryError("the field approximation must be non-empty")
         if sensing_radius <= 0:
             raise GeometryError(f"sensing radius must be positive, got {sensing_radius}")
         self._rs = float(sensing_radius)
-        self._index = NeighborIndex(self._points)
         self._counts = np.zeros(self._points.shape[0], dtype=np.int64)
         self._covered_by: dict[int, np.ndarray] = {}
 
@@ -61,7 +66,7 @@ class CoverageState:
     # ------------------------------------------------------------------
     @classmethod
     def from_deployment(
-        cls, field_points: np.ndarray, sensing_radius: float, deployment
+        cls, field_points: np.ndarray | FieldModel, sensing_radius: float, deployment
     ) -> "CoverageState":
         """Coverage state of a deployment's *alive* nodes (keys = node ids)."""
         state = cls(field_points, sensing_radius)
@@ -77,6 +82,11 @@ class CoverageState:
         view = self._points.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def field(self) -> FieldModel:
+        """The shared spatial model of the field approximation."""
+        return self._field
 
     @property
     def sensing_radius(self) -> float:
@@ -155,7 +165,7 @@ class CoverageState:
         if key in self._covered_by:
             raise CoverageError(f"sensor key {key} already registered")
         pos = as_point(position)
-        covered = self._index.query_ball(pos, self._rs)
+        covered = self._field.query_ball(pos, self._rs)
         self._counts[covered] += 1
         self._covered_by[key] = covered
         return covered.copy()

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError, GeometryError
-from repro.geometry.points import as_point, as_points
+from repro.geometry.points import as_point
 
 __all__ = ["SensorType", "MixedDeployment"]
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.analysis.lifetime import sleep_shifts
 from repro.errors import SimulationError

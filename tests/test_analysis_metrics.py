@@ -4,7 +4,6 @@ import pytest
 
 from repro.analysis import evaluate_deployment
 from repro.core import centralized_greedy, random_placement
-from repro.geometry import Rect
 
 
 class TestMetrics:

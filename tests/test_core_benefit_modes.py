@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import BenefitEngine, centralized_greedy
 from repro.errors import CoverageError
-from repro.network import SensorSpec
 
 
 class TestBinaryMode:

@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import centralized_greedy
-from repro.discrepancy import field_points
 from repro.errors import PlacementError
 from repro.geometry import Rect, minimum_disks_lower_bound
 from repro.network import SensorSpec

@@ -6,7 +6,6 @@ import pytest
 from repro.core import centralized_greedy, grid_decor
 from repro.errors import PlacementError
 from repro.geometry import GridPartition, Rect
-from repro.network import SensorSpec
 
 
 class TestCompleteness:

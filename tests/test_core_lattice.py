@@ -5,11 +5,10 @@ import math
 import numpy as np
 import pytest
 
-from repro.core import centralized_greedy, hexagonal_lattice, lattice_placement
+from repro.core import hexagonal_lattice, lattice_placement
 from repro.errors import PlacementError
 from repro.geometry import Rect
 from repro.geometry.points import distances_to
-from repro.network import SensorSpec
 
 
 class TestHexagonalLattice:

@@ -6,7 +6,6 @@ import pytest
 from repro.core import centralized_greedy, random_placement
 from repro.errors import PlacementError
 from repro.geometry import Rect
-from repro.network import SensorSpec
 
 
 class TestCompleteness:

@@ -13,7 +13,6 @@ from repro.core import (
 from repro.errors import CoverageError
 from repro.network import CoverageState
 from repro.geometry import Rect
-from repro.network.spec import SensorSpec
 
 
 class TestIdentification:

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import centralized_greedy, voronoi_decor
 from repro.errors import PlacementError
-from repro.network import SensorSpec
 
 
 class TestCompleteness:

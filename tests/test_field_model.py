@@ -1,0 +1,293 @@
+"""Tests for the shared FieldModel layer: backend parity, memoisation,
+consumer sharing, and the build-counter regression over an experiment sweep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.core.benefit import BenefitEngine, same_cell_benefit_adjacency
+from repro.errors import ConfigurationError, CoverageError, GeometryError
+from repro.experiments.runner import DeploymentCache, field_model_for_seed
+from repro.experiments.setup import ExperimentSetup
+from repro.field import (
+    BACKEND_ENV_VAR,
+    FieldModel,
+    as_field_model,
+    available_backends,
+    register_backend,
+    resolve_backend_name,
+    same_cell_adjacency_of,
+)
+from repro.geometry import Rect
+from repro.geometry.neighbors import radius_adjacency
+from repro.network.coverage import CoverageState
+
+BACKENDS = available_backends()
+
+
+def random_points(seed: int, n: int = 60, side: float = 10.0) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, 2)) * side
+
+
+# ----------------------------------------------------------------------
+# backend registry / selection
+# ----------------------------------------------------------------------
+class TestBackendSelection:
+    def test_both_builtin_backends_registered(self):
+        assert "kdtree" in BACKENDS and "gridhash" in BACKENDS
+
+    def test_default_backend(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert FieldModel(random_points(0)).backend_name == "kdtree"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gridhash")
+        assert FieldModel(random_points(0)).backend_name == "gridhash"
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gridhash")
+        assert FieldModel(random_points(0), backend="kdtree").backend_name == "kdtree"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            FieldModel(random_points(0), backend="octree")
+
+    def test_unknown_env_backend_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "nonsense")
+        with pytest.raises(ConfigurationError):
+            resolve_backend_name(None)
+
+    def test_register_backend_rejects_bad_names(self):
+        with pytest.raises(ConfigurationError):
+            register_backend("", lambda pts: None)
+
+
+# ----------------------------------------------------------------------
+# backend parity (property tests)
+# ----------------------------------------------------------------------
+class TestBackendParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        radius=st.floats(0.0, 6.0, allow_nan=False, allow_infinity=False),
+        backend=st.sampled_from(BACKENDS),
+    )
+    def test_cached_adjacency_matches_fresh_build(self, seed, radius, backend):
+        pts = random_points(seed)
+        fm = FieldModel(pts, backend=backend)
+        cached = fm.adjacency(radius)
+        fresh = radius_adjacency(pts, radius)
+        assert (cached != fresh).nnz == 0
+        # second lookup is the identical object, not an equal rebuild
+        assert fm.adjacency(radius) is cached
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        radius=st.floats(0.1, 6.0, allow_nan=False, allow_infinity=False),
+    )
+    def test_backends_agree_on_query_ball(self, seed, radius):
+        pts = random_points(seed)
+        models = [FieldModel(pts, backend=b) for b in BACKENDS]
+        probes = random_points(seed + 1, n=10)
+        for probe in probes:
+            hits = [sorted(fm.query_ball(probe, radius)) for fm in models]
+            assert all(h == hits[0] for h in hits[1:])
+
+    def test_backends_agree_on_boundary_distances(self):
+        # integer coordinates at exactly radius distance: closed-ball
+        # semantics must match across backends
+        pts = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 4.0], [3.0, 4.0]])
+        for radius in (3.0, 4.0, 5.0):
+            mats = [
+                FieldModel(pts, backend=b).adjacency(radius).toarray()
+                for b in BACKENDS
+            ]
+            assert all(np.array_equal(m, mats[0]) for m in mats[1:])
+            # d <= r is inclusive: the pair at exactly `radius` is adjacent
+            assert mats[0].sum() > pts.shape[0]
+
+
+# ----------------------------------------------------------------------
+# model basics and memoisation
+# ----------------------------------------------------------------------
+class TestFieldModel:
+    def test_points_are_frozen_and_copied(self):
+        raw = random_points(3)
+        fm = FieldModel(raw)
+        raw[0] = 99.0  # later caller mutation must not leak in
+        assert fm.points[0, 0] != 99.0
+        with pytest.raises(ValueError):
+            fm.points[0] = 0.0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            FieldModel(random_points(0)).adjacency(-1.0)
+
+    def test_as_field_model_passthrough(self):
+        fm = FieldModel(random_points(0))
+        assert as_field_model(fm) is fm
+        assert isinstance(as_field_model(random_points(0)), FieldModel)
+
+    def test_counters_track_builds_and_hits(self):
+        fm = FieldModel(random_points(0))
+        fm.adjacency(2.0)
+        fm.adjacency(2.0)
+        fm.adjacency(3.0)
+        assert fm.stats.build_count("adjacency") == 2
+        assert fm.stats.hit_count("adjacency") == 1
+        assert fm.stats.build_count("index") == 1
+        fm.stats.reset()
+        assert fm.stats.build_count("adjacency") == 0
+
+    def test_grid_artifacts_memoised(self):
+        fm = FieldModel(random_points(0))
+        region = Rect.square(10.0)
+        assert fm.grid_partition(region, 2.0) is fm.grid_partition(region, 2.0)
+        assert fm.cell_of(region, 2.0) is fm.cell_of(region, 2.0)
+        assert fm.points_by_cell(region, 2.0) is fm.points_by_cell(region, 2.0)
+        a = fm.same_cell_adjacency(1.5, region, 2.0)
+        assert fm.same_cell_adjacency(1.5, region, 2.0) is a
+        assert fm.stats.build_count("same_cell_adjacency") == 1
+
+    def test_probe_grid_layout_and_memoisation(self):
+        fm = FieldModel(random_points(0))
+        region = Rect.square(10.0)
+        probes = fm.probe_grid(region, 4)
+        assert probes.shape == (16, 2)
+        assert probes[0] == pytest.approx([1.25, 1.25])  # bottom-left center
+        assert fm.probe_grid(region, 4) is probes
+        with pytest.raises(GeometryError):
+            fm.probe_grid(region, 0)
+
+
+# ----------------------------------------------------------------------
+# same-cell masking (satellite: CSR fast path)
+# ----------------------------------------------------------------------
+class TestSameCellAdjacency:
+    def _setup(self, seed: int):
+        pts = random_points(seed)
+        adj = radius_adjacency(pts, 2.0)
+        cells = Rect.square(10.0)
+        cell_of = FieldModel(pts).cell_of(cells, 2.5)
+        return adj, cell_of
+
+    def test_csr_fast_path_matches_coo_path(self):
+        adj, cell_of = self._setup(7)
+        fast = same_cell_adjacency_of(adj.tocsr(), cell_of)
+        slow = same_cell_adjacency_of(adj.tocoo(), cell_of)
+        assert (fast != slow).nnz == 0
+        assert fast.format == "csr"
+
+    def test_output_symmetric(self):
+        adj, cell_of = self._setup(8)
+        out = same_cell_benefit_adjacency(adj, cell_of)
+        assert (out - out.T).nnz == 0
+
+    def test_wrong_cell_vector_length(self):
+        adj, cell_of = self._setup(9)
+        with pytest.raises(GeometryError):
+            same_cell_adjacency_of(adj, cell_of[:-1])
+
+
+# ----------------------------------------------------------------------
+# consumer sharing
+# ----------------------------------------------------------------------
+class TestConsumerSharing:
+    def test_coverage_and_benefit_share_one_adjacency(self):
+        fm = FieldModel(random_points(1))
+        engine_a = BenefitEngine(fm, sensing_radius=2.0, k=1)
+        engine_b = BenefitEngine(fm, sensing_radius=2.0, k=3)
+        cov = CoverageState(fm, sensing_radius=2.0)
+        assert engine_a.coverage_adjacency is engine_b.coverage_adjacency
+        assert cov.field is fm
+        assert fm.stats.build_count("adjacency") == 1
+        assert fm.stats.hit_count("adjacency") == 1
+
+    def test_coverage_state_accepts_model_or_points(self):
+        pts = random_points(2)
+        from_pts = CoverageState(pts, 2.0)
+        from_model = CoverageState(FieldModel(pts), 2.0)
+        from_pts.add_sensor(0, pts[0])
+        from_model.add_sensor(0, pts[0])
+        assert from_pts.counts.tolist() == from_model.counts.tolist()
+
+
+# ----------------------------------------------------------------------
+# benefit-adjacency validation (satellite)
+# ----------------------------------------------------------------------
+class TestBenefitAdjacencyValidation:
+    def test_dense_array_rejected(self):
+        pts = random_points(4, n=10)
+        with pytest.raises(CoverageError, match="sparse"):
+            BenefitEngine(pts, 2.0, 1, benefit_adjacency=np.eye(10))
+
+    def test_wrong_shape_rejected(self):
+        pts = random_points(4, n=10)
+        with pytest.raises(CoverageError, match="shape"):
+            BenefitEngine(pts, 2.0, 1, benefit_adjacency=sparse.eye(9, format="csr"))
+
+    def test_asymmetric_rejected(self):
+        pts = random_points(4, n=10)
+        bad = sparse.eye(10, format="lil")
+        bad[0, 1] = 1.0  # no mirror entry
+        with pytest.raises(CoverageError, match="symmetric"):
+            BenefitEngine(pts, 2.0, 1, benefit_adjacency=bad.tocsr())
+
+    def test_valid_adjacency_accepted(self):
+        pts = random_points(4, n=10)
+        good = radius_adjacency(pts, 2.0)
+        eng = BenefitEngine(pts, 2.0, 1, benefit_adjacency=good)
+        eng.validate()
+
+
+# ----------------------------------------------------------------------
+# experiment-sweep regression: each index built at most once per field
+# ----------------------------------------------------------------------
+TINY = ExperimentSetup(
+    field_side=30.0,
+    n_points=80,
+    n_initial=10,
+    n_seeds=1,
+    k_values=(1, 2),
+)
+
+
+class TestSweepReuse:
+    def test_runner_builds_each_index_at_most_once(self):
+        """Across all six series and the whole k sweep, the shared per-seed
+        model builds the neighbour index once, the rs adjacency once, and
+        one same-cell adjacency per distinct cell size."""
+        cache = DeploymentCache(TINY)
+        from repro.experiments.figures import fig08_nodes_vs_k, fig14_restoration
+
+        fig08_nodes_vs_k(TINY, cache)
+        fig14_restoration(TINY, cache)
+        assert len(cache._fields) == TINY.n_seeds
+        for fm in cache._fields.values():
+            builds = fm.stats.builds
+            assert builds["index"] == 1
+            assert builds["adjacency"] == 1  # one rs shared by all series
+            assert builds["same_cell_adjacency"] == 2  # small + big cells
+            assert builds["partition"] == 2
+            # and the cache actually got exercised
+            assert fm.stats.hit_count("adjacency") > 0
+            assert fm.stats.hit_count("index") > 0
+
+    def test_empty_cache_is_not_discarded_by_figures(self):
+        """An empty DeploymentCache is falsy (it has __len__); figure
+        functions must still use it rather than silently building a
+        private one."""
+        from repro.experiments.figures import fig08_nodes_vs_k
+
+        cache = DeploymentCache(TINY)
+        assert not cache  # precondition: empty caches are falsy
+        fig08_nodes_vs_k(TINY, cache)
+        assert len(cache) > 0
+
+    def test_field_model_for_seed_matches_cache_points(self):
+        cache = DeploymentCache(TINY)
+        fresh = field_model_for_seed(TINY, 0)
+        assert np.array_equal(fresh.points, cache.field(0).points)
+        assert cache.field(0) is cache.field(0)

@@ -16,7 +16,7 @@ from repro.core import (
 )
 from repro.discrepancy import field_points
 from repro.geometry import Rect
-from repro.network import CoverageState, SensorSpec
+from repro.network import SensorSpec
 
 SPEC = SensorSpec(3.0, 6.0)
 

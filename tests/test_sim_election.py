@@ -1,6 +1,5 @@
 """Tests for randomised rotating leader election."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

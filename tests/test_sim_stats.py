@@ -44,8 +44,6 @@ class TestRotationFlattensEnergy:
         """Run the rotating election for many rounds: the energy profile over
         cell members stays within a modest imbalance (every member announces
         each round; only decision work differs)."""
-        import numpy as np
-
         from repro.sim import CellElectionNode, ElectionConfig, Radio, Simulator
 
         sim = Simulator()
