@@ -18,6 +18,8 @@ import numpy as np
 from repro import Rect, SensorSpec, grid_decor
 from repro.core.protocols import run_grid_protocol
 from repro.discrepancy import field_points
+from repro.experiments.summary import summarize_trace
+from repro.obs import OBS
 from repro.sim import (
     CellElectionNode,
     ElectionConfig,
@@ -36,6 +38,7 @@ def main() -> None:
     k = 2
 
     # --- the coverage protocol itself -------------------------------------
+    OBS.enable(fresh=True)  # trace the packet-level run
     report = run_grid_protocol(pts, spec, k, region, cell_size=5.0)
     analytic = grid_decor(pts, spec, k, region, cell_size=5.0)
     same = bool(np.allclose(report.placed_positions, analytic.trace.positions))
@@ -43,6 +46,13 @@ def main() -> None:
           f"{report.notify_messages} border messages, "
           f"sim time {report.sim_time:.1f}")
     print(f"matches the synchronous-rounds model exactly: {same}")
+
+    OBS.disable()
+    sent = OBS.metrics.value("radio_messages_sent_total", protocol="grid")
+    print()
+    print(summarize_trace(OBS.tracer).format())
+    print(f"metrics: the packet radio carried {sent} messages\n")
+    OBS.reset()
 
     # --- leader election with rotation -------------------------------------
     sim = Simulator()

@@ -7,16 +7,22 @@ Walks the library's main loop in ~40 lines:
 2. approximate the monitored area with Halton points,
 3. deploy with distributed (Voronoi) DECOR,
 4. evaluate the deployment,
-5. break it with a disaster and restore it.
+5. break it with a disaster and restore it,
+6. read the built-in trace of where the time went.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import DecorPlanner, Rect, SensorSpec, area_failure, required_k
 from repro.analysis import evaluate_deployment
+from repro.experiments.summary import summarize_trace
+from repro.obs import OBS
 
 
 def main() -> None:
+    # 0. record what the run does (spans, events, counters); everything
+    #    below behaves bit-identically with this line removed
+    OBS.enable(fresh=True)
     # 1. the user wants points monitored with 99.9% reliability when each
     #    sensor independently fails with probability 10%
     k = required_k(target_reliability=0.999, q=0.10)
@@ -46,6 +52,14 @@ def main() -> None:
           f"{report.covered_after_failure:.0%}")
     print(f"restoration added {report.extra_nodes} nodes, coverage back to "
           f"{report.covered_after_repair:.0%}")
+
+    # 6. the observability layer watched all of it
+    OBS.disable()
+    print()
+    print(summarize_trace(OBS.tracer).format())
+    placed = OBS.metrics.value("decor_placements_total", method="voronoi")
+    print(f"metrics: {placed} voronoi placements recorded")
+    OBS.reset()
 
 
 if __name__ == "__main__":

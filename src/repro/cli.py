@@ -13,6 +13,12 @@ Usage (installed as ``decor`` or via ``python -m repro.cli``)::
 
 Scale selection: ``--scale`` beats the ``REPRO_SCALE`` environment variable,
 which beats the default ("smoke").
+
+Observability: ``--trace out.jsonl`` / ``--metrics out.json`` (on figure,
+deploy, summary and restore) enable the :mod:`repro.obs` runtime for the
+invocation and export the recorded spans/events and metric series; a trace
+summary table is printed either way.  ``REPRO_OBS=1`` enables recording
+without exporting.
 """
 
 from __future__ import annotations
@@ -33,9 +39,43 @@ from repro.experiments.setup import ExperimentSetup
 from repro.geometry.region import Rect
 from repro.network.failures import area_failure
 from repro.network.spec import SensorSpec
+from repro.obs import OBS, bridge_field_stats
 from repro.viz.ascii_field import render_coverage, render_deployment, render_points
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="enable instrumentation; write the span/event trace as JSON lines",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        help="enable instrumentation; write the metrics dump as JSON",
+    )
+
+
+def _obs_begin(args: argparse.Namespace) -> bool:
+    """Enable a fresh obs runtime when an export flag asks for one."""
+    wants = bool(getattr(args, "trace", None) or getattr(args, "metrics", None))
+    if wants:
+        OBS.enable(fresh=True)
+    return wants
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Export and print what the finished command recorded."""
+    from repro.experiments.summary import summarize_trace
+
+    OBS.disable()
+    if getattr(args, "trace", None):
+        n = OBS.tracer.write_jsonl(args.trace)
+        print(f"wrote {args.trace} ({n} trace records)")
+    if getattr(args, "metrics", None):
+        n = OBS.metrics.write_json(args.metrics)
+        print(f"wrote {args.metrics} ({n} metric series)")
+    print(summarize_trace(OBS.tracer).format())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seeds", type=int, default=None, help="override seed count")
     p_fig.add_argument("--json", metavar="PATH", help="also write JSON")
     p_fig.add_argument("--csv", metavar="PATH", help="also write CSV")
+    _add_obs_args(p_fig)
 
     p_dep = sub.add_parser("deploy", help="run one deployment and report metrics")
     p_dep.add_argument("--k", type=int, default=3)
@@ -63,11 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_dep.add_argument("--cell-size", type=float, default=5.0)
     p_dep.add_argument("--seed", type=int, default=0)
     p_dep.add_argument("--ascii", action="store_true", help="render the deployment")
+    _add_obs_args(p_dep)
 
     p_sum = sub.add_parser("summary", help="per-method bottom line at one k")
     p_sum.add_argument("--k", type=int, default=3)
     p_sum.add_argument("--scale", choices=["smoke", "paper"], default=None)
     p_sum.add_argument("--seeds", type=int, default=None)
+    _add_obs_args(p_sum)
 
     p_res = sub.add_parser("restore", help="deploy, break, repair, report")
     p_res.add_argument("--k", type=int, default=2)
@@ -80,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--disaster-radius", type=float, default=None,
                        help="default: 0.24 x side (the paper's proportion)")
     p_res.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p_res)
 
     p_life = sub.add_parser("lifetime", help="sleep-shift lifetime multiplier")
     p_life.add_argument("--k", type=int, default=3)
@@ -105,6 +149,7 @@ def _setup_from_args(args: argparse.Namespace) -> ExperimentSetup:
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.tables import format_figure_table
 
+    obs = _obs_begin(args)
     setup = _setup_from_args(args)
     cache = DeploymentCache(setup)
     result = FIGURES[args.number](setup, cache)
@@ -117,10 +162,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         with open(args.csv, "w", encoding="utf-8") as fh:
             fh.write(figure_to_csv(result))
         print(f"wrote {args.csv}")
+    if obs:
+        _obs_finish(args)
     return 0
 
 
 def _cmd_deploy(args: argparse.Namespace) -> int:
+    obs = _obs_begin(args)
     planner = DecorPlanner(
         Rect.square(args.side),
         SensorSpec(args.rs, args.rc),
@@ -140,6 +188,9 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
                 title=f"{args.method} deployment, k={args.k}",
             )
         )
+    if obs:
+        bridge_field_stats(planner.field)
+        _obs_finish(args)
     return 0
 
 
@@ -147,14 +198,18 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     from repro.experiments import format_summary_table, method_summary
     from repro.experiments.runner import DeploymentCache
 
+    obs = _obs_begin(args)
     setup = _setup_from_args(args)
     k = min(args.k, max(setup.k_values))
     rows = method_summary(setup, k, DeploymentCache(setup))
     print(format_summary_table(rows))
+    if obs:
+        _obs_finish(args)
     return 0
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
+    obs = _obs_begin(args)
     planner = DecorPlanner(
         Rect.square(args.side),
         SensorSpec(args.rs, args.rc),
@@ -173,6 +228,9 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     print(f"coverage after loss: {report.covered_after_failure:.1%}")
     print(f"repair             : +{report.extra_nodes} nodes -> "
           f"{report.covered_after_repair:.0%} k-covered")
+    if obs:
+        bridge_field_stats(planner.field)
+        _obs_finish(args)
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.errors import CoverageError, PlacementError
 from repro.field import FieldModel, as_field_model
 from repro.field.model import same_cell_adjacency_of
 from repro.geometry.points import as_point
+from repro.obs import OBS, profiled
 
 __all__ = ["BenefitEngine", "same_cell_benefit_adjacency"]
 
@@ -90,6 +91,7 @@ class BenefitEngine:
     [0.0, 0.0, 1.0]
     """
 
+    @profiled("core.benefit_engine_init")
     def __init__(
         self,
         field_points: np.ndarray | FieldModel,
@@ -296,6 +298,8 @@ class BenefitEngine:
             rows = [self._benefit_row(int(p)) for p in changed]
             touched = np.concatenate(rows)
             np.add.at(self._benefit, touched, -1.0 if sign == +1 else +1.0)
+            if OBS.enabled:
+                OBS.counter("benefit_delta_updates_total").inc(int(touched.size))
         return covered
 
     def place_at(self, point_index: int) -> np.ndarray:

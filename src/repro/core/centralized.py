@@ -15,6 +15,7 @@ from repro.core._common import finalize, init_run, placement_budget
 from repro.core.result import DeploymentResult, PlacementTrace
 from repro.errors import PlacementError
 from repro.network.spec import SensorSpec
+from repro.obs import OBS
 
 __all__ = ["centralized_greedy"]
 
@@ -61,20 +62,31 @@ def centralized_greedy(
     trace = PlacementTrace()
     added: list[int] = []
     budget = placement_budget(engine.n_points, k, max_nodes)
-    while not engine.is_fully_covered():
-        if len(added) >= budget:
-            raise PlacementError(
-                f"centralized greedy exceeded its budget of {budget} nodes"
-            )
-        idx = engine.argmax()
-        benefit = float(engine.benefit[idx])
-        if benefit <= 0.0:
-            # impossible: a deficient point is its own candidate with b >= 1
-            raise PlacementError("no positive-benefit candidate remains")
-        engine.place_at(idx)
-        pos = pts[idx]
-        added.append(deployment.add(pos))
-        trace.record(pos, benefit, engine.covered_fraction())
+    with OBS.span("placement", method="centralized", k=k) as span:
+        while not engine.is_fully_covered():
+            if len(added) >= budget:
+                raise PlacementError(
+                    f"centralized greedy exceeded its budget of {budget} nodes"
+                )
+            idx = engine.argmax()
+            benefit = float(engine.benefit[idx])
+            if benefit <= 0.0:
+                # impossible: a deficient point is its own candidate with b >= 1
+                raise PlacementError("no positive-benefit candidate remains")
+            engine.place_at(idx)
+            pos = pts[idx]
+            added.append(deployment.add(pos))
+            trace.record(pos, benefit, engine.covered_fraction())
+            if OBS.enabled:
+                OBS.event(
+                    "placement",
+                    point=idx,
+                    benefit=benefit,
+                    deficiency_left=engine.total_deficiency(),
+                )
+                OBS.counter("decor_placements_total", method="centralized").inc()
+                OBS.histogram("greedy_round_benefit").observe(benefit)
+        span.set(placed=len(added))
     return finalize(
         method="centralized",
         k=k,

@@ -26,6 +26,7 @@ from repro.errors import PlacementError
 from repro.field import as_field_model
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
+from repro.obs import OBS
 
 __all__ = ["grid_decor"]
 
@@ -91,40 +92,60 @@ def grid_decor(
     per_cell_msgs = np.zeros(partition.n_cells, dtype=np.int64)
     budget = placement_budget(engine.n_points, k, max_nodes)
 
-    progress = True
-    while progress:
-        progress = False
-        counts = engine.counts
-        for cid in occupied_cells:
-            cell_points = points_by_cell[cid]
-            if not np.any(counts[cell_points] < k):
-                continue
-            if len(added) >= budget:
-                raise PlacementError(
-                    f"grid DECOR exceeded its budget of {budget} nodes"
+    rounds = 0
+    with OBS.span("placement", method="grid", k=k, cell_size=float(cell_size)) as span:
+        progress = True
+        while progress:
+            progress = False
+            rounds += 1
+            counts = engine.counts
+            for cid in occupied_cells:
+                cell_points = points_by_cell[cid]
+                if not np.any(counts[cell_points] < k):
+                    continue
+                if len(added) >= budget:
+                    raise PlacementError(
+                        f"grid DECOR exceeded its budget of {budget} nodes"
+                    )
+                idx = engine.argmax(candidates=cell_points)
+                benefit = float(engine.benefit[idx])
+                if benefit <= 0.0:
+                    # a deficient own-cell point contributes its own deficiency,
+                    # so this cannot happen with a consistent engine
+                    raise PlacementError(
+                        f"cell {cid} has deficient points but zero benefit"
+                    )
+                engine.place_at(idx)
+                pos = pts[idx]
+                added.append(deployment.add(pos))
+                # border exchange: inform every other cell the disc reaches
+                affected = partition.cells_intersecting_disk(
+                    pos, spec.sensing_radius
                 )
-            idx = engine.argmax(candidates=cell_points)
-            benefit = float(engine.benefit[idx])
-            if benefit <= 0.0:
-                # a deficient own-cell point contributes its own deficiency,
-                # so this cannot happen with a consistent engine
-                raise PlacementError(
-                    f"cell {cid} has deficient points but zero benefit"
+                n_msgs = int(affected.size) - 1
+                if count_base_station_reports:
+                    n_msgs += 1
+                per_cell_msgs[cid] += n_msgs
+                trace.record(
+                    pos, benefit, engine.covered_fraction(),
+                    proposer=cid, messages=n_msgs,
                 )
-            engine.place_at(idx)
-            pos = pts[idx]
-            added.append(deployment.add(pos))
-            # border exchange: inform every other cell the sensing disc reaches
-            affected = partition.cells_intersecting_disk(pos, spec.sensing_radius)
-            n_msgs = int(affected.size) - 1
-            if count_base_station_reports:
-                n_msgs += 1
-            per_cell_msgs[cid] += n_msgs
-            trace.record(
-                pos, benefit, engine.covered_fraction(), proposer=cid, messages=n_msgs
-            )
-            progress = True
-            counts = engine.counts  # refreshed view after mutation
+                progress = True
+                counts = engine.counts  # refreshed view after mutation
+                if OBS.enabled:
+                    OBS.event(
+                        "placement",
+                        point=idx,
+                        benefit=benefit,
+                        cell=cid,
+                        round=rounds,
+                        deficiency_left=engine.total_deficiency(),
+                    )
+                    OBS.counter("decor_placements_total", method="grid").inc()
+                    OBS.counter("decor_messages_total", kind="border").inc(n_msgs)
+                    OBS.histogram("greedy_round_benefit").observe(benefit)
+        span.set(placed=len(added), rounds=rounds,
+                 messages=int(per_cell_msgs.sum()))
 
     if not engine.is_fully_covered():  # pragma: no cover - defensive
         raise PlacementError("grid DECOR stalled before reaching full coverage")

@@ -30,6 +30,7 @@ from repro.field import as_field_model
 from repro.geometry.points import bounding_rect_of
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
+from repro.obs import OBS
 
 __all__ = ["hexagonal_lattice", "lattice_placement"]
 
@@ -130,37 +131,53 @@ def lattice_placement(
     added: list[int] = []
     budget = placement_budget(engine.n_points, k, max_nodes)
 
-    for layer in range(k):
-        phase = layer / k
-        for pos in hexagonal_lattice(region, spec.sensing_radius, offset=(phase, phase)):
-            # skip lattice sites whose disc misses every field point — they
-            # sit in the margin band and would be pure waste
-            covered = engine.add_sensor_at_position(pos)
-            if covered.size == 0:
-                engine.remove_covered(covered)
-                continue
+    topup = 0
+    with OBS.span("placement", method="lattice", k=k) as span:
+        for layer in range(k):
+            phase = layer / k
+            for pos in hexagonal_lattice(
+                region, spec.sensing_radius, offset=(phase, phase)
+            ):
+                # skip lattice sites whose disc misses every field point —
+                # they sit in the margin band and would be pure waste
+                covered = engine.add_sensor_at_position(pos)
+                if covered.size == 0:
+                    engine.remove_covered(covered)
+                    continue
+                if len(added) >= budget:
+                    raise PlacementError(
+                        f"lattice placement exceeded its budget of {budget} nodes"
+                    )
+                added.append(deployment.add(pos))
+                trace.record(
+                    pos, float("nan"), engine.covered_fraction(), proposer=layer
+                )
+                if OBS.enabled:
+                    OBS.counter("decor_placements_total", method="lattice").inc()
+
+        while not engine.is_fully_covered():
             if len(added) >= budget:
                 raise PlacementError(
-                    f"lattice placement exceeded its budget of {budget} nodes"
+                    f"lattice top-up exceeded its budget of {budget} nodes"
                 )
+            idx = engine.argmax()
+            benefit = float(engine.benefit[idx])
+            if benefit <= 0.0:  # pragma: no cover - impossible with deficiency
+                raise PlacementError("no positive-benefit top-up remains")
+            engine.place_at(idx)
+            pos = pts[idx]
             added.append(deployment.add(pos))
-            trace.record(pos, float("nan"), engine.covered_fraction(), proposer=layer)
-
-    topup = 0
-    while not engine.is_fully_covered():
-        if len(added) >= budget:
-            raise PlacementError(
-                f"lattice top-up exceeded its budget of {budget} nodes"
-            )
-        idx = engine.argmax()
-        benefit = float(engine.benefit[idx])
-        if benefit <= 0.0:  # pragma: no cover - impossible with deficiency
-            raise PlacementError("no positive-benefit top-up remains")
-        engine.place_at(idx)
-        pos = pts[idx]
-        added.append(deployment.add(pos))
-        trace.record(pos, benefit, engine.covered_fraction(), proposer=-1)
-        topup += 1
+            trace.record(pos, benefit, engine.covered_fraction(), proposer=-1)
+            topup += 1
+            if OBS.enabled:
+                OBS.event(
+                    "placement",
+                    point=idx,
+                    benefit=benefit,
+                    deficiency_left=engine.total_deficiency(),
+                )
+                OBS.counter("decor_placements_total", method="lattice").inc()
+        span.set(placed=len(added), topup=topup)
 
     return finalize(
         method="lattice",

@@ -28,6 +28,7 @@ from repro.field import FieldModel, as_field_model
 from repro.geometry.points import as_point
 from repro.network.coverage import CoverageState
 from repro.network.heterogeneous import MixedDeployment, SensorType
+from repro.obs import OBS
 
 __all__ = ["MixedBenefitEngine", "MixedDeploymentResult", "mixed_centralized_greedy"]
 
@@ -264,23 +265,29 @@ def mixed_centralized_greedy(
     catalog = {t.name: t for t in types}
     total_cost = 0.0
 
-    while not engine.is_fully_covered():
-        if len(placed_types) >= budget:
-            raise PlacementError(
-                f"mixed greedy exceeded its budget of {budget} nodes"
+    with OBS.span("placement", method="mixed", k=k) as span:
+        while not engine.is_fully_covered():
+            if len(placed_types) >= budget:
+                raise PlacementError(
+                    f"mixed greedy exceeded its budget of {budget} nodes"
+                )
+            name, idx, benefit = engine.best_placement()
+            if benefit <= 0.0:
+                raise PlacementError("no positive-benefit placement remains")
+            covered = engine.place(name, idx)
+            pos = pts[idx]
+            nid = deployment.add(pos, name)
+            coverage.add_sensor_with_cover(nid, covered)
+            placed_types.append(name)
+            total_cost += catalog[name].cost
+            trace.record(
+                pos, benefit, engine.covered_fraction(), proposer=type_index[name]
             )
-        name, idx, benefit = engine.best_placement()
-        if benefit <= 0.0:
-            raise PlacementError("no positive-benefit placement remains")
-        covered = engine.place(name, idx)
-        pos = pts[idx]
-        nid = deployment.add(pos, name)
-        coverage.add_sensor_with_cover(nid, covered)
-        placed_types.append(name)
-        total_cost += catalog[name].cost
-        trace.record(
-            pos, benefit, engine.covered_fraction(), proposer=type_index[name]
-        )
+            if OBS.enabled:
+                OBS.event("placement", point=idx, benefit=benefit, type=name)
+                OBS.counter("decor_placements_total", method="mixed").inc()
+                OBS.histogram("greedy_round_benefit").observe(benefit)
+        span.set(placed=len(placed_types), cost=total_cost)
 
     return MixedDeploymentResult(
         k=k,

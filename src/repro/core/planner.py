@@ -26,6 +26,7 @@ from repro.geometry.region import Rect
 from repro.network.failures import FailureEvent
 from repro.network.reliability import required_k
 from repro.network.spec import SensorSpec
+from repro.obs import OBS, profiled
 
 __all__ = ["METHODS", "run_method", "DecorPlanner"]
 
@@ -33,6 +34,7 @@ __all__ = ["METHODS", "run_method", "DecorPlanner"]
 METHODS: tuple[str, ...] = ("centralized", "grid", "voronoi", "random")
 
 
+@profiled("core.run_method")
 def run_method(
     name: str,
     field_points: np.ndarray | FieldModel,
@@ -162,17 +164,18 @@ class DecorPlanner:
         max_nodes: int | None = None,
     ) -> DeploymentResult:
         """Deploy (or restore) to full k-coverage with the named method."""
-        return run_method(
-            method,
-            self.field,
-            self.spec,
-            k,
-            region=self.region,
-            rng=self.rng,
-            cell_size=cell_size,
-            initial_positions=initial_positions,
-            max_nodes=max_nodes,
-        )
+        with OBS.span("deploy", method=method, k=k):
+            return run_method(
+                method,
+                self.field,
+                self.spec,
+                k,
+                region=self.region,
+                rng=self.rng,
+                cell_size=cell_size,
+                initial_positions=initial_positions,
+                max_nodes=max_nodes,
+            )
 
     def restore_after(
         self,
@@ -197,12 +200,14 @@ class DecorPlanner:
             method_fn, kwargs = random_placement, {"rng": self.rng, "region": self.region}
         else:
             raise ConfigurationError(f"unknown method {method!r}; known: {METHODS}")
-        return restore(
-            self.field,
-            self.spec,
-            result.deployment,
-            failure,
-            result.k,
-            method_fn,
-            **kwargs,
-        )
+        with OBS.span("restore", method=method, k=result.k,
+                      failed=failure.n_failed):
+            return restore(
+                self.field,
+                self.spec,
+                result.deployment,
+                failure,
+                result.k,
+                method_fn,
+                **kwargs,
+            )

@@ -33,6 +33,7 @@ from repro.errors import PlacementError, SimulationError
 from repro.field import as_field_model
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
+from repro.obs import OBS, bridge_radio_stats
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
 from repro.sim.protocol import NodeProtocol
@@ -218,25 +219,42 @@ def run_grid_protocol(
         leaders.append(leader)
     # stagger wakes in cell order within each round -> deterministic order
     stagger = round_period / (4 * max(len(leaders), 1))
-    for i, leader in enumerate(leaders):
-        leader.start(delay=i * stagger)
+    with OBS.span("protocol", kind="grid", k=k, leaders=len(leaders)) as span:
+        for i, leader in enumerate(leaders):
+            leader.start(delay=i * stagger)
 
-    # run round by round until a full round makes no progress
-    placed_before = -1
-    while engine.total_deficiency() > 0 or placed_before != len(harness.placed_points):
-        placed_before = len(harness.placed_points)
-        target = sim.now + round_period
-        if target > max_sim_time:
-            raise PlacementError("in-network run exceeded the simulation horizon")
-        sim.run(until=target)
-        if (
+        # run round by round until a full round makes no progress
+        rounds = 0
+        placed_before = -1
+        while (
             engine.total_deficiency() > 0
-            and placed_before == len(harness.placed_points)
-            and sim.now > round_period
+            or placed_before != len(harness.placed_points)
         ):
-            raise PlacementError("in-network grid DECOR stalled")
+            placed_before = len(harness.placed_points)
+            target = sim.now + round_period
+            if target > max_sim_time:
+                raise PlacementError(
+                    "in-network run exceeded the simulation horizon"
+                )
+            sim.run(until=target)
+            rounds += 1
+            if (
+                engine.total_deficiency() > 0
+                and placed_before == len(harness.placed_points)
+                and sim.now > round_period
+            ):
+                raise PlacementError("in-network grid DECOR stalled")
 
-    notify = sum(radio.stats.sent.values())
+        notify = sum(radio.stats.sent.values())
+        span.set(placed=len(harness.placed_points), rounds=rounds,
+                 notify_messages=notify, undeliverable=harness.undeliverable)
+        if OBS.enabled:
+            OBS.counter("decor_messages_total", kind="place_notify").inc(notify)
+            if harness.undeliverable:
+                OBS.counter(
+                    "decor_messages_total", kind="undeliverable"
+                ).inc(harness.undeliverable)
+            bridge_radio_stats(radio.stats, protocol="grid")
     placed = harness.placed_points
     return InNetworkRunReport(
         placed_point_indices=list(placed),

@@ -16,6 +16,7 @@ from repro.errors import PlacementError
 from repro.geometry.points import bounding_rect_of
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
+from repro.obs import OBS
 
 __all__ = ["random_placement"]
 
@@ -61,18 +62,22 @@ def random_placement(
     trace = PlacementTrace()
     added: list[int] = []
     budget = placement_budget(engine.n_points, k, max_nodes)
-    while not engine.is_fully_covered():
-        if len(added) >= budget:
-            raise PlacementError(
-                f"random placement exceeded its budget of {budget} nodes"
-            )
-        batch = region.sample(min(batch_size, budget - len(added)), rng)
-        for pos in batch:
-            engine.add_sensor_at_position(pos)
-            added.append(deployment.add(pos))
-            trace.record(pos, 0.0, engine.covered_fraction())
-            if engine.is_fully_covered():
-                break
+    with OBS.span("placement", method="random", k=k) as span:
+        while not engine.is_fully_covered():
+            if len(added) >= budget:
+                raise PlacementError(
+                    f"random placement exceeded its budget of {budget} nodes"
+                )
+            batch = region.sample(min(batch_size, budget - len(added)), rng)
+            for pos in batch:
+                engine.add_sensor_at_position(pos)
+                added.append(deployment.add(pos))
+                trace.record(pos, 0.0, engine.covered_fraction())
+                if OBS.enabled:
+                    OBS.counter("decor_placements_total", method="random").inc()
+                if engine.is_fully_covered():
+                    break
+        span.set(placed=len(added))
     return finalize(
         method="random",
         k=k,

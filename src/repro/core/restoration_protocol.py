@@ -35,6 +35,7 @@ from repro.field import as_field_model
 from repro.geometry.points import as_points
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
+from repro.obs import OBS, bridge_radio_stats
 from repro.sim.engine import Simulator
 from repro.sim.heartbeat import HeartbeatConfig, HeartbeatNode
 from repro.sim.radio import Radio
@@ -75,6 +76,13 @@ class _RepairNode(HeartbeatNode):
     def _handle_suspect(self, _me: int, suspect: int) -> None:
         if self.harness.first_suspicion_time is None:
             self.harness.first_suspicion_time = self.sim.now
+            if OBS.enabled:
+                OBS.event(
+                    "first_suspicion",
+                    sim_time=self.sim.now,
+                    suspect=int(suspect),
+                    by=self.node_id,
+                )
         self._arm_repair()
 
     def _arm_repair(self) -> None:
@@ -188,6 +196,15 @@ class _Harness:
             # the replacement boots shortly after physical deployment
             self.spawn(pos, start_delay=0.1 * self.config.period)
             placed += 1
+            if OBS.enabled:
+                OBS.event(
+                    "replacement",
+                    sim_time=self.sim.now,
+                    cell=cell_id,
+                    point=int(idx),
+                )
+                OBS.counter("decor_replacements_total").inc()
+                OBS.counter("decor_messages_total", kind="place_announce").inc()
         return placed
 
 
@@ -306,21 +323,33 @@ def run_restoration_protocol(
         for nid in failed:
             harness.nodes[int(nid)].fail()
             engine.remove_covered(covered_by[int(nid)])
+        if OBS.enabled:
+            OBS.event("crash", sim_time=sim.now, failed=int(failed.size))
 
     sim.schedule_at(crash_time, crash)
 
-    # run in heartbeat-period slices until restored (or horizon)
-    while True:
-        target = sim.now + config.period
-        if target > horizon:
-            raise SimulationError(
-                f"restoration did not complete within the horizon {horizon}"
-            )
-        sim.run(until=target)
-        if sim.now >= crash_time and engine.is_fully_covered():
-            # allow one extra slice so late announcements drain
-            sim.run(until=sim.now + config.period)
-            break
+    with OBS.span(
+        "protocol", kind="restoration", k=k, failed=int(failed.size)
+    ) as span:
+        # run in heartbeat-period slices until restored (or horizon)
+        while True:
+            target = sim.now + config.period
+            if target > horizon:
+                raise SimulationError(
+                    f"restoration did not complete within the horizon {horizon}"
+                )
+            sim.run(until=target)
+            if sim.now >= crash_time and engine.is_fully_covered():
+                # allow one extra slice so late announcements drain
+                sim.run(until=sim.now + config.period)
+                break
+        if OBS.enabled and harness.restored_time is not None:
+            OBS.event("restored", sim_time=harness.restored_time,
+                      replacements=len(harness.placements))
+        span.set(replacements=len(harness.placements),
+                 messages=radio.stats.total_sent())
+        if OBS.enabled:
+            bridge_radio_stats(radio.stats, protocol="restoration")
 
     return RestorationProtocolReport(
         crash_time=crash_time,

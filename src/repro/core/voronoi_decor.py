@@ -29,6 +29,7 @@ from repro.errors import PlacementError
 from repro.geometry.points import squared_distances_to
 from repro.geometry.voronoi import VoronoiOwnership
 from repro.network.spec import SensorSpec
+from repro.obs import OBS
 
 __all__ = ["voronoi_decor", "local_voronoi_benefit"]
 
@@ -126,51 +127,72 @@ def voronoi_decor(
             pts, adj, ownership, deficiency, rc2, site, site_pos, candidates
         )
 
-    progress = True
-    while progress:
-        progress = False
-        # iterate a snapshot of current sites; sites added this round join
-        # the next round (synchronous-rounds model, like the grid variant)
-        site_ids = list(ownership.alive_sites())
-        deficiency = engine.deficiency().astype(np.float64)
-        for site in site_ids:
-            owned = ownership.owned_points(int(site))
-            if owned.size == 0 or not np.any(deficiency[owned] > 0):
-                continue
-            if len(added) >= budget:
-                raise PlacementError(
-                    f"Voronoi DECOR exceeded its budget of {budget} nodes"
-                )
-            site_pos = ownership.site_position(int(site))
-            benefits = local_benefit(owned, int(site), site_pos, deficiency)
-            best = int(np.argmax(benefits))
-            benefit = float(benefits[best])
-            if benefit <= 0.0:
-                # a deficient owned point scores at least its own deficiency
-                raise PlacementError(
-                    f"site {site} has deficient points but zero benefit"
-                )
-            idx = int(owned[best])
-            engine.place_at(idx)
-            pos = pts[idx]
-            nid = deployment.add(pos)
-            added.append(nid)
-            ownership.add_site(pos)
-            # notify alive nodes within rc of the new sensor
-            all_pos = deployment.positions
-            d2 = squared_distances_to(all_pos[:-1], pos)  # exclude the new node
-            n_msgs = int(np.count_nonzero(d2 <= rc2 + 1e-12))
-            per_node_msgs.append(0)  # slot for the new node
-            per_node_msgs[int(site)] += n_msgs
-            trace.record(
-                pos,
-                benefit,
-                engine.covered_fraction(),
-                proposer=int(site),
-                messages=n_msgs,
-            )
+    rounds = 0
+    with OBS.span(
+        "placement", method="voronoi", k=k, rc=float(spec.communication_radius)
+    ) as span:
+        progress = True
+        while progress:
+            progress = False
+            rounds += 1
+            # iterate a snapshot of current sites; sites added this round join
+            # the next round (synchronous-rounds model, like the grid variant)
+            site_ids = list(ownership.alive_sites())
             deficiency = engine.deficiency().astype(np.float64)
-            progress = True
+            for site in site_ids:
+                owned = ownership.owned_points(int(site))
+                if owned.size == 0 or not np.any(deficiency[owned] > 0):
+                    continue
+                if len(added) >= budget:
+                    raise PlacementError(
+                        f"Voronoi DECOR exceeded its budget of {budget} nodes"
+                    )
+                site_pos = ownership.site_position(int(site))
+                benefits = local_benefit(owned, int(site), site_pos, deficiency)
+                best = int(np.argmax(benefits))
+                benefit = float(benefits[best])
+                if benefit <= 0.0:
+                    # a deficient owned point scores at least its own deficiency
+                    raise PlacementError(
+                        f"site {site} has deficient points but zero benefit"
+                    )
+                idx = int(owned[best])
+                engine.place_at(idx)
+                pos = pts[idx]
+                nid = deployment.add(pos)
+                added.append(nid)
+                ownership.add_site(pos)
+                # notify alive nodes within rc of the new sensor
+                all_pos = deployment.positions
+                d2 = squared_distances_to(all_pos[:-1], pos)  # not the new node
+                n_msgs = int(np.count_nonzero(d2 <= rc2 + 1e-12))
+                per_node_msgs.append(0)  # slot for the new node
+                per_node_msgs[int(site)] += n_msgs
+                trace.record(
+                    pos,
+                    benefit,
+                    engine.covered_fraction(),
+                    proposer=int(site),
+                    messages=n_msgs,
+                )
+                deficiency = engine.deficiency().astype(np.float64)
+                progress = True
+                if OBS.enabled:
+                    OBS.event(
+                        "placement",
+                        point=idx,
+                        benefit=benefit,
+                        site=int(site),
+                        round=rounds,
+                        deficiency_left=engine.total_deficiency(),
+                    )
+                    OBS.counter("decor_placements_total", method="voronoi").inc()
+                    OBS.counter(
+                        "decor_messages_total", kind="voronoi_notify"
+                    ).inc(n_msgs)
+                    OBS.histogram("greedy_round_benefit").observe(benefit)
+        span.set(placed=len(added), rounds=rounds,
+                 messages=int(sum(per_node_msgs)))
 
     if not engine.is_fully_covered():  # pragma: no cover - defensive
         raise PlacementError("Voronoi DECOR stalled before reaching full coverage")

@@ -33,6 +33,7 @@ from repro.errors import PlacementError
 from repro.geometry.points import as_points
 from repro.geometry.voronoi import VoronoiOwnership
 from repro.network.spec import SensorSpec
+from repro.obs import OBS, bridge_radio_stats
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
 from repro.sim.protocol import NodeProtocol
@@ -190,19 +191,33 @@ def run_voronoi_protocol(
     for pos in seed_positions:
         harness.spawn(pos)
 
-    placed_before = -1
-    while engine.total_deficiency() > 0 or placed_before != len(harness.placed_points):
-        placed_before = len(harness.placed_points)
-        target = sim.now + round_period
-        if target > max_sim_time:
-            raise PlacementError("Voronoi protocol exceeded the simulation horizon")
-        sim.run(until=target)
-        if (
+    with OBS.span("protocol", kind="voronoi", k=k) as span:
+        rounds = 0
+        placed_before = -1
+        while (
             engine.total_deficiency() > 0
-            and placed_before == len(harness.placed_points)
-            and sim.now > 2 * round_period
+            or placed_before != len(harness.placed_points)
         ):
-            raise PlacementError("Voronoi protocol stalled")
+            placed_before = len(harness.placed_points)
+            target = sim.now + round_period
+            if target > max_sim_time:
+                raise PlacementError(
+                    "Voronoi protocol exceeded the simulation horizon"
+                )
+            sim.run(until=target)
+            rounds += 1
+            if (
+                engine.total_deficiency() > 0
+                and placed_before == len(harness.placed_points)
+                and sim.now > 2 * round_period
+            ):
+                raise PlacementError("Voronoi protocol stalled")
+        notify = radio.stats.total_sent()
+        span.set(placed=len(harness.placed_points), rounds=rounds,
+                 notify_messages=notify)
+        if OBS.enabled:
+            OBS.counter("decor_messages_total", kind="vor_place").inc(notify)
+            bridge_radio_stats(radio.stats, protocol="voronoi")
 
     placed = harness.placed_points
     return VoronoiProtocolReport(

@@ -16,6 +16,7 @@ __all__ = [
     "PlacementError",
     "SimulationError",
     "ExperimentError",
+    "ObservabilityError",
 ]
 
 
@@ -45,3 +46,7 @@ class SimulationError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment definition was invalid or produced unusable output."""
+
+
+class ObservabilityError(ReproError, RuntimeError):
+    """The instrumentation layer was misused (mismatched spans, type clash)."""

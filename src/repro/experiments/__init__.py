@@ -44,7 +44,13 @@ from repro.experiments.summary import (
     method_summary,
 )
 from repro.experiments.tables import format_figure_table
-from repro.experiments.recording import figure_to_json, figure_from_json, figure_to_csv
+from repro.experiments.recording import (
+    figure_to_json,
+    figure_from_json,
+    figure_to_csv,
+    figure_from_csv,
+)
+from repro.experiments.summary import SpanStats, TraceSummary, summarize_trace
 
 __all__ = [
     "ExperimentSetup",
@@ -74,4 +80,8 @@ __all__ = [
     "figure_to_json",
     "figure_from_json",
     "figure_to_csv",
+    "figure_from_csv",
+    "SpanStats",
+    "TraceSummary",
+    "summarize_trace",
 ]

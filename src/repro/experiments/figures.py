@@ -22,6 +22,7 @@ Fig 14 extra nodes needed to restore full k-coverage after the disaster
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.experiments.runner import DeploymentCache
 from repro.experiments.setup import DECOR_SERIES, SERIES, ExperimentSetup
 from repro.network.coverage import CoverageState
 from repro.network.failures import area_failure
+from repro.obs import OBS
 
 __all__ = [
     "FigureResult",
@@ -85,6 +87,24 @@ class FigureResult:
         return self.series[name][1]
 
 
+def _figure_span(figure_id: str):
+    """Wrap a figure function in an ``OBS.span("figure", ...)``.
+
+    Applied at definition so both entry paths — direct calls and the
+    :data:`FIGURES` dispatch — produce the figure → series → k hierarchy.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with OBS.span("figure", figure=figure_id):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
 def _seeds(setup: ExperimentSetup) -> range:
     return range(setup.n_seeds)
 
@@ -101,6 +121,7 @@ def _effective_k(setup: ExperimentSetup, k: int) -> int:
 # ----------------------------------------------------------------------
 # Figure 7
 # ----------------------------------------------------------------------
+@_figure_span("fig07")
 def fig07_coverage_vs_nodes(
     setup: ExperimentSetup,
     cache: DeploymentCache | None = None,
@@ -143,6 +164,7 @@ def fig07_coverage_vs_nodes(
 # ----------------------------------------------------------------------
 # Figure 8
 # ----------------------------------------------------------------------
+@_figure_span("fig08")
 def fig08_nodes_vs_k(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
@@ -168,6 +190,7 @@ def fig08_nodes_vs_k(
 # ----------------------------------------------------------------------
 # Figure 9
 # ----------------------------------------------------------------------
+@_figure_span("fig09")
 def fig09_redundancy(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
@@ -202,6 +225,7 @@ def fig09_redundancy(
 # ----------------------------------------------------------------------
 # Figure 10
 # ----------------------------------------------------------------------
+@_figure_span("fig10")
 def fig10_messages(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
@@ -239,6 +263,7 @@ def fig10_messages(
 # ----------------------------------------------------------------------
 # Figure 11
 # ----------------------------------------------------------------------
+@_figure_span("fig11")
 def fig11_random_failures(
     setup: ExperimentSetup,
     cache: DeploymentCache | None = None,
@@ -280,6 +305,7 @@ def fig11_random_failures(
 # ----------------------------------------------------------------------
 # Figure 12
 # ----------------------------------------------------------------------
+@_figure_span("fig12")
 def fig12_max_failures(
     setup: ExperimentSetup,
     cache: DeploymentCache | None = None,
@@ -322,6 +348,7 @@ def _disaster(setup: ExperimentSetup, result):
     return area_failure(result.deployment, center, setup.disaster_radius)
 
 
+@_figure_span("fig13")
 def fig13_area_failure(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:
@@ -362,6 +389,7 @@ _METHOD_FNS = {
 }
 
 
+@_figure_span("fig14")
 def fig14_restoration(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
 ) -> FigureResult:

@@ -1,27 +1,68 @@
-"""Persistence of figure results (JSON round-trip, CSV export)."""
+"""Persistence of figure results (JSON round-trip, CSV round-trip).
+
+Serialisation is strict JSON (``allow_nan=False``): non-finite floats —
+which do occur in figure data, e.g. the message-count series of methods
+that send none — are encoded portably instead of relying on the
+JavaScript-incompatible ``NaN``/``Infinity`` literals.  Series values use
+the strings ``"nan"`` / ``"inf"`` / ``"-inf"`` (NumPy parses them back
+when the array is rebuilt); metadata floats use a ``{"__float__": ...}``
+sentinel object that :func:`figure_from_json` decodes symmetrically.
+
+The CSV form is long-format (``figure,series,x,y``) for spreadsheet use;
+:func:`figure_from_csv` rebuilds the series and figure id from it, but the
+title, axis labels and metadata are not part of the CSV and come back
+empty — use the JSON round-trip when full fidelity matters.
+"""
 
 from __future__ import annotations
 
 import csv
 import io
 import json
+import math
 
 import numpy as np
 
 from repro.errors import ExperimentError
 from repro.experiments.figures import FigureResult
 
-__all__ = ["figure_to_json", "figure_from_json", "figure_to_csv"]
+__all__ = [
+    "figure_to_json",
+    "figure_from_json",
+    "figure_to_csv",
+    "figure_from_csv",
+]
+
+
+def _encode_nonfinite(value: float):
+    """A JSON-safe stand-in for a float: itself, or a sentinel string."""
+    if math.isnan(value):
+        return "nan"
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return value
 
 
 def _jsonable(obj):
-    """Recursively convert NumPy containers/scalars to plain Python."""
+    """Recursively convert NumPy containers/scalars to plain Python.
+
+    Guarantees the result survives ``json.dumps(..., allow_nan=False)``:
+    non-finite floats become ``{"__float__": "nan" | "inf" | "-inf"}``
+    sentinels, which :func:`_unjsonable` turns back into floats.
+    """
     if isinstance(obj, np.ndarray):
-        return obj.tolist()
+        return _jsonable(obj.tolist())
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
     if isinstance(obj, (np.integer,)):
         return int(obj)
-    if isinstance(obj, (np.floating,)):
-        return float(obj)
+    if isinstance(obj, (float, np.floating)):
+        as_float = float(obj)
+        if math.isfinite(as_float):
+            return as_float
+        return {"__float__": _encode_nonfinite(as_float)}
     if isinstance(obj, dict):
         return {str(k): _jsonable(v) for k, v in obj.items()}
     if isinstance(obj, (list, tuple)):
@@ -29,20 +70,34 @@ def _jsonable(obj):
     return obj
 
 
+def _unjsonable(obj):
+    """Inverse of :func:`_jsonable` (decode the non-finite sentinels)."""
+    if isinstance(obj, dict):
+        if set(obj) == {"__float__"}:
+            return float(obj["__float__"])
+        return {k: _unjsonable(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_unjsonable(v) for v in obj]
+    return obj
+
+
 def figure_to_json(result: FigureResult) -> str:
-    """Serialise a figure result to a JSON string."""
+    """Serialise a figure result to a (strict) JSON string."""
     payload = {
         "figure_id": result.figure_id,
         "title": result.title,
         "xlabel": result.xlabel,
         "ylabel": result.ylabel,
         "series": {
-            name: {"x": x.tolist(), "y": y.tolist()}
+            name: {
+                "x": [_encode_nonfinite(float(v)) for v in x],
+                "y": [_encode_nonfinite(float(v)) for v in y],
+            }
             for name, (x, y) in result.series.items()
         },
         "meta": _jsonable(result.meta),
     }
-    return json.dumps(payload, indent=2, sort_keys=True)
+    return json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
 
 
 def figure_from_json(text: str) -> FigureResult:
@@ -62,7 +117,7 @@ def figure_from_json(text: str) -> FigureResult:
             xlabel=payload["xlabel"],
             ylabel=payload["ylabel"],
             series=series,
-            meta=payload.get("meta", {}),
+            meta=_unjsonable(payload.get("meta", {})),
         )
     except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
         raise ExperimentError(f"malformed figure JSON: {exc}") from exc
@@ -77,3 +132,50 @@ def figure_to_csv(result: FigureResult) -> str:
         for x, y in zip(xs, ys):
             writer.writerow([result.figure_id, name, float(x), float(y)])
     return buf.getvalue()
+
+
+def figure_from_csv(text: str) -> FigureResult:
+    """Rebuild a figure result from :func:`figure_to_csv` output.
+
+    The CSV form is intentionally minimal, so the round-trip is lossy:
+    the series data and figure id survive exactly (including non-finite
+    values — ``float("nan")`` prints and parses back), while ``title``,
+    ``xlabel``, ``ylabel`` and ``meta`` come back empty.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ExperimentError("empty figure CSV") from None
+    if header != ["figure", "series", "x", "y"]:
+        raise ExperimentError(f"unexpected figure CSV header: {header!r}")
+    figure_ids: set[str] = set()
+    points: dict[str, list[tuple[float, float]]] = {}
+    try:
+        for row in reader:
+            if not row:
+                continue
+            figure_id, name, x, y = row
+            figure_ids.add(figure_id)
+            points.setdefault(name, []).append((float(x), float(y)))
+    except ValueError as exc:
+        raise ExperimentError(f"malformed figure CSV: {exc}") from exc
+    if len(figure_ids) != 1:
+        raise ExperimentError(
+            f"figure CSV must hold exactly one figure, got {sorted(figure_ids)}"
+        )
+    series = {
+        name: (
+            np.asarray([p[0] for p in rows], dtype=float),
+            np.asarray([p[1] for p in rows], dtype=float),
+        )
+        for name, rows in points.items()
+    }
+    return FigureResult(
+        figure_id=figure_ids.pop(),
+        title="",
+        xlabel="",
+        ylabel="",
+        series=series,
+        meta={},
+    )

@@ -27,6 +27,7 @@ from repro.discrepancy.randomization import cranley_patterson_rotation
 from repro.discrepancy.sequences import unit_points
 from repro.experiments.setup import ExperimentSetup, Series, series_by_name
 from repro.field import FieldModel
+from repro.obs import OBS, bridge_field_stats
 
 __all__ = [
     "field_for_seed",
@@ -102,16 +103,27 @@ def run_series(
     if initial_positions is None and use_initial:
         initial_positions = initial_for_seed(setup, seed)
     rng = np.random.default_rng(30_000 + seed)
-    return run_method(
-        series.method,
-        pts,
-        spec,
-        k,
-        region=setup.region,
-        rng=rng,
-        cell_size=setup.cell_size_for(series),
-        initial_positions=initial_positions,
+    snap = (
+        pts.stats.snapshot()
+        if OBS.enabled and isinstance(pts, FieldModel)
+        else None
     )
+    with OBS.span("series", series=series.name, method=series.method, seed=seed):
+        with OBS.span("k", k=k) as k_span:
+            result = run_method(
+                series.method,
+                pts,
+                spec,
+                k,
+                region=setup.region,
+                rng=rng,
+                cell_size=setup.cell_size_for(series),
+                initial_positions=initial_positions,
+            )
+            k_span.set(added=int(result.added_ids.size))
+    if snap is not None:
+        bridge_field_stats(pts.stats, since=snap)
+    return result
 
 
 class DeploymentCache:
@@ -154,10 +166,14 @@ class DeploymentCache:
         name = series if isinstance(series, str) else series.name
         key = (name, int(k), int(seed))
         if key not in self._store:
+            if OBS.enabled:
+                OBS.counter("deployment_cache_total", outcome="miss").inc()
             self._store[key] = run_series(
                 self.setup, name, k, seed,
                 use_initial=self.use_initial, field=self.field(seed),
             )
+        elif OBS.enabled:
+            OBS.counter("deployment_cache_total", outcome="hit").inc()
         return self._store[key]
 
     def __len__(self) -> int:

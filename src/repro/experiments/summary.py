@@ -1,15 +1,21 @@
-"""Cross-method summary table.
+"""Cross-method summary table and trace digests.
 
 The paper presents its evaluation as eight figures; operators want the
 bottom line per method at their chosen ``k``.  :func:`method_summary`
 collapses the figure suite into one row per method: deployment size,
 waste, communication, failure tolerance, and disaster-repair cost —
 all seed-averaged from the same cached deployments the figures use.
+
+:func:`summarize_trace` plays the same role for the observability layer:
+it collapses a JSON-lines trace (or a live
+:class:`~repro.obs.Tracer`) into per-span-name timing totals and event
+counts, rendered by :meth:`TraceSummary.format`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,7 +27,14 @@ from repro.experiments.runner import DeploymentCache, field_for_seed
 from repro.experiments.setup import SERIES, ExperimentSetup
 from repro.errors import ExperimentError
 
-__all__ = ["MethodSummary", "method_summary", "format_summary_table"]
+__all__ = [
+    "MethodSummary",
+    "method_summary",
+    "format_summary_table",
+    "SpanStats",
+    "TraceSummary",
+    "summarize_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -144,3 +157,123 @@ def format_summary_table(rows: list[MethodSummary]) -> str:
     for row in table:
         lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# trace digests
+# ----------------------------------------------------------------------
+@dataclass
+class SpanStats:
+    """Aggregated timings of all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total += duration
+        if duration > self.max:
+            self.max = duration
+
+
+@dataclass
+class TraceSummary:
+    """Per-span-name and per-event-name digest of one trace.
+
+    Attributes
+    ----------
+    spans:
+        ``name -> SpanStats`` (count/total/mean/max seconds).
+    events:
+        ``name -> count``.
+    max_depth:
+        Deepest span nesting observed (0-based; a lone span has depth 0).
+    n_records / dropped:
+        Records summarised, and records the ring buffer evicted before
+        export (the summary only sees what survived).
+    """
+
+    spans: dict[str, SpanStats] = field(default_factory=dict)
+    events: dict[str, int] = field(default_factory=dict)
+    max_depth: int = 0
+    n_records: int = 0
+    dropped: int = 0
+
+    def format(self) -> str:
+        """Aligned text rendering, slowest span names first."""
+        lines = [
+            f"Trace summary: {self.n_records} records "
+            f"({sum(s.count for s in self.spans.values())} spans, "
+            f"{sum(self.events.values())} events, "
+            f"max depth {self.max_depth}"
+            + (f", {self.dropped} dropped" if self.dropped else "")
+            + ")"
+        ]
+        if self.spans:
+            headers = ["span", "count", "total s", "mean s", "max s"]
+            rows = [
+                [s.name, str(s.count), f"{s.total:.4f}",
+                 f"{s.mean:.6f}", f"{s.max:.6f}"]
+                for s in sorted(
+                    self.spans.values(), key=lambda s: -s.total
+                )
+            ]
+            widths = [
+                max(len(headers[c]), *(len(r[c]) for r in rows))
+                for c in range(len(headers))
+            ]
+            lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+            lines.append("  ".join("-" * w for w in widths))
+            for r in rows:
+                lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+        for name, n in sorted(self.events.items(), key=lambda kv: -kv[1]):
+            lines.append(f"event {name}: {n}")
+        return "\n".join(lines)
+
+
+def summarize_trace(source) -> TraceSummary:
+    """Digest a trace into per-name span timings and event counts.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.obs.Tracer`, an iterable of record dicts, or a
+        path to a JSON-lines trace file written by ``--trace`` /
+        :meth:`~repro.obs.Tracer.write_jsonl`.
+    """
+    dropped = 0
+    if hasattr(source, "records"):  # a Tracer
+        dropped = source.dropped
+        records = source.records()
+    elif isinstance(source, (str, bytes)) or hasattr(source, "__fspath__"):
+        with open(source, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+    else:
+        records = list(source)
+
+    summary = TraceSummary(dropped=dropped)
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "span":
+            summary.n_records += 1
+            name = str(rec.get("name", "?"))
+            summary.spans.setdefault(name, SpanStats(name)).add(
+                float(rec.get("dur", 0.0))
+            )
+            summary.max_depth = max(summary.max_depth, int(rec.get("depth", 0)))
+        elif kind == "event":
+            summary.n_records += 1
+            name = str(rec.get("name", "?"))
+            summary.events[name] = summary.events.get(name, 0) + 1
+        else:
+            raise ExperimentError(
+                f"unrecognised trace record type {kind!r}; expected a trace "
+                "written by repro.obs (span/event records)"
+            )
+    return summary

@@ -102,6 +102,23 @@ class FieldModelStats:
         self.builds.clear()
         self.hits.clear()
 
+    def snapshot(self) -> "FieldModelStats":
+        """An independent copy of the current counters.
+
+        Lets callers (the obs bridge, regression tests) measure what *one*
+        stretch of work contributed via :meth:`diff`, without resetting the
+        live counters that other code may still be accumulating into.
+        """
+        return FieldModelStats(Counter(self.builds), Counter(self.hits))
+
+    def diff(self, since: "FieldModelStats") -> "FieldModelStats":
+        """Counters accrued since ``since`` (an earlier :meth:`snapshot`).
+
+        Negative deltas (``since`` taken from a different model, or after a
+        ``reset``) are clamped to zero by ``Counter`` subtraction.
+        """
+        return FieldModelStats(self.builds - since.builds, self.hits - since.hits)
+
 
 def _partition_key(region: Rect, cell_width: float, cell_height: float) -> tuple:
     return (

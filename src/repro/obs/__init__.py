@@ -1,0 +1,41 @@
+"""Zero-dependency observability: tracing, metrics and profiling.
+
+Three pillars behind one opt-in switch:
+
+* :mod:`repro.obs.trace` — nested spans + events into a ring buffer with
+  JSON-lines export;
+* :mod:`repro.obs.metrics` — labelled counters/gauges/histograms exported
+  as one JSON document;
+* :mod:`repro.obs.profile` — the ``@profiled(site)`` decorator feeding a
+  ``profile_seconds`` histogram.
+
+Everything instrumented records into the module-level :data:`OBS` runtime,
+which is **off by default**: disabled call sites pay one attribute check.
+Turn it on with ``REPRO_OBS=1``, the CLI's ``--trace``/``--metrics`` flags,
+or ``OBS.enable()``.  See ``docs/observability.md`` for the full guide.
+
+>>> from repro.obs import OBS
+>>> OBS.enabled                             # off unless opted in
+False
+"""
+
+from repro.obs.bridge import bridge_field_stats, bridge_radio_stats
+from repro.obs.metrics import Gauge, Histogram, MCounter, MetricsRegistry
+from repro.obs.profile import profiled
+from repro.obs.runtime import NULL_SPAN, OBS, ObsRuntime
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "OBS",
+    "ObsRuntime",
+    "NULL_SPAN",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "MCounter",
+    "Gauge",
+    "Histogram",
+    "profiled",
+    "bridge_field_stats",
+    "bridge_radio_stats",
+]

@@ -1,0 +1,72 @@
+"""Bridges folding pre-existing ad-hoc counters into the metrics registry.
+
+PR 1 gave :class:`~repro.field.model.FieldModel` build/hit counters and the
+sim radio its :class:`~repro.sim.radio.RadioStats`; both predate this layer
+and keep their own state.  Rather than rewrite them, these bridges copy
+their totals into the shared :class:`~repro.obs.metrics.MetricsRegistry`
+as counter increments, so one metrics dump covers all telemetry.
+
+Field stats are bridged as *deltas* against a
+:meth:`~repro.field.model.FieldModelStats.snapshot` taken before the work
+of interest — bridging the same model twice must not double-count, and a
+model's counters keep accumulating across runs.  Radio stats are per-run
+objects, so they bridge whole.
+"""
+
+from __future__ import annotations
+
+from repro.obs.runtime import OBS
+
+__all__ = ["bridge_field_stats", "bridge_radio_stats"]
+
+#: Metric names the bridges write; also referenced by docs and tests.
+FIELD_BUILDS_METRIC = "field_model_builds_total"
+FIELD_HITS_METRIC = "field_model_hits_total"
+RADIO_SENT_METRIC = "radio_messages_sent_total"
+RADIO_RECEIVED_METRIC = "radio_messages_received_total"
+RADIO_DROPPED_METRIC = "radio_messages_dropped_total"
+
+
+def bridge_field_stats(stats, *, since=None, metrics=None) -> None:
+    """Fold FieldModel build/hit counters into the registry.
+
+    Parameters
+    ----------
+    stats:
+        A :class:`~repro.field.model.FieldModelStats` (or a
+        :class:`~repro.field.model.FieldModel`, whose ``.stats`` is used).
+    since:
+        An earlier ``stats.snapshot()``; only the counts accrued since then
+        are bridged.  ``None`` bridges the full totals — correct only for a
+        model created inside the bridged stretch of work.
+    metrics:
+        Registry to write into; defaults to the global runtime's.
+    """
+    stats = getattr(stats, "stats", stats)
+    if since is not None:
+        stats = stats.diff(since)
+    registry = OBS.metrics if metrics is None else metrics
+    for kind, n in sorted(stats.builds.items()):
+        if n:
+            registry.counter(FIELD_BUILDS_METRIC, kind=str(kind)).inc(int(n))
+    for kind, n in sorted(stats.hits.items()):
+        if n:
+            registry.counter(FIELD_HITS_METRIC, kind=str(kind)).inc(int(n))
+
+
+def bridge_radio_stats(stats, *, protocol: str = "", metrics=None) -> None:
+    """Fold one radio run's sent/received/dropped totals into the registry.
+
+    ``protocol`` labels the series (``"grid"``, ``"voronoi"``, ...); call
+    once per finished protocol run — the whole totals are added each time.
+    """
+    stats = getattr(stats, "stats", stats)
+    registry = OBS.metrics if metrics is None else metrics
+    sent = stats.total_sent()
+    received = stats.total_received()
+    if sent:
+        registry.counter(RADIO_SENT_METRIC, protocol=protocol).inc(sent)
+    if received:
+        registry.counter(RADIO_RECEIVED_METRIC, protocol=protocol).inc(received)
+    if stats.dropped:
+        registry.counter(RADIO_DROPPED_METRIC, protocol=protocol).inc(stats.dropped)

@@ -1,0 +1,62 @@
+"""The ``@profiled`` decorator: per-call-site wall-clock accounting.
+
+``@profiled("core.benefit")`` wraps a function so that, when the runtime is
+enabled, every call adds its ``perf_counter`` duration to the
+``profile_seconds{site=...}`` histogram (count, total, min/max — enough for
+a flame-graph-shaped table without storing samples).  When the runtime is
+disabled the wrapper is a single attribute check plus the original call —
+cheap enough for everything except the innermost NumPy kernels, which use
+explicit ``if OBS.enabled:`` guards instead.
+
+>>> from repro.obs.runtime import ObsRuntime
+>>> runtime = ObsRuntime()
+>>> @profiled("demo.square", obs=runtime)
+... def square(x):
+...     return x * x
+>>> square(4)                               # disabled: just the call
+16
+>>> runtime.enable()
+>>> square(5)
+25
+>>> runtime.metrics.histogram("profile_seconds", site="demo.square").count
+1
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+
+from repro.obs.runtime import OBS
+
+__all__ = ["profiled"]
+
+#: Metric every profiled site reports into, labelled by site name.
+PROFILE_METRIC = "profile_seconds"
+
+
+def profiled(site: str, *, obs=None):
+    """Decorate a function to time its calls under ``site`` when enabled.
+
+    ``obs`` overrides the global runtime (used by tests and doctests); the
+    default binds the module-level :data:`~repro.obs.runtime.OBS`.
+    """
+    runtime = OBS if obs is None else obs
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not runtime.enabled:
+                return fn(*args, **kwargs)
+            t0 = perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                runtime.metrics.histogram(PROFILE_METRIC, site=site).observe(
+                    perf_counter() - t0
+                )
+
+        wrapper.__profiled_site__ = site
+        return wrapper
+
+    return decorate

@@ -1,0 +1,155 @@
+"""The process-wide observability runtime and its off switch.
+
+Instrumented code talks to one module-level :data:`OBS` singleton instead of
+threading tracer/registry handles through every signature.  The contract:
+
+* **disabled (the default)** — every call site pays a single attribute
+  check.  ``OBS.span(...)`` hands back a shared no-op context manager,
+  ``OBS.counter(...)`` a shared no-op instrument; hot loops guard their
+  per-item work with ``if OBS.enabled:`` so nothing is even formatted.
+  Instrumentation must never change results — it only observes.
+* **enabled** — via ``OBS.enable()`` (the CLI's ``--trace``/``--metrics``
+  flags do this) or by setting ``REPRO_OBS=1`` in the environment before
+  import — spans, events and metrics record into the runtime's
+  :class:`~repro.obs.trace.Tracer` and
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The singleton is process-local state in the same sense as NumPy's global
+RNG: fine for a CLI run or a script, and tests that enable it must disable
+it again (see ``tests/test_obs.py`` for the fixture pattern).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, Tracer
+
+__all__ = ["ObsRuntime", "OBS", "NULL_SPAN"]
+
+
+class _NullSpan:
+    """Shared no-op stand-in for :class:`~repro.obs.trace.Span` when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram when disabled."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def add(self, delta):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+#: The no-op span every ``OBS.span`` call returns while disabled.
+NULL_SPAN = _NullSpan()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class ObsRuntime:
+    """Switchable facade over a tracer and a metrics registry.
+
+    >>> obs = ObsRuntime()
+    >>> obs.enabled
+    False
+    >>> obs.span("x") is NULL_SPAN          # disabled: shared no-ops
+    True
+    >>> obs.enable()
+    >>> with obs.span("figure", figure="fig08"):
+    ...     obs.event("placement", point=3)
+    ...     obs.counter("decor_placements_total", method="centralized").inc()
+    >>> (obs.tracer.n_spans, obs.tracer.n_events)
+    (1, 1)
+    >>> obs.metrics.value("decor_placements_total", method="centralized")
+    1
+    >>> obs.disable()                       # records survive for export
+    >>> (obs.enabled, obs.tracer.n_spans)
+    (False, 1)
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    def enable(self, *, trace_capacity: int = DEFAULT_CAPACITY,
+               fresh: bool = False) -> None:
+        """Turn recording on.
+
+        ``fresh=True`` (what the CLI uses per invocation) replaces the tracer
+        and registry so the export covers exactly this run; the default keeps
+        whatever has accumulated.
+        """
+        if fresh or self.tracer.capacity != trace_capacity:
+            self.tracer = Tracer(trace_capacity)
+        if fresh:
+            self.metrics = MetricsRegistry()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off; already-recorded data stays exportable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Disable and drop all recorded data (test teardown)."""
+        self.enabled = False
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # delegating facade — each call is one attribute check when disabled
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        if not self.enabled:
+            return
+        self.tracer.event(name, **attrs)
+
+    def counter(self, name: str, **labels):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.counter(name, **labels)
+
+    def gauge(self, name: str, **labels):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self.metrics.histogram(name, **labels)
+
+
+#: The process-wide runtime all instrumented repro code records into.
+OBS = ObsRuntime()
+
+if os.environ.get("REPRO_OBS", "") not in ("", "0"):  # pragma: no cover
+    OBS.enable()

@@ -1,0 +1,230 @@
+"""Lightweight tracing: nested spans and point events in a ring buffer.
+
+A :class:`Tracer` records two kinds of entries:
+
+* **spans** — ``with tracer.span("series", k=3):`` blocks timed with
+  ``perf_counter``; spans nest, and every record carries its ``id``,
+  ``parent`` id and ``depth`` so the figure → series → k → placement
+  hierarchy of a sweep is reconstructible from the flat stream;
+* **events** — ``tracer.event("placement", point=17, benefit=5.0)``
+  zero-duration marks attached to the currently open span.
+
+Entries land in a bounded ring buffer (oldest dropped first, with a
+``dropped`` count) as plain dicts, exported as JSON lines — one record per
+line, greppable and streamable, no schema registry needed.  Span records
+are appended when the span *closes*, so a trace file lists children before
+their parents (the usual post-order of tracing backends).
+
+The tracer assumes single-threaded, well-nested use — the same assumption
+the rest of the reproduction makes.  Attribute values are scrubbed to
+JSON-safe types at record time (NumPy scalars unwrapped, arrays listed,
+non-finite floats stringified) so exports never fail late.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from time import perf_counter
+
+import numpy as np
+
+from repro.errors import ObservabilityError
+
+__all__ = ["Span", "Tracer", "scrub"]
+
+#: Default ring-buffer capacity (records, spans + events).
+DEFAULT_CAPACITY = 65536
+
+
+def scrub(value):
+    """Coerce an attribute value to a JSON-serialisable equivalent.
+
+    NumPy scalars unwrap to Python scalars, arrays become lists, non-finite
+    floats become the strings ``"nan"`` / ``"inf"`` / ``"-inf"`` (plain JSON
+    has no representation for them), and anything unrecognised falls back to
+    ``repr`` — a trace record must never be the thing that crashes a run.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        v = float(value)
+        if math.isfinite(v):
+            return v
+        return "nan" if math.isnan(v) else ("inf" if v > 0 else "-inf")
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, np.ndarray):
+        return [scrub(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): scrub(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [scrub(v) for v in value]
+    return repr(value)
+
+
+class Span:
+    """One timed, attributed block; also its own context manager.
+
+    Created by :meth:`Tracer.span`; entering pushes it on the tracer's span
+    stack and starts the clock, exiting records it.  :meth:`set` attaches
+    result attributes discovered while the span is open (e.g. the number of
+    nodes a placement run ended up adding).
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "depth", "_tracer", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = str(name)
+        self.attrs = attrs
+        self._tracer = tracer
+        self.span_id = -1
+        self.parent_id: int | None = None
+        self.depth = 0
+        self._t0 = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.parent_id = tracer._stack[-1] if tracer._stack else None
+        self.depth = len(tracer._stack)
+        self.span_id = tracer._take_id()
+        tracer._stack.append(self.span_id)
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = perf_counter() - self._t0
+        tracer = self._tracer
+        if not tracer._stack or tracer._stack[-1] != self.span_id:
+            raise ObservabilityError(
+                f"span {self.name!r} closed out of order; spans must nest"
+            )
+        tracer._stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        tracer._append(
+            {
+                "type": "span",
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "depth": self.depth,
+                "t0": self._t0 - tracer._origin,
+                "dur": duration,
+                "attrs": {k: scrub(v) for k, v in self.attrs.items()},
+            }
+        )
+        tracer.n_spans += 1
+        return False
+
+
+class Tracer:
+    """Span/event recorder over a bounded ring buffer.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; older records are dropped (and counted in
+        :attr:`dropped`) once the buffer is full, so a tracer can stay
+        attached to an arbitrarily long run with bounded memory.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("figure", figure="fig08"):
+    ...     with tracer.span("series", series="centralized") as sp:
+    ...         tracer.event("placement", point=3, benefit=5.0)
+    ...         _ = sp.set(placed=1)
+    >>> [r["name"] for r in tracer.records()]   # children close first
+    ['placement', 'series', 'figure']
+    >>> tracer.records()[1]["attrs"] == {"series": "centralized", "placed": 1}
+    True
+    >>> (tracer.n_spans, tracer.n_events, tracer.dropped)
+    (2, 1, 0)
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ObservabilityError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._buffer: deque[dict] = deque(maxlen=self.capacity)
+        self._stack: list[int] = []
+        self._ids = 0
+        self._origin = perf_counter()
+        self.n_spans = 0
+        self.n_events = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def _take_id(self) -> int:
+        self._ids += 1
+        return self._ids
+
+    def _append(self, record: dict) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(record)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        """A context manager timing one named, attributed block."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a zero-duration event under the currently open span."""
+        self._append(
+            {
+                "type": "event",
+                "name": str(name),
+                "span": self._stack[-1] if self._stack else None,
+                "t": perf_counter() - self._origin,
+                "attrs": {k: scrub(v) for k, v in attrs.items()},
+            }
+        )
+        self.n_events += 1
+
+    @property
+    def current_depth(self) -> int:
+        """Number of currently open spans."""
+        return len(self._stack)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def records(self) -> list[dict]:
+        """The retained records, oldest first (a copy; safe to mutate)."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        """Drop all retained records and reset the counters (open spans stay)."""
+        self._buffer.clear()
+        self.n_spans = 0
+        self.n_events = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The retained records as JSON lines (one record per line)."""
+        return "\n".join(
+            json.dumps(rec, sort_keys=True, allow_nan=False) for rec in self._buffer
+        )
+
+    def write_jsonl(self, path) -> int:
+        """Write the records to ``path`` as JSON lines; returns record count."""
+        text = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return len(self._buffer)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import OBS
 from repro.sim.messages import Message
 from repro.sim.protocol import NodeProtocol
 
@@ -113,6 +114,11 @@ class CellElectionNode(NodeProtocol):
         winner = min(heard, key=lambda n: (-heard[n], n))
         self.current_leader = winner
         self.leadership_history.append(winner)
+        if OBS.enabled and winner == self.node_id:
+            # counted once per round: only the winner records its own win
+            OBS.counter("leader_elections_total", cell=self.cell_id).inc()
+            OBS.event("leader_elected", cell=self.cell_id, round=round_no,
+                      leader=winner)
         # prune stale rounds so the buffer stays bounded
         for r in [r for r in self._heard_by_round if r < round_no]:
             del self._heard_by_round[r]

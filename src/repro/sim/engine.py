@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import SimulationError
+from repro.obs import OBS
 
 __all__ = ["Event", "Simulator"]
 
@@ -112,19 +113,23 @@ class Simulator:
             Safety valve against runaway protocols.
         """
         executed = 0
-        while self._queue:
-            if executed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway protocol?"
-                )
-            nxt = self._queue[0]
-            if nxt.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and nxt.time > until:
+        try:
+            while self._queue:
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway protocol?"
+                    )
+                nxt = self._queue[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    return
+                self.step()
+                executed += 1
+            if until is not None and until > self._now:
                 self._now = until
-                return
-            self.step()
-            executed += 1
-        if until is not None and until > self._now:
-            self._now = until
+        finally:
+            if OBS.enabled and executed:
+                OBS.counter("sim_events_total").inc(executed)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.geometry.points import as_point, squared_distances_to
+from repro.obs import OBS
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
 
@@ -150,10 +151,14 @@ class Radio:
         receivers = self.neighbors_of(sender)
         msg = Message(sender, kind, payload, self._sim.now)
         self.stats.sent[sender] += 1
+        if OBS.enabled:
+            OBS.counter("radio_sent_total", kind=kind, mode="broadcast").inc()
         delivered = 0
         for r in receivers:
             if self._loss and self._rng is not None and self._rng.random() < self._loss:
                 self.stats.dropped += 1
+                if OBS.enabled:
+                    OBS.counter("radio_dropped_total", kind=kind).inc()
                 continue
             self._deliver(r, msg)
             delivered += 1
@@ -173,11 +178,15 @@ class Radio:
                 f"node {receiver} is out of range of node {sender}"
             )
         self.stats.sent[sender] += 1
+        if OBS.enabled:
+            OBS.counter("radio_sent_total", kind=kind, mode="unicast").inc()
         msg = Message(sender, kind, payload, self._sim.now)
         if not self._alive[receiver]:
             return False
         if self._loss and self._rng is not None and self._rng.random() < self._loss:
             self.stats.dropped += 1
+            if OBS.enabled:
+                OBS.counter("radio_dropped_total", kind=kind).inc()
             return False
         self._deliver(receiver, msg)
         return True

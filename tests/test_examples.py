@@ -37,3 +37,9 @@ def test_example_runs(name, tmp_path, monkeypatch, capsys):
     runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
     out = capsys.readouterr().out
     assert out.strip(), f"{name} produced no output"
+    if name in ("quickstart.py", "in_network_protocol.py"):
+        # these demonstrate the observability layer and must clean up
+        assert "Trace summary:" in out
+        from repro.obs import OBS
+
+        assert not OBS.enabled and len(OBS.tracer) == 0

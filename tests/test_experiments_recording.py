@@ -3,8 +3,15 @@
 import numpy as np
 import pytest
 
+import json
+
 from repro.errors import ExperimentError
-from repro.experiments import figure_from_json, figure_to_csv, figure_to_json
+from repro.experiments import (
+    figure_from_csv,
+    figure_from_json,
+    figure_to_csv,
+    figure_to_json,
+)
 from repro.experiments.figures import FigureResult
 
 
@@ -41,6 +48,38 @@ class TestJson:
             figure_from_json('{"missing": "fields"}')
 
 
+    def test_numpy_bool_meta_roundtrip(self):
+        original = make_result()
+        original.meta["flag"] = np.bool_(True)
+        original.meta["nested"] = {"ok": np.bool_(False)}
+        restored = figure_from_json(figure_to_json(original))
+        assert restored.meta["flag"] is True
+        assert restored.meta["nested"]["ok"] is False
+
+    def test_nonfinite_meta_roundtrip(self):
+        original = make_result()
+        original.meta["nan"] = float("nan")
+        original.meta["inf"] = np.float64("inf")
+        original.meta["ninf"] = [float("-inf"), 1.5]
+        text = figure_to_json(original)
+        json.loads(text)  # strict JSON: no bare NaN/Infinity literals
+        restored = figure_from_json(text)
+        assert np.isnan(restored.meta["nan"])
+        assert restored.meta["inf"] == float("inf")
+        assert restored.meta["ninf"] == [float("-inf"), 1.5]
+
+    def test_nonfinite_series_roundtrip(self):
+        original = make_result()
+        original.series["sparse"] = (
+            np.array([1.0, 2.0]),
+            np.array([np.nan, np.inf]),
+        )
+        restored = figure_from_json(figure_to_json(original))
+        x, y = restored.series["sparse"]
+        assert np.isnan(y[0]) and y[1] == np.inf
+        np.testing.assert_allclose(x, [1.0, 2.0])
+
+
 class TestCsv:
     def test_long_format(self):
         csv_text = figure_to_csv(make_result())
@@ -48,3 +87,28 @@ class TestCsv:
         assert lines[0] == "figure,series,x,y"
         assert lines[1] == "fig08,centralized,1.0,72.0"
         assert len(lines) == 3
+
+    def test_roundtrip_series(self):
+        original = make_result()
+        original.series["grid"] = (np.array([1.0, 2.0]), np.array([np.nan, 9.0]))
+        restored = figure_from_csv(figure_to_csv(original))
+        assert restored.figure_id == original.figure_id
+        assert set(restored.series) == set(original.series)
+        np.testing.assert_allclose(
+            restored.series["centralized"][1], original.series["centralized"][1]
+        )
+        assert np.isnan(restored.series["grid"][1][0])
+        # documented lossiness: presentation fields do not survive the CSV
+        assert restored.title == "" and restored.meta == {}
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure_from_csv("")
+        with pytest.raises(ExperimentError):
+            figure_from_csv("wrong,header,entirely,here\n")
+        with pytest.raises(ExperimentError):
+            figure_from_csv("figure,series,x,y\nfig08,a,1.0,oops\n")
+        with pytest.raises(ExperimentError):
+            figure_from_csv(
+                "figure,series,x,y\nfig08,a,1.0,2.0\nfig09,a,1.0,2.0\n"
+            )

@@ -141,6 +141,31 @@ class TestFieldModel:
         fm.stats.reset()
         assert fm.stats.build_count("adjacency") == 0
 
+    def test_snapshot_diff_isolates_deltas(self):
+        fm = FieldModel(random_points(0))
+        fm.adjacency(2.0)  # build index + adjacency before the snapshot
+        before = fm.stats.snapshot()
+        fm.adjacency(2.0)  # hit
+        fm.adjacency(3.0)  # second adjacency build
+        delta = fm.stats.diff(before)
+        assert delta.build_count("adjacency") == 1
+        assert delta.hit_count("adjacency") == 1
+        assert delta.build_count("index") == 0
+        # the live counters keep their full totals (no clobbering)
+        assert fm.stats.build_count("adjacency") == 2
+        assert fm.stats.build_count("index") == 1
+
+    def test_snapshot_is_immutable_copy(self):
+        fm = FieldModel(random_points(0))
+        fm.adjacency(2.0)
+        snap = fm.stats.snapshot()
+        fm.adjacency(3.0)
+        assert snap.build_count("adjacency") == 1  # unaffected by later work
+        # a diff against a later snapshot clamps rather than going negative
+        later = fm.stats.snapshot()
+        assert later.diff(later).build_count("adjacency") == 0
+        assert snap.diff(later).build_count("adjacency") == 0
+
     def test_grid_artifacts_memoised(self):
         fm = FieldModel(random_points(0))
         region = Rect.square(10.0)

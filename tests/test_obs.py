@@ -1,0 +1,360 @@
+"""Tests for the observability layer (repro.obs).
+
+The load-bearing guarantee sits in :class:`TestDisabledIsInvisible`: with
+``REPRO_OBS`` unset the instrumented placement code produces bit-identical
+results to the enabled runs and records nothing.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.planner import METHODS, run_method
+from repro.errors import ExperimentError, ObservabilityError
+from repro.experiments.summary import summarize_trace
+from repro.field import FieldModel
+from repro.obs import (
+    NULL_SPAN,
+    OBS,
+    Gauge,
+    Histogram,
+    MCounter,
+    MetricsRegistry,
+    ObsRuntime,
+    Tracer,
+    bridge_field_stats,
+    bridge_radio_stats,
+    profiled,
+)
+
+
+@pytest.fixture(autouse=True)
+def pristine_obs():
+    """Every test starts and ends with the global runtime pristine."""
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+def run_all_methods(seed: int = 0):
+    """One small deployment per method; returns positions keyed by method."""
+    rng_pts = np.random.default_rng(seed)
+    pts = rng_pts.random((150, 2)) * 25.0
+    from repro.geometry import Rect
+    from repro.network import SensorSpec
+
+    region = Rect.square(25.0)
+    spec = SensorSpec(4.0, 8.0)
+    out = {}
+    for name in METHODS:
+        result = run_method(
+            name, pts, spec, 2,
+            region=region,
+            rng=np.random.default_rng(99),
+            cell_size=5.0,
+        )
+        out[name] = np.array(result.deployment.alive_positions())
+    return out
+
+
+# ----------------------------------------------------------------------
+# the invisibility guarantee
+# ----------------------------------------------------------------------
+class TestDisabledIsInvisible:
+    def test_disabled_runs_record_nothing(self):
+        assert not OBS.enabled
+        run_all_methods()
+        assert len(OBS.tracer) == 0
+        assert OBS.tracer.n_events == 0
+        assert OBS.metrics.as_dict() == {}
+
+    def test_placements_bit_identical_enabled_vs_disabled(self):
+        baseline = run_all_methods()
+        OBS.enable(fresh=True)
+        instrumented = run_all_methods()
+        OBS.disable()
+        for name in METHODS:
+            np.testing.assert_array_equal(
+                baseline[name], instrumented[name],
+                err_msg=f"instrumentation perturbed method {name!r}",
+            )
+        # and the enabled run did observe the work
+        assert len(OBS.tracer) > 0
+        assert OBS.metrics.value("decor_placements_total", method="grid") > 0
+
+    def test_null_objects_are_shared_and_inert(self):
+        assert OBS.span("anything", k=1) is NULL_SPAN
+        counter = OBS.counter("nope")
+        counter.inc(5)
+        assert counter.value == 0
+        assert OBS.counter("other") is counter
+        with OBS.span("outer"):
+            pass  # context-manager protocol works while disabled
+        OBS.event("ignored", x=1)
+        assert len(OBS.tracer) == 0
+
+
+# ----------------------------------------------------------------------
+# tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_and_parents(self):
+        tracer = Tracer()
+        with tracer.span("a") as a:
+            with tracer.span("b"):
+                tracer.event("tick", n=1)
+        records = tracer.records()
+        # children close first: event, span b, span a
+        assert [r["type"] for r in records] == ["event", "span", "span"]
+        b, top = records[1], records[2]
+        assert top["name"] == "a" and top["parent"] is None and top["depth"] == 0
+        assert b["parent"] == top["id"] and b["depth"] == 1
+        assert records[0]["span"] == b["id"]
+        assert a.attrs == {}
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span("s", i=i):
+                pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [r["attrs"]["i"] for r in tracer.records()] == [2, 3, 4]
+
+    def test_out_of_order_close_rejected(self):
+        tracer = Tracer()
+        a = tracer.span("a")
+        b = tracer.span("b")
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(ObservabilityError):
+            a.__exit__(None, None, None)
+
+    def test_error_attr_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (rec,) = tracer.records()
+        assert rec["attrs"]["error"] == "ValueError"
+
+    def test_jsonl_roundtrip_scrubs_nonfinite(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", ratio=float("nan"), n=np.int64(3)):
+            pass
+        path = tmp_path / "trace.jsonl"
+        n = tracer.write_jsonl(path)
+        assert n == 1
+        (rec,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rec["attrs"] == {"ratio": "nan", "n": 3}
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_labelled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        reg.counter("m", method="a").inc()
+        reg.counter("m", method="b").inc(2)
+        assert reg.value("m", method="a") == 1
+        assert reg.value("m", method="b") == 2
+        assert reg.counter("m", method="a") is reg.counter("m", method="a")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m").inc()
+        with pytest.raises(ObservabilityError):
+            reg.gauge("m")
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (0.5, 1.5, 200.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 3 and d["min"] == 0.5 and d["max"] == 200.0
+        assert d["sum"] == pytest.approx(202.0)
+
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", x="1").inc()
+        reg.gauge("g").set(2.5)
+        d = reg.as_dict()
+        assert d["c"]["x=1"] == {"type": "counter", "value": 1}
+        assert d["g"][""]["value"] == 2.5
+        assert {MCounter.kind, Gauge.kind, Histogram.kind} == {
+            "counter", "gauge", "histogram"
+        }
+
+
+# ----------------------------------------------------------------------
+# runtime + profiling
+# ----------------------------------------------------------------------
+class TestRuntime:
+    def test_enable_disable_reset(self):
+        OBS.enable(fresh=True)
+        with OBS.span("s"):
+            OBS.counter("c").inc()
+        OBS.disable()
+        assert not OBS.enabled
+        assert len(OBS.tracer) == 1  # records survive disable for export
+        OBS.reset()
+        assert len(OBS.tracer) == 0 and OBS.metrics.as_dict() == {}
+
+    def test_profiled_records_only_when_enabled(self):
+        runtime = ObsRuntime()
+
+        @profiled("site.test", obs=runtime)
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert runtime.metrics.as_dict() == {}
+        runtime.enable()
+        assert work(2) == 3
+        hist = runtime.metrics.histogram("profile_seconds", site="site.test")
+        assert hist.as_dict()["count"] == 1
+        assert work.__profiled_site__ == "site.test"
+
+
+# ----------------------------------------------------------------------
+# bridges
+# ----------------------------------------------------------------------
+class TestBridges:
+    def test_field_stats_bridged_as_delta(self):
+        fm = FieldModel(np.random.default_rng(0).random((50, 2)) * 10.0)
+        fm.adjacency(2.0)  # pre-enable work must not be counted
+        OBS.enable(fresh=True)
+        snap = fm.stats.snapshot()
+        fm.adjacency(2.0)  # hit
+        fm.adjacency(3.0)  # build
+        bridge_field_stats(fm, since=snap)
+        assert OBS.metrics.value("field_model_builds_total", kind="adjacency") == 1
+        assert OBS.metrics.value("field_model_hits_total", kind="adjacency") == 1
+
+    def test_radio_stats_bridged(self):
+        class FakeStats:
+            def total_sent(self):
+                return 7
+
+            def total_received(self):
+                return 5
+
+            dropped = 2
+
+        OBS.enable(fresh=True)
+        bridge_radio_stats(FakeStats(), protocol="test")
+        assert OBS.metrics.value(
+            "radio_messages_sent_total", protocol="test"
+        ) == 7
+        assert OBS.metrics.value(
+            "radio_messages_dropped_total", protocol="test"
+        ) == 2
+
+
+# ----------------------------------------------------------------------
+# trace digests
+# ----------------------------------------------------------------------
+class TestSummarizeTrace:
+    def test_from_tracer_and_path_agree(self, tmp_path):
+        OBS.enable(fresh=True)
+        with OBS.span("outer"):
+            with OBS.span("inner"):
+                OBS.event("hit")
+            with OBS.span("inner"):
+                pass
+        OBS.disable()
+        live = summarize_trace(OBS.tracer)
+        path = tmp_path / "t.jsonl"
+        OBS.tracer.write_jsonl(path)
+        loaded = summarize_trace(path)
+        for s in (live, loaded):
+            assert s.spans["inner"].count == 2
+            assert s.spans["outer"].count == 1
+            assert s.events == {"hit": 1}
+            assert s.max_depth == 1
+        assert "inner" in live.format() and "event hit: 1" in live.format()
+
+    def test_unknown_record_type_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarize_trace([{"type": "mystery"}])
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCliExport:
+    def test_figure_trace_and_metrics(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main([
+            "figure", "8", "--seeds", "1",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Trace summary:" in out
+        assert not OBS.enabled  # the CLI turns the runtime back off
+
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        spans = {r["id"]: r for r in records if r["type"] == "span"}
+        names = {r["name"] for r in spans.values()}
+        assert {"figure", "series", "k", "placement"} <= names
+        # every placement span chains figure -> series -> k -> placement
+        for r in spans.values():
+            if r["name"] != "placement":
+                continue
+            chain = [r["name"]]
+            cur = r
+            while cur["parent"] is not None:
+                cur = spans[cur["parent"]]
+                chain.append(cur["name"])
+            assert chain == ["placement", "k", "series", "figure"]
+
+        dump = json.loads(metrics.read_text())
+        assert "field_model_builds_total" in dump
+        assert "decor_placements_total" in dump
+        assert "decor_messages_total" in dump
+
+    def test_deploy_exports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        metrics = tmp_path / "m.json"
+        code = main([
+            "deploy", "--k", "1", "--method", "grid", "--side", "20",
+            "--points", "100", "--metrics", str(metrics),
+        ])
+        assert code == 0
+        dump = json.loads(metrics.read_text())
+        assert "decor_placements_total" in dump
+        assert "field_model_builds_total" in dump
+
+
+# ----------------------------------------------------------------------
+# protocol instrumentation
+# ----------------------------------------------------------------------
+class TestProtocolCounters:
+    def test_grid_protocol_bridges_radio(self):
+        from repro.core.protocols import run_grid_protocol
+        from repro.geometry import Rect
+        from repro.network import SensorSpec
+
+        pts = np.random.default_rng(3).random((80, 2)) * 20.0
+        OBS.enable(fresh=True)
+        run_grid_protocol(pts, SensorSpec(4.0, 8.0), 1, Rect.square(20.0), 5.0)
+        OBS.disable()
+        dump = OBS.metrics.as_dict()
+        assert "radio_messages_sent_total" in dump
+        assert OBS.metrics.value(
+            "radio_messages_sent_total", protocol="grid"
+        ) > 0
+        names = {r["name"] for r in OBS.tracer.records() if r["type"] == "span"}
+        assert "protocol" in names
