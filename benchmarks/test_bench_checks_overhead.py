@@ -1,0 +1,140 @@
+"""Sanitizer overhead microbenchmark: the disabled-mode cost of
+``repro.checks`` bounded analytically, same methodology as
+``test_bench_obs_overhead.py``.
+
+With ``REPRO_CHECKS`` unset the sanitizer's entire footprint per greedy run
+is one ``greedy_checker()`` call (an attribute check returning the shared
+:data:`~repro.checks.contracts.NULL_CHECKER`) plus one no-op
+``after_step()`` method call per placement, and one ``CHECKS.enabled`` test
+per FieldModel CSR build.  Differencing two sweep timings cannot resolve
+that against a multi-second sweep, so the CI gate bounds it analytically:
+
+    overhead <= call_sites x per_call_cost / sweep_time < 3%
+
+where ``call_sites`` counts the placements an instrumented sweep performs
+(every placement is one ``after_step`` no-op; runs and CSR builds are
+strictly fewer than placements and are folded into the same pessimistic
+count) and ``per_call_cost`` is microbenchmarked on this machine as a full
+``greedy_checker()`` dispatch plus a ``NULL_CHECKER.after_step()`` call.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.checks import CHECKS, NULL_CHECKER, greedy_checker
+from repro.core.benefit import BenefitEngine
+from repro.experiments.runner import DeploymentCache
+from repro.experiments.setup import SERIES
+
+# per placement: one null after_step; per run: one greedy_checker dispatch
+# and one CHECKS.enabled test at each CSR cache boundary.  Counting every
+# placement as 3 guard evaluations over-covers runs + builds comfortably.
+GUARDS_PER_PLACEMENT = 3
+MAX_DISABLED_OVERHEAD = 0.03
+
+
+def _best_of(fn, rounds):
+    """Minimum wall-clock of ``rounds`` calls to ``fn()``."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _sweep(setup):
+    """fig08-style pass: every series at every k, one seed, fresh cache."""
+    cache = DeploymentCache(setup)
+    total = 0
+    for series in SERIES:
+        for k in setup.k_values:
+            total += cache.get(series, k, 0).total_alive
+    return total
+
+
+def test_sweep_checks_off(benchmark, setup):
+    """Baseline: the sweep with the sanitizer pristine-disabled."""
+    was_enabled = CHECKS.enabled
+    CHECKS.disable()
+    try:
+        result = benchmark.pedantic(lambda: _sweep(setup), rounds=3, iterations=1)
+    finally:
+        if was_enabled:
+            CHECKS.enable()
+    assert result > 0
+    benchmark.extra_info["checks"] = "off"
+
+
+def test_sweep_checks_on(benchmark, setup):
+    """The same sweep fully sanitized (every step invariant-validated)."""
+
+    def run():
+        CHECKS.enable()
+        try:
+            return _sweep(setup)
+        finally:
+            CHECKS.disable()
+
+    was_enabled = CHECKS.enabled
+    try:
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+    finally:
+        if was_enabled:
+            CHECKS.enable()
+    assert result > 0
+    benchmark.extra_info["checks"] = "on"
+
+
+def test_disabled_overhead_within_bound(benchmark, setup):
+    """CI gate: disabled-mode sanitizer costs < 3% of a smoke sweep."""
+    was_enabled = CHECKS.enabled
+    CHECKS.disable()
+    try:
+        # 1. count placements: every deployment the sweep builds performs
+        #    one after_step per added node
+        cache = DeploymentCache(setup)
+        placements = 0
+        for series in SERIES:
+            for k in setup.k_values:
+                placements += cache.get(series, k, 0).added_count
+        assert placements > 0
+
+        # 2. microbenchmark the disabled path: full greedy_checker dispatch
+        #    plus the null after_step call (pessimistic: real call sites do
+        #    the dispatch once per run, not per placement)
+        engine = BenefitEngine(
+            np.array([[0.0, 0.0], [1.0, 0.0]], dtype=np.float64), 2.0, 1
+        )
+        pos = engine.field.points[0]
+
+        def guard_block(n=1000):
+            for i in range(n):
+                checker = greedy_checker(engine, method="bench")
+                checker.after_step(i, 0, pos)
+            return n
+
+        assert not CHECKS.enabled
+        assert greedy_checker(engine, method="bench") is NULL_CHECKER
+        per_call = _best_of(guard_block, 5) / 1000.0
+
+        # 3. time the disabled sweep itself (best of 3)
+        sweep_time = _best_of(lambda: _sweep(setup), 3)
+
+        bound = placements * GUARDS_PER_PLACEMENT * per_call / sweep_time
+        benchmark.extra_info["placements"] = placements
+        benchmark.extra_info["per_call_seconds"] = per_call
+        benchmark.extra_info["sweep_seconds"] = sweep_time
+        benchmark.extra_info["disabled_overhead_bound"] = bound
+        benchmark.pedantic(lambda: guard_block(100), rounds=3, iterations=1)
+        assert bound < MAX_DISABLED_OVERHEAD, (
+            f"disabled-mode checks overhead bound {bound:.2%} exceeds "
+            f"{MAX_DISABLED_OVERHEAD:.0%} ({placements} placements, "
+            f"{per_call * 1e9:.0f} ns/call, sweep {sweep_time:.2f}s)"
+        )
+    finally:
+        if was_enabled:
+            CHECKS.enable()

@@ -1,0 +1,62 @@
+"""Project-specific AST lints for the DECOR reproduction.
+
+Run as ``python -m repro.checks.lint src/ tests/`` (CI does) or call
+:func:`lint_paths` programmatically.  The rule catalogue, rationale and the
+``# checks: ignore[CODE]`` suppression syntax are documented in
+``docs/static_analysis.md``.
+
+========  ==========================================================
+code      enforces
+========  ==========================================================
+DET001    no legacy global-RNG calls (np.random.<fn>, random.<fn>)
+DET002    no wall-clock/entropy reads in library code outside repro.obs
+ALIAS001  no in-place mutation of FieldModel/engine cached values
+OBS001    OBS metric/event touchpoints guarded by ``if OBS.enabled:``
+OBS002    ``@profiled`` site names unique across the library
+API001    no exact float ==/!= on coordinates or benefits
+SUP001    every ``# checks: ignore`` suppression must match a finding
+========  ==========================================================
+"""
+
+from repro.checks.lint.framework import (
+    FileContext,
+    Finding,
+    ImportMap,
+    Rule,
+    SUPPRESSION_RULE,
+    iter_python_files,
+    lint_paths,
+    parse_suppressions,
+)
+from repro.checks.lint.rules_alias import NoInPlaceOnCachedViews
+from repro.checks.lint.rules_api import NoFloatEqualityOnCoordinates
+from repro.checks.lint.rules_det import NoLegacyGlobalRng, NoWallClockInLibrary
+from repro.checks.lint.rules_obs import ObsTouchpointsGuarded, ProfiledSitesUnique
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "FileContext",
+    "ImportMap",
+    "Rule",
+    "SUPPRESSION_RULE",
+    "iter_python_files",
+    "lint_paths",
+    "parse_suppressions",
+    "NoLegacyGlobalRng",
+    "NoWallClockInLibrary",
+    "NoInPlaceOnCachedViews",
+    "ObsTouchpointsGuarded",
+    "ProfiledSitesUnique",
+    "NoFloatEqualityOnCoordinates",
+]
+
+#: The registered rule set, in reporting order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    NoLegacyGlobalRng,
+    NoWallClockInLibrary,
+    NoInPlaceOnCachedViews,
+    ObsTouchpointsGuarded,
+    ProfiledSitesUnique,
+    NoFloatEqualityOnCoordinates,
+)

@@ -1,0 +1,265 @@
+"""ALIAS001: no in-place mutation of values from shared cached getters.
+
+:class:`~repro.field.FieldModel` memoises arrays and CSR matrices that are
+*shared between every consumer* of the model (the module table in
+``repro/field/model.py`` lists them), and the engines expose read-only
+views (``counts``, ``benefit``).  Mutating one of these in place corrupts
+every other consumer's view of the field — far from where the symptom
+appears.  Dense arrays are frozen and fail fast at runtime; CSR payloads
+and list-of-array groups are only frozen under ``REPRO_CHECKS=1``, so the
+lint catches the pattern statically in all configurations.
+
+The rule tracks, per scope and in statement order, names bound from a
+cached-getter expression (``counts = engine.counts``;
+``adj = fm.adjacency(rs)``; ``for grp in fm.points_by_cell(...)``) and
+flags in-place operations on them — augmented assignment, subscript
+assignment, mutator method calls (``.sort()``, ``.fill()``...), being
+passed as a NumPy ``out=`` target, or un-freezing via
+``.flags.writeable``.  Rebinding a name to a defensive copy
+(``counts = counts.copy()``) releases it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint.framework import FileContext, Finding, Rule
+
+__all__ = ["NoInPlaceOnCachedViews"]
+
+#: Properties returning shared/read-only arrays or matrices.
+_CACHED_PROPERTIES = frozenset(
+    {
+        "points",
+        "counts",
+        "benefit",
+        "field_points",
+        "k_per_point",
+        "coverage_adjacency",
+    }
+)
+
+#: FieldModel methods returning memoised (shared) artifacts.
+_CACHED_METHODS = frozenset(
+    {
+        "adjacency",
+        "cell_of",
+        "points_by_cell",
+        "same_cell_adjacency",
+        "probe_grid",
+        "neighbor_index",
+    }
+)
+
+#: ndarray methods that mutate in place.
+_MUTATORS = frozenset({"sort", "fill", "resize", "partition", "put", "setflags"})
+
+#: Methods whose return value is an independent copy (rebinding releases).
+_COPYING = frozenset(
+    {"copy", "astype", "tolist", "toarray", "todense", "tocoo", "tocsc"}
+)
+
+
+def _is_cached_expr(node: ast.AST) -> bool:
+    """Does this expression read from a shared cached getter?"""
+    if isinstance(node, ast.Attribute) and node.attr in _CACHED_PROPERTIES:
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _CACHED_METHODS
+    ):
+        return True
+    return False
+
+
+def _base_name(node: ast.AST) -> str | None:
+    """The root Name of a Subscript/Attribute chain, if any."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class NoInPlaceOnCachedViews(Rule):
+    """ALIAS001: flag in-place ops on names bound from cached getters."""
+
+    code = "ALIAS001"
+    summary = (
+        "in-place mutation of a value obtained from a FieldModel/engine "
+        "cached getter; shared caches must be treated as immutable"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._scan(ctx, ctx.tree.body, {})
+
+    # ------------------------------------------------------------------
+    _COMPOUND = (
+        ast.If,
+        ast.While,
+        ast.For,
+        ast.AsyncFor,
+        ast.With,
+        ast.AsyncWith,
+        ast.Try,
+    )
+
+    def _scan(
+        self, ctx: FileContext, body: list[ast.stmt], tracked: dict[str, bool]
+    ) -> Iterator[Finding]:
+        """Walk a statement list in order, maintaining the tracked-name set."""
+        for stmt in body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # fresh scope seeded with the enclosing bindings (closures)
+                yield from self._scan(ctx, stmt.body, dict(tracked))
+                continue
+            if isinstance(stmt, self._COMPOUND):
+                for expr in self._header_exprs(stmt):
+                    yield from self._violations(ctx, expr, tracked)
+                self._update_bindings(stmt, tracked)
+                for child_body in self._nested_bodies(stmt):
+                    yield from self._scan(ctx, child_body, tracked)
+                continue
+            yield from self._violations(ctx, stmt, tracked)
+            self._update_bindings(stmt, tracked)
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        """The expressions a compound statement evaluates in its header."""
+        exprs: list[ast.expr] = []
+        for attr in ("test", "iter"):
+            value = getattr(stmt, attr, None)
+            if value is not None:
+                exprs.append(value)
+        for item in getattr(stmt, "items", []):
+            exprs.append(item.context_expr)
+        return exprs
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            bodies.append(handler.body)
+        return bodies
+
+    def _update_bindings(self, stmt: ast.stmt, tracked: dict[str, bool]) -> None:
+        """Track/untrack names bound by this statement."""
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value, targets = stmt.value, [stmt.target]
+        elif isinstance(stmt, ast.For):
+            # ``for grp in fm.points_by_cell(...):`` -- the elements of the
+            # cached group list are themselves shared arrays
+            if isinstance(stmt.target, ast.Name) and (
+                _is_cached_expr(stmt.iter)
+                or (
+                    isinstance(stmt.iter, ast.Name)
+                    and tracked.get(stmt.iter.id)
+                )
+            ):
+                tracked[stmt.target.id] = True
+            return
+        else:
+            return
+        is_cached = _is_cached_expr(value)
+        if (
+            not is_cached
+            and isinstance(value, ast.Name)
+            and tracked.get(value.id)
+        ):
+            is_cached = True  # alias of a tracked name
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _COPYING
+        ):
+            is_cached = False  # defensive copy releases the binding
+        for target in targets:
+            if isinstance(target, ast.Name):
+                tracked[target.id] = is_cached
+
+    def _is_protected(self, node: ast.AST, tracked: dict[str, bool]) -> bool:
+        """Is this expression a cached getter read or (rooted at) a tracked
+        alias?  ``adj.data[0]`` mutates the same buffer as ``adj``."""
+        if _is_cached_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return bool(tracked.get(node.id))
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            base = _base_name(node)
+            return base is not None and bool(tracked.get(base))
+        return False
+
+    def _violations(
+        self, ctx: FileContext, root: ast.AST, tracked: dict[str, bool]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(root):
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+                base = (
+                    target.value
+                    if isinstance(target, ast.Subscript)
+                    else target
+                )
+                if self._is_protected(base, tracked):
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        "augmented assignment mutates a shared cached "
+                        "value in place; copy it first",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and self._is_protected(
+                        target.value, tracked
+                    ):
+                        yield ctx.finding(
+                            self.code,
+                            node,
+                            "subscript assignment writes into a shared "
+                            "cached array; copy it first",
+                        )
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "writeable"
+                        and not (
+                            isinstance(node.value, ast.Constant)
+                            and node.value.value is False
+                        )
+                        and _base_name(target) is not None
+                        and tracked.get(_base_name(target))
+                    ):
+                        yield ctx.finding(
+                            self.code,
+                            node,
+                            "re-enabling writeable on a frozen cached "
+                            "array defeats the sharing contract",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and self._is_protected(func.value, tracked)
+                ):
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        f"`.{func.attr}()` mutates a shared cached value "
+                        "in place; copy it first",
+                    )
+                for kw in node.keywords:
+                    if kw.arg == "out" and self._is_protected(kw.value, tracked):
+                        yield ctx.finding(
+                            self.code,
+                            node,
+                            "`out=` writes into a shared cached array; "
+                            "allocate a fresh output instead",
+                        )

@@ -1,0 +1,130 @@
+"""API001: no exact float equality on coordinates or benefits.
+
+Positions, distances and benefit values are floats produced by chains of
+floating-point arithmetic (Halton radical inverses, squared distances,
+sparse mat-vecs).  ``==``/``!=`` on them is order-of-evaluation dependent
+— exactly the kind of silent nondeterminism a backend swap or a
+vectorisation change turns into a different placement.  Compare with a
+tolerance (``np.isclose``/``math.isclose``), or restructure (e.g. the
+greedy loop uses ``benefit <= 0.0`` against an integer-valued lower
+bound).
+
+The rule is name-driven: a comparison is flagged when either operand's
+terminal identifier names a coordinate/benefit quantity (contains
+``benefit`` or ``coord``, or is ``pos``/``position``/``distance``/...),
+unless the other operand is a string/None/bool literal (mode switches
+like ``benefit_mode == "binary"`` are fine) or the name is itself a
+mode/label (``*_mode``, ``*_name``...).  Float literals compared against
+such a name are flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint.framework import FileContext, Finding, Rule
+
+__all__ = ["NoFloatEqualityOnCoordinates"]
+
+_FLOATY_EXACT = frozenset(
+    {
+        "pos",
+        "position",
+        "positions",
+        "distance",
+        "distances",
+        "dist",
+        "dists",
+        "benefit",
+        "benefits",
+        "coord",
+        "coords",
+        "coordinates",
+    }
+)
+
+#: Suffixes marking discrete labels, not float quantities.
+_LABEL_SUFFIXES = ("mode", "name", "kind", "label", "key", "id", "ids", "method")
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """Identifier a reader would use to name this expression's value."""
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_floaty_name(name: str | None) -> bool:
+    if name is None:
+        return False
+    lowered = name.lower().lstrip("_")
+    if any(
+        lowered == suffix or lowered.endswith("_" + suffix)
+        for suffix in _LABEL_SUFFIXES
+    ):
+        return False
+    if lowered in _FLOATY_EXACT:
+        return True
+    return "benefit" in lowered or "coord" in lowered
+
+
+def _is_discrete_literal(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (str, bool, bytes, type(None))
+    )
+
+
+def _is_tolerant_call(node: ast.AST) -> bool:
+    """A sanctioned tolerant comparator: pytest.approx / np.isclose etc."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    return name in {"approx", "isclose", "allclose"}
+
+
+class NoFloatEqualityOnCoordinates(Rule):
+    """API001: flag ``==``/``!=`` between coordinate/benefit floats."""
+
+    code = "API001"
+    summary = (
+        "exact float ==/!= on coordinates or benefits; use np.isclose or "
+        "restructure the comparison"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands[:-1], operands[1:], strict=True
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_discrete_literal(left) or _is_discrete_literal(right):
+                    continue
+                if _is_tolerant_call(left) or _is_tolerant_call(right):
+                    continue
+                left_name = _terminal_name(left)
+                right_name = _terminal_name(right)
+                if _is_floaty_name(left_name) or _is_floaty_name(right_name):
+                    shown = (
+                        left_name
+                        if _is_floaty_name(left_name)
+                        else right_name
+                    )
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        f"exact float equality on `{shown}`; coordinates "
+                        "and benefits come from float arithmetic — use "
+                        "np.isclose or an inequality",
+                    )

@@ -1,0 +1,138 @@
+"""Determinism rules: DET001 (legacy global RNG), DET002 (wall clock/entropy).
+
+The paper's figures are averages over seeded trials; every run must be
+bit-reproducible from its seed.  Two things silently break that:
+
+* the *legacy global RNG* (``np.random.rand``/``np.random.seed``, stdlib
+  ``random.random`` & co.) — hidden process state that any import can
+  perturb.  Only explicit ``np.random.Generator`` objects, created with
+  ``np.random.default_rng(seed)`` and threaded through call sites, are
+  allowed (DET001);
+* *wall-clock and entropy reads* in library code — ``time.time``,
+  ``perf_counter``, ``uuid``, ``os.urandom`` — which make behaviour (or
+  recorded artifacts) differ between identical runs.  Only ``repro.obs``
+  may read the clock, because instrumentation never changes results
+  (DET002).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint.framework import FileContext, Finding, Rule
+
+__all__ = ["NoLegacyGlobalRng", "NoWallClockInLibrary"]
+
+#: Constructors of the modern, explicitly-seeded numpy RNG machinery.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: Stdlib ``random`` attributes that are explicit instances, not global state.
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random"})
+
+#: Qualified callables that read the wall clock or OS entropy.
+_WALL_CLOCK_OR_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid3",
+        "uuid.uuid4",
+        "uuid.uuid5",
+        "uuid.getnode",
+        "random.SystemRandom",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class NoLegacyGlobalRng(Rule):
+    """DET001: no legacy global-RNG calls anywhere in the tree."""
+
+    code = "DET001"
+    summary = (
+        "legacy global RNG (np.random.<fn> / random.<fn>) is forbidden; "
+        "thread a seeded np.random.Generator through call sites"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.imports.resolve(node.func)
+            if qual is None:
+                continue
+            if qual.startswith("numpy.random."):
+                tail = qual.split(".")[-1]
+                if tail not in _NUMPY_RANDOM_ALLOWED:
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        f"call to legacy global-RNG `{qual}`; use an "
+                        "explicit np.random.Generator from "
+                        "np.random.default_rng(seed) instead",
+                    )
+            elif qual.startswith("random."):
+                tail = qual.split(".")[1]
+                if (
+                    tail not in _STDLIB_RANDOM_ALLOWED
+                    and tail != "SystemRandom"  # DET002's finding, not ours
+                ):
+                    yield ctx.finding(
+                        self.code,
+                        node,
+                        f"call to stdlib global-RNG `{qual}`; use an "
+                        "explicit, seeded generator object instead",
+                    )
+
+
+class NoWallClockInLibrary(Rule):
+    """DET002: no wall-clock/entropy reads in library code outside repro.obs."""
+
+    code = "DET002"
+    summary = (
+        "wall-clock/entropy reads (time.*, uuid.*, os.urandom) are "
+        "forbidden in library code; only repro.obs may read the clock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_library or ctx.in_package("repro.obs"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.imports.resolve(node.func)
+            if qual is None:
+                continue
+            if qual in _WALL_CLOCK_OR_ENTROPY or qual.startswith("secrets."):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"wall-clock/entropy call `{qual}` in library module "
+                    f"`{ctx.module}`; runs must be bit-reproducible from "
+                    "their seed (only repro.obs may read the clock)",
+                )

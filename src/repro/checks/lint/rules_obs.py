@@ -1,0 +1,195 @@
+"""Observability discipline rules: OBS001 (guards), OBS002 (unique sites).
+
+The ``repro.obs`` layer promises that disabled instrumentation costs one
+attribute check per touchpoint (the <3% CI gate in
+``benchmarks/test_bench_obs_overhead.py`` depends on it).  That only holds
+if hot-loop touchpoints — ``OBS.event``/``OBS.counter``/``OBS.gauge``/
+``OBS.histogram``, whose *arguments* would otherwise still be evaluated
+and formatted — sit inside an ``if OBS.enabled:`` block (OBS001).
+``OBS.span`` is exempt: it is used as a context manager around whole
+phases and returns a shared null span when disabled.
+
+``@profiled(site)`` site names feed the ``profile_seconds{site=...}``
+histogram; two call sites sharing a name silently merge their timings, so
+site names must be unique across the library (OBS002).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint.framework import FileContext, Finding, Rule
+
+__all__ = ["ObsTouchpointsGuarded", "ProfiledSitesUnique"]
+
+#: OBS methods whose call (and argument evaluation) must be guarded.
+_GUARDED_METHODS = frozenset({"event", "counter", "gauge", "histogram"})
+
+
+def _mentions_obs_enabled(node: ast.AST) -> bool:
+    """Does this expression read ``OBS.enabled`` (possibly inside and/or/not)?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "enabled"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "OBS"
+        ):
+            return True
+    return False
+
+
+def _is_negated_guard(test: ast.AST) -> bool:
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and _mentions_obs_enabled(test.operand)
+    )
+
+
+def _terminates(block: list[ast.stmt]) -> bool:
+    return bool(block) and isinstance(
+        block[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+class ObsTouchpointsGuarded(Rule):
+    """OBS001: OBS.event/counter/gauge/histogram under ``if OBS.enabled:``."""
+
+    code = "OBS001"
+    summary = (
+        "obs metric/event touchpoints must sit inside an "
+        "`if OBS.enabled:` guard so disabled runs never format arguments"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_library or ctx.in_package("repro.obs"):
+            return
+        yield from self._walk_body(ctx, ctx.tree.body, guarded=False)
+
+    def _walk_body(
+        self, ctx: FileContext, body: list[ast.stmt], guarded: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                if _mentions_obs_enabled(stmt.test) and not _is_negated_guard(
+                    stmt.test
+                ):
+                    yield from self._walk_body(ctx, stmt.body, guarded=True)
+                    yield from self._walk_body(ctx, stmt.orelse, guarded=guarded)
+                elif _is_negated_guard(stmt.test) and _terminates(stmt.body):
+                    # ``if not OBS.enabled: return`` -- the rest of this
+                    # block runs only when enabled
+                    yield from self._walk_body(ctx, stmt.body, guarded=guarded)
+                    yield from self._walk_body(ctx, stmt.orelse, guarded=True)
+                    guarded = True
+                else:
+                    if not guarded:
+                        yield from self._check_expr(ctx, stmt.test)
+                    yield from self._walk_body(ctx, stmt.body, guarded)
+                    yield from self._walk_body(ctx, stmt.orelse, guarded)
+                continue
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # a nested def runs later, outside the enclosing guard
+                yield from self._walk_body(ctx, stmt.body, guarded=False)
+                continue
+            if isinstance(
+                stmt,
+                (ast.While, ast.For, ast.AsyncFor, ast.With, ast.AsyncWith, ast.Try),
+            ):
+                if not guarded:
+                    for expr in self._header_exprs(stmt):
+                        yield from self._check_expr(ctx, expr)
+                for attr in ("body", "orelse", "finalbody"):
+                    block = getattr(stmt, attr, None)
+                    if block:
+                        yield from self._walk_body(ctx, block, guarded)
+                for handler in getattr(stmt, "handlers", []):
+                    yield from self._walk_body(ctx, handler.body, guarded)
+                continue
+            if not guarded:
+                yield from self._check_expr(ctx, stmt)
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        exprs: list[ast.expr] = []
+        for attr in ("test", "iter"):
+            value = getattr(stmt, attr, None)
+            if value is not None:
+                exprs.append(value)
+        for item in getattr(stmt, "items", []):
+            exprs.append(item.context_expr)
+        return exprs
+
+    def _check_expr(self, ctx: FileContext, root: ast.AST) -> Iterator[Finding]:
+        """Flag touchpoint calls anywhere under an unguarded node."""
+        for node in ast.walk(root):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _GUARDED_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "OBS"
+            ):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"`OBS.{node.func.attr}(...)` is not inside an "
+                    "`if OBS.enabled:` guard; disabled runs would still "
+                    "evaluate its arguments",
+                )
+
+
+class ProfiledSitesUnique(Rule):
+    """OBS002: ``@profiled(site)`` names are unique across the library."""
+
+    code = "OBS002"
+    summary = (
+        "@profiled site names must be unique; duplicates silently merge "
+        "their timings in profile_seconds{site=...}"
+    )
+
+    def __init__(self) -> None:
+        self._sites: dict[str, tuple[str, int]] = {}
+        self._dupes: list[Finding] = []
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and (
+                    (isinstance(node.func, ast.Name) and node.func.id == "profiled")
+                    or (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "profiled"
+                    )
+                )
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                continue
+            site = node.args[0].value
+            if site in self._sites:
+                first_path, first_line = self._sites[site]
+                self._dupes.append(
+                    ctx.finding(
+                        self.code,
+                        node,
+                        f"duplicate @profiled site {site!r} (first used at "
+                        f"{first_path}:{first_line}); timings would merge "
+                        "into one histogram series",
+                    )
+                )
+            else:
+                self._sites[site] = (ctx.path, node.lineno)
+        return
+        yield  # pragma: no cover - makes check a generator
+
+    def finish(self) -> Iterator[Finding]:
+        yield from self._dupes

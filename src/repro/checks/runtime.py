@@ -1,0 +1,59 @@
+"""The process-wide invariant-sanitizer switch.
+
+Mirrors the :data:`repro.obs.runtime.OBS` pattern: one module-level
+:data:`CHECKS` singleton every guarded site consults, **off by default**.
+Disabled call sites pay one attribute check (or receive a shared null
+object from :func:`repro.checks.contracts.greedy_checker`), so production
+sweeps are bit-identical and essentially free of sanitizer cost.
+
+Turn it on with ``REPRO_CHECKS=1`` in the environment before import, or
+programmatically via ``CHECKS.enable()``.  The contract — like a race
+detector or ASan for a native stack — is that enabling the sanitizer
+**never changes results**, it only validates them and raises
+:class:`~repro.errors.InvariantError` at the violating step.
+
+>>> from repro.checks.runtime import ChecksRuntime
+>>> rt = ChecksRuntime()
+>>> rt.enabled
+False
+>>> rt.enable()
+>>> rt.enabled
+True
+>>> rt.disable()
+>>> rt.enabled
+False
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ChecksRuntime", "CHECKS"]
+
+
+class ChecksRuntime:
+    """Switch for the runtime invariant sanitizer (`repro.checks.contracts`)."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Turn invariant checking on for subsequently built objects.
+
+        Arrays are write-protected at *build* time, so enable the runtime
+        before constructing the field models / engines you want guarded
+        (setting ``REPRO_CHECKS=1`` before the process starts covers
+        everything).
+        """
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn invariant checking off (already-frozen arrays stay frozen)."""
+        self.enabled = False
+
+
+#: The process-wide sanitizer switch all guarded repro code consults.
+CHECKS = ChecksRuntime()
+
+if os.environ.get("REPRO_CHECKS", "") not in ("", "0"):  # pragma: no cover
+    CHECKS.enable()

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checks import greedy_checker
 from repro.core._common import finalize, init_run, placement_budget
 from repro.core.result import DeploymentResult, PlacementTrace
 from repro.errors import PlacementError
@@ -62,6 +63,7 @@ def centralized_greedy(
     trace = PlacementTrace()
     added: list[int] = []
     budget = placement_budget(engine.n_points, k, max_nodes)
+    checker = greedy_checker(engine, method="centralized")
     with OBS.span("placement", method="centralized", k=k) as span:
         while not engine.is_fully_covered():
             if len(added) >= budget:
@@ -77,6 +79,7 @@ def centralized_greedy(
             pos = pts[idx]
             added.append(deployment.add(pos))
             trace.record(pos, benefit, engine.covered_fraction())
+            checker.after_step(len(added) - 1, idx, pos)
             if OBS.enabled:
                 OBS.event(
                     "placement",

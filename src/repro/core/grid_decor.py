@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checks import greedy_checker
 from repro.core._common import finalize, init_run, placement_budget
 from repro.core.result import DeploymentResult, MessageStats, PlacementTrace
 from repro.errors import PlacementError
@@ -91,6 +92,7 @@ def grid_decor(
     added: list[int] = []
     per_cell_msgs = np.zeros(partition.n_cells, dtype=np.int64)
     budget = placement_budget(engine.n_points, k, max_nodes)
+    checker = greedy_checker(engine, method="grid")
 
     rounds = 0
     with OBS.span("placement", method="grid", k=k, cell_size=float(cell_size)) as span:
@@ -130,6 +132,7 @@ def grid_decor(
                     pos, benefit, engine.covered_fraction(),
                     proposer=cid, messages=n_msgs,
                 )
+                checker.after_step(len(added) - 1, idx, pos)
                 progress = True
                 counts = engine.counts  # refreshed view after mutation
                 if OBS.enabled:

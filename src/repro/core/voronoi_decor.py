@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checks import greedy_checker
 from repro.core._common import finalize, init_run, placement_budget
 from repro.core.result import DeploymentResult, MessageStats, PlacementTrace
 from repro.errors import PlacementError
@@ -119,6 +120,7 @@ def voronoi_decor(
     adj = engine.coverage_adjacency
     rc2 = spec.communication_radius**2
     budget = placement_budget(engine.n_points, k, max_nodes)
+    checker = greedy_checker(engine, method="voronoi")
     per_node_msgs: list[int] = [0] * deployment.n_total
 
     def local_benefit(candidates: np.ndarray, site: int, site_pos: np.ndarray,
@@ -175,6 +177,7 @@ def voronoi_decor(
                     proposer=int(site),
                     messages=n_msgs,
                 )
+                checker.after_step(len(added) - 1, idx, pos)
                 deficiency = engine.deficiency().astype(np.float64)
                 progress = True
                 if OBS.enabled:

@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "ObservabilityError",
+    "InvariantError",
 ]
 
 
@@ -50,3 +51,18 @@ class ExperimentError(ReproError, RuntimeError):
 
 class ObservabilityError(ReproError, RuntimeError):
     """The instrumentation layer was misused (mismatched spans, type clash)."""
+
+
+class InvariantError(ReproError, RuntimeError):
+    """A runtime invariant checked by :mod:`repro.checks.contracts` failed.
+
+    Raised only when the sanitizer is enabled (``REPRO_CHECKS=1``); the
+    message names the violated invariant and the offending step so the
+    failure points at the mutation site, not at a later symptom.
+    """
+
+    def __init__(self, invariant: str, detail: str, *, step: int | None = None):
+        self.invariant = invariant
+        self.step = step
+        where = "" if step is None else f" at step {step}"
+        super().__init__(f"invariant {invariant!r} violated{where}: {detail}")

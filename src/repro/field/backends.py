@@ -20,6 +20,7 @@ backends register via :func:`register_backend`.
 from __future__ import annotations
 
 import os
+from typing import Protocol
 
 import numpy as np
 from scipy import sparse
@@ -31,6 +32,7 @@ from repro.geometry.points import as_point, as_points, squared_distances_to
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "NeighborBackend",
     "KDTreeBackend",
     "GridHashBackend",
     "available_backends",
@@ -40,6 +42,26 @@ __all__ = [
 
 #: Environment variable selecting the default neighbour-search backend.
 BACKEND_ENV_VAR = "REPRO_FIELD_BACKEND"
+
+
+class NeighborBackend(Protocol):
+    """What a neighbour-search backend must answer (see the built-ins)."""
+
+    name: str
+
+    def query_ball(self, center: np.ndarray, radius: float) -> np.ndarray:
+        """Indices of field points within ``radius`` of ``center``."""
+        ...
+
+    def query_ball_many(
+        self, centers: np.ndarray, radius: float
+    ) -> list[np.ndarray]:
+        """Per-center index arrays for a batch of ball queries."""
+        ...
+
+    def adjacency(self, radius: float) -> sparse.csr_matrix:
+        """Symmetric 0/1 radius adjacency with unit diagonal."""
+        ...
 
 
 def _check_radius(radius: float) -> float:
@@ -63,7 +85,7 @@ class KDTreeBackend:
 
     name = "kdtree"
 
-    def __init__(self, points: np.ndarray):
+    def __init__(self, points: np.ndarray) -> None:
         self._points = as_points(points)
         self._tree = cKDTree(self._points) if len(self._points) else None
 
@@ -98,7 +120,7 @@ class GridHashBackend:
 
     name = "gridhash"
 
-    def __init__(self, points: np.ndarray):
+    def __init__(self, points: np.ndarray) -> None:
         self._points = as_points(points)
         self._indices: dict[float, UniformGridIndex] = {}
 
@@ -220,6 +242,6 @@ def resolve_backend_name(name: str | None = None) -> str:
     return resolved
 
 
-def make_backend(name: str | None, points: np.ndarray):
+def make_backend(name: str | None, points: np.ndarray) -> NeighborBackend:
     """Instantiate the resolved backend over ``points``."""
     return _BACKENDS[resolve_backend_name(name)](points)

@@ -36,8 +36,13 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
+from repro.checks import CHECKS, freeze_csr
 from repro.errors import GeometryError
-from repro.field.backends import make_backend, resolve_backend_name
+from repro.field.backends import (
+    NeighborBackend,
+    make_backend,
+    resolve_backend_name,
+)
 from repro.geometry.grid import GridPartition
 from repro.geometry.points import as_points
 from repro.geometry.region import Rect
@@ -153,11 +158,11 @@ class FieldModel:
     (1, 1)
     """
 
-    def __init__(self, points: np.ndarray, *, backend: str | None = None):
+    def __init__(self, points: np.ndarray, *, backend: str | None = None) -> None:
         self._points = np.array(as_points(points))
         self._points.flags.writeable = False
         self._backend_name = resolve_backend_name(backend)
-        self._index = None
+        self._index: NeighborBackend | None = None
         self._adjacency: dict[float, sparse.csr_matrix] = {}
         self._partitions: dict[tuple, GridPartition] = {}
         self._cells: dict[tuple, np.ndarray] = {}
@@ -193,7 +198,7 @@ class FieldModel:
     # ------------------------------------------------------------------
     # neighbour search
     # ------------------------------------------------------------------
-    def neighbor_index(self):
+    def neighbor_index(self) -> NeighborBackend:
         """The backend neighbour index over the field points (built once)."""
         if self._index is None:
             self.stats.builds["index"] += 1
@@ -222,7 +227,12 @@ class FieldModel:
             raise GeometryError(f"negative radius {key}")
         if key not in self._adjacency:
             self.stats.builds["adjacency"] += 1
-            self._adjacency[key] = self.neighbor_index().adjacency(key)
+            built = self.neighbor_index().adjacency(key)
+            if CHECKS.enabled:
+                # sanitizer: consumers mutating the shared CSR payload
+                # fail at the mutation site instead of corrupting peers
+                freeze_csr(built)
+            self._adjacency[key] = built
         else:
             self.stats.hits["adjacency"] += 1
         return self._adjacency[key]
@@ -292,9 +302,12 @@ class FieldModel:
         key = (float(radius), *_partition_key(region, cell_width, ch))
         if key not in self._same_cell:
             self.stats.builds["same_cell_adjacency"] += 1
-            self._same_cell[key] = same_cell_adjacency_of(
+            built = same_cell_adjacency_of(
                 self.adjacency(radius), self.cell_of(region, cell_width, ch)
             )
+            if CHECKS.enabled:
+                freeze_csr(built)
+            self._same_cell[key] = built
         else:
             self.stats.hits["same_cell_adjacency"] += 1
         return self._same_cell[key]

@@ -43,7 +43,7 @@ class NeighborIndex:
     [0, 1]
     """
 
-    def __init__(self, points: np.ndarray):
+    def __init__(self, points: np.ndarray) -> None:
         self._points = as_points(points)
         self._tree = cKDTree(self._points) if len(self._points) else None
 
@@ -118,7 +118,7 @@ class UniformGridIndex:
         The (fixed) query radius the index is built for.
     """
 
-    def __init__(self, points: np.ndarray, radius: float):
+    def __init__(self, points: np.ndarray, radius: float) -> None:
         if radius <= 0:
             raise GeometryError(f"radius must be positive, got {radius}")
         self._points = as_points(points)

@@ -7,9 +7,14 @@ broadcast, no needless copies).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import GeometryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.geometry.region import Rect
 
 __all__ = [
     "as_points",
@@ -98,7 +103,7 @@ def pairwise_distances(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray
     return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
 
 
-def bounding_rect_of(points: np.ndarray, pad: float = 0.0):
+def bounding_rect_of(points: np.ndarray, pad: float = 0.0) -> "Rect":
     """Tight axis-aligned bounding :class:`~repro.geometry.region.Rect`.
 
     Parameters

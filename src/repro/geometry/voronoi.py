@@ -61,7 +61,7 @@ class VoronoiOwnership:
       points, against the surviving sites.
     """
 
-    def __init__(self, points: np.ndarray, sites: np.ndarray):
+    def __init__(self, points: np.ndarray, sites: np.ndarray) -> None:
         self._points = as_points(points)
         sites = as_points(sites)
         if sites.shape[0] == 0:

@@ -15,6 +15,9 @@ objects, so they bridge whole.
 
 from __future__ import annotations
 
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import OBS
 
 __all__ = ["bridge_field_stats", "bridge_radio_stats"]
@@ -27,7 +30,9 @@ RADIO_RECEIVED_METRIC = "radio_messages_received_total"
 RADIO_DROPPED_METRIC = "radio_messages_dropped_total"
 
 
-def bridge_field_stats(stats, *, since=None, metrics=None) -> None:
+def bridge_field_stats(
+    stats: Any, *, since: Any = None, metrics: MetricsRegistry | None = None
+) -> None:
     """Fold FieldModel build/hit counters into the registry.
 
     Parameters
@@ -54,7 +59,9 @@ def bridge_field_stats(stats, *, since=None, metrics=None) -> None:
             registry.counter(FIELD_HITS_METRIC, kind=str(kind)).inc(int(n))
 
 
-def bridge_radio_stats(stats, *, protocol: str = "", metrics=None) -> None:
+def bridge_radio_stats(
+    stats: Any, *, protocol: str = "", metrics: MetricsRegistry | None = None
+) -> None:
     """Fold one radio run's sent/received/dropped totals into the registry.
 
     ``protocol`` labels the series (``"grid"``, ``"voronoi"``, ...); call

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+from typing import TypeVar, Union, cast
 
 from repro.errors import ObservabilityError
 
@@ -45,8 +47,8 @@ class MCounter:
     __slots__ = ("value",)
     kind = "counter"
 
-    def __init__(self):
-        self.value = 0
+    def __init__(self) -> None:
+        self.value: int | float = 0
 
     def inc(self, amount: int | float = 1) -> None:
         if amount < 0:
@@ -69,7 +71,7 @@ class Gauge:
     __slots__ = ("value",)
     kind = "gauge"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -97,7 +99,7 @@ class Histogram:
     __slots__ = ("count", "sum", "min", "max", "buckets")
     kind = "histogram"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.count = 0
         self.sum = 0.0
         self.min = math.inf
@@ -136,6 +138,11 @@ class Histogram:
         return out
 
 
+#: Any concrete instrument; :meth:`MetricsRegistry._get` is generic over it.
+_Instrument = Union[MCounter, Gauge, Histogram]
+_I = TypeVar("_I", MCounter, Gauge, Histogram)
+
+
 class MetricsRegistry:
     """Named, labelled instruments with JSON export.
 
@@ -155,15 +162,15 @@ class MetricsRegistry:
     repro.errors.ObservabilityError: metric 'decor_messages_total' ...
     """
 
-    def __init__(self):
-        self._instruments: dict[tuple, object] = {}
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, _Instrument] = {}
         self._types: dict[str, str] = {}
         #: Total instrument operations (lookups); the overhead benchmark uses
         #: this to bound enabled-mode cost per touchpoint.
         self.ops = 0
 
     # ------------------------------------------------------------------
-    def _get(self, factory, name: str, labels: dict):
+    def _get(self, factory: type[_I], name: str, labels: dict) -> _I:
         self.ops += 1
         want = factory.kind
         have = self._types.get(name)
@@ -177,23 +184,25 @@ class MetricsRegistry:
             inst = factory()
             self._instruments[key] = inst
             self._types[name] = want
-        return inst
+        return cast("_I", inst)
 
-    def counter(self, name: str, **labels) -> MCounter:
+    def counter(self, name: str, **labels: object) -> MCounter:
         return self._get(MCounter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         return self._get(Histogram, name, labels)
 
     # ------------------------------------------------------------------
-    def value(self, name: str, **labels):
+    def value(self, name: str, **labels: object) -> int | float:
         """The current value of a counter/gauge series (0 if never touched)."""
         key = (name, tuple(sorted(labels.items())))
         inst = self._instruments.get(key)
-        return inst.value if inst is not None else 0
+        if isinstance(inst, (MCounter, Gauge)):
+            return inst.value
+        return 0
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -222,7 +231,7 @@ class MetricsRegistry:
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
-    def write_json(self, path) -> int:
+    def write_json(self, path: str | os.PathLike) -> int:
         """Write the metrics dump to ``path``; returns the series count."""
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(self.to_json() + "\n")

@@ -26,16 +26,19 @@ from __future__ import annotations
 
 import functools
 from time import perf_counter
+from typing import Any, Callable, TypeVar, cast
 
-from repro.obs.runtime import OBS
+from repro.obs.runtime import OBS, ObsRuntime
 
 __all__ = ["profiled"]
 
 #: Metric every profiled site reports into, labelled by site name.
 PROFILE_METRIC = "profile_seconds"
 
+_F = TypeVar("_F", bound=Callable[..., Any])
 
-def profiled(site: str, *, obs=None):
+
+def profiled(site: str, *, obs: ObsRuntime | None = None) -> Callable[[_F], _F]:
     """Decorate a function to time its calls under ``site`` when enabled.
 
     ``obs`` overrides the global runtime (used by tests and doctests); the
@@ -43,9 +46,9 @@ def profiled(site: str, *, obs=None):
     """
     runtime = OBS if obs is None else obs
 
-    def decorate(fn):
+    def decorate(fn: _F) -> _F:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             if not runtime.enabled:
                 return fn(*args, **kwargs)
             t0 = perf_counter()
@@ -56,7 +59,7 @@ def profiled(site: str, *, obs=None):
                     perf_counter() - t0
                 )
 
-        wrapper.__profiled_site__ = site
-        return wrapper
+        wrapper.__profiled_site__ = site  # type: ignore[attr-defined]
+        return cast("_F", wrapper)
 
     return decorate

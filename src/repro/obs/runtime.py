@@ -22,9 +22,10 @@ it again (see ``tests/test_obs.py`` for the fixture pattern).
 from __future__ import annotations
 
 import os
+from types import TracebackType
 
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import DEFAULT_CAPACITY, Tracer
+from repro.obs.metrics import Gauge, Histogram, MCounter, MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, Span, Tracer
 
 __all__ = ["ObsRuntime", "OBS", "NULL_SPAN"]
 
@@ -34,13 +35,18 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> _NullSpan:
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
-    def set(self, **attrs):
+    def set(self, **attrs: object) -> _NullSpan:
         return self
 
 
@@ -50,16 +56,16 @@ class _NullInstrument:
     __slots__ = ()
     value = 0
 
-    def inc(self, amount=1):
+    def inc(self, amount: int | float = 1) -> None:
         pass
 
-    def set(self, value):
+    def set(self, value: float) -> None:
         pass
 
-    def add(self, delta):
+    def add(self, delta: float) -> None:
         pass
 
-    def observe(self, value):
+    def observe(self, value: float) -> None:
         pass
 
 
@@ -89,7 +95,7 @@ class ObsRuntime:
     (False, 1)
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
@@ -122,27 +128,27 @@ class ObsRuntime:
     # ------------------------------------------------------------------
     # delegating facade — each call is one attribute check when disabled
     # ------------------------------------------------------------------
-    def span(self, name: str, **attrs):
+    def span(self, name: str, **attrs: object) -> Span | _NullSpan:
         if not self.enabled:
             return NULL_SPAN
         return self.tracer.span(name, **attrs)
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: object) -> None:
         if not self.enabled:
             return
         self.tracer.event(name, **attrs)
 
-    def counter(self, name: str, **labels):
+    def counter(self, name: str, **labels: object) -> MCounter | _NullInstrument:
         if not self.enabled:
             return _NULL_INSTRUMENT
         return self.metrics.counter(name, **labels)
 
-    def gauge(self, name: str, **labels):
+    def gauge(self, name: str, **labels: object) -> Gauge | _NullInstrument:
         if not self.enabled:
             return _NULL_INSTRUMENT
         return self.metrics.gauge(name, **labels)
 
-    def histogram(self, name: str, **labels):
+    def histogram(self, name: str, **labels: object) -> Histogram | _NullInstrument:
         if not self.enabled:
             return _NULL_INSTRUMENT
         return self.metrics.histogram(name, **labels)

@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from collections import deque
 from time import perf_counter
+from types import TracebackType
 
 import numpy as np
 
@@ -38,7 +40,7 @@ __all__ = ["Span", "Tracer", "scrub"]
 DEFAULT_CAPACITY = 65536
 
 
-def scrub(value):
+def scrub(value: object) -> object:
     """Coerce an attribute value to a JSON-serialisable equivalent.
 
     NumPy scalars unwrap to Python scalars, arrays become lists, non-finite
@@ -79,7 +81,7 @@ class Span:
 
     __slots__ = ("name", "attrs", "span_id", "parent_id", "depth", "_tracer", "_t0")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
         self.name = str(name)
         self.attrs = attrs
         self._tracer = tracer
@@ -88,7 +90,7 @@ class Span:
         self.depth = 0
         self._t0 = 0.0
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: object) -> "Span":
         """Attach (or overwrite) attributes on the open span."""
         self.attrs.update(attrs)
         return self
@@ -102,7 +104,12 @@ class Span:
         self._t0 = perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         duration = perf_counter() - self._t0
         tracer = self._tracer
         if not tracer._stack or tracer._stack[-1] != self.span_id:
@@ -153,7 +160,7 @@ class Tracer:
     (2, 1, 0)
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ObservabilityError(f"trace capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
@@ -176,11 +183,11 @@ class Tracer:
         self._buffer.append(record)
 
     # ------------------------------------------------------------------
-    def span(self, name: str, **attrs) -> Span:
+    def span(self, name: str, **attrs: object) -> Span:
         """A context manager timing one named, attributed block."""
         return Span(self, name, attrs)
 
-    def event(self, name: str, **attrs) -> None:
+    def event(self, name: str, **attrs: object) -> None:
         """Record a zero-duration event under the currently open span."""
         self._append(
             {
@@ -221,7 +228,7 @@ class Tracer:
             json.dumps(rec, sort_keys=True, allow_nan=False) for rec in self._buffer
         )
 
-    def write_jsonl(self, path) -> int:
+    def write_jsonl(self, path: str | os.PathLike) -> int:
         """Write the records to ``path`` as JSON lines; returns record count."""
         text = self.to_jsonl()
         with open(path, "w", encoding="utf-8") as fh:

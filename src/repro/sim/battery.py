@@ -82,7 +82,7 @@ class LifetimeReport:
 
 def simulate_lifetime(
     coverage: CoverageState,
-    config: BatteryConfig = BatteryConfig(),
+    config: BatteryConfig | None = None,
     *,
     policy: str = "shift-rotation",
     max_epochs: int = 10_000_000,
@@ -105,6 +105,8 @@ def simulate_lifetime(
     The simulation still walks epochs explicitly for the rotation policy to
     keep the accounting honest when shift sizes differ.
     """
+    if config is None:
+        config = BatteryConfig()
     if not coverage.is_fully_covered(1):
         raise SimulationError("the deployment does not 1-cover the field")
     if policy == "always-on":

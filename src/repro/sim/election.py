@@ -76,10 +76,10 @@ class CellElectionNode(NodeProtocol):
     """
 
     def __init__(self, node_id, sim, radio, position, cell_id: int,
-                 config: ElectionConfig = ElectionConfig()):
+                 config: ElectionConfig | None = None):
         super().__init__(node_id, sim, radio, position)
         self.cell_id = int(cell_id)
-        self.config = config
+        self.config = ElectionConfig() if config is None else config
         self.round_no = 0
         self.current_leader: int | None = None
         self.leadership_history: list[int] = []

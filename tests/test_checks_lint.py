@@ -1,0 +1,576 @@
+"""Fixture-snippet tests for the project-specific AST linter.
+
+Each rule gets at least one violating snippet and one clean snippet; the
+suppression machinery (``# checks: ignore[CODE]``) is tested for matched,
+unused and unknown codes.  Snippets are written into a ``src/repro/...``
+layout under ``tmp_path`` so module-scoped rules (DET002, OBS001, OBS002)
+see them as library code.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.checks.lint import ALL_RULES, SUPPRESSION_RULE, lint_paths
+from repro.checks.lint.__main__ import main as lint_main
+from repro.checks.lint.framework import iter_python_files, module_name_for
+
+
+def _write(tmp_path, code, *, library=True, name="fixture_mod.py"):
+    """Materialise a snippet, by default as library module repro.fx.*."""
+    if library:
+        path = tmp_path / "src" / "repro" / "fx" / name
+    else:
+        path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return path
+
+
+def _codes(findings):
+    return [f.rule for f in findings]
+
+
+def lint_snippet(tmp_path, code, **kwargs):
+    _write(tmp_path, code, **kwargs)
+    return lint_paths([tmp_path])
+
+
+# ----------------------------------------------------------------------
+# DET001 - legacy global RNG
+# ----------------------------------------------------------------------
+class TestDet001:
+    def test_numpy_legacy_call_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """,
+        )
+        assert _codes(findings) == ["DET001"]
+        assert "numpy.random.rand" in findings[0].message
+
+    def test_numpy_seed_flagged_even_aliased(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from numpy import random as nprandom
+            nprandom.seed(7)
+            """,
+        )
+        assert _codes(findings) == ["DET001"]
+
+    def test_stdlib_random_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import random
+            v = random.random()
+            """,
+        )
+        assert _codes(findings) == ["DET001"]
+
+    def test_generator_usage_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random(3)
+            """,
+        )
+        assert findings == []
+
+    def test_applies_outside_library_too(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            np.random.shuffle([1, 2, 3])
+            """,
+            library=False,
+            name="test_something.py",
+        )
+        assert _codes(findings) == ["DET001"]
+
+
+# ----------------------------------------------------------------------
+# DET002 - wall clock / entropy in library code
+# ----------------------------------------------------------------------
+class TestDet002:
+    VIOLATION = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+
+    def test_wall_clock_in_library_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.VIOLATION)
+        assert _codes(findings) == ["DET002"]
+        assert "time.time" in findings[0].message
+
+    def test_from_import_resolved(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from time import perf_counter as pc
+
+            def stamp():
+                return pc()
+            """,
+        )
+        assert _codes(findings) == ["DET002"]
+
+    def test_uuid_and_urandom_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import os
+            import uuid
+
+            def ident():
+                return uuid.uuid4(), os.urandom(8)
+            """,
+        )
+        assert _codes(findings) == ["DET002", "DET002"]
+
+    def test_obs_package_exempt(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "obs" / "clocky.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(textwrap.dedent(self.VIOLATION), encoding="utf-8")
+        assert lint_paths([tmp_path]) == []
+
+    def test_non_library_code_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, self.VIOLATION, library=False, name="bench_helper.py"
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# ALIAS001 - in-place ops on cached getters
+# ----------------------------------------------------------------------
+class TestAlias001:
+    def test_augassign_on_tracked_name(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(engine):
+                counts = engine.counts
+                counts += 1
+            """,
+        )
+        assert _codes(findings) == ["ALIAS001"]
+
+    def test_subscript_write_through_attribute(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(fm):
+                adj = fm.adjacency(2.0)
+                adj.data[0] = 5.0
+            """,
+        )
+        assert _codes(findings) == ["ALIAS001"]
+
+    def test_mutator_method_and_out_kwarg(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def f(engine):
+                b = engine.benefit
+                b.sort()
+                np.add(b, 1.0, out=b)
+            """,
+        )
+        assert _codes(findings) == ["ALIAS001", "ALIAS001"]
+
+    def test_direct_property_augassign(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(engine):
+                engine.counts += 1
+            """,
+        )
+        assert _codes(findings) == ["ALIAS001"]
+
+    def test_unfreezing_writeable_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(fm):
+                pts = fm.points
+                pts.flags.writeable = True
+            """,
+        )
+        assert _codes(findings) == ["ALIAS001"]
+
+    def test_loop_over_cached_groups(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(fm, region, w):
+                for grp in fm.points_by_cell(region, w):
+                    grp += 1
+            """,
+        )
+        assert _codes(findings) == ["ALIAS001"]
+
+    def test_copy_releases_tracking(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(engine):
+                counts = engine.counts.copy()
+                counts += 1
+                view = engine.benefit
+                mine = view.copy()
+                mine.sort()
+            """,
+        )
+        assert findings == []
+
+    def test_reads_are_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(fm, engine, idx):
+                pts = fm.points
+                pos = pts[idx]
+                total = engine.counts.sum()
+                return pos, total
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# OBS001 - guarded obs touchpoints
+# ----------------------------------------------------------------------
+class TestObs001:
+    def test_unguarded_counter_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+
+            def f():
+                OBS.counter("decor_placements_total").inc()
+            """,
+        )
+        assert _codes(findings) == ["OBS001"]
+
+    def test_guarded_counter_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+
+            def f(benefit):
+                if OBS.enabled:
+                    OBS.counter("x").inc()
+                    OBS.event("placement", benefit=benefit)
+                    OBS.histogram("greedy_round_benefit").observe(benefit)
+            """,
+        )
+        assert findings == []
+
+    def test_early_exit_guard_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+
+            def f():
+                if not OBS.enabled:
+                    return
+                OBS.event("placement")
+            """,
+        )
+        assert findings == []
+
+    def test_span_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+
+            def f():
+                with OBS.span("placement", method="grid"):
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_guard_does_not_leak_into_nested_def(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+
+            def f():
+                if OBS.enabled:
+                    def g():
+                        OBS.event("late")
+                    return g
+            """,
+        )
+        assert _codes(findings) == ["OBS001"]
+
+    def test_non_library_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+            OBS.counter("x").inc()
+            """,
+            library=False,
+            name="test_obs_usage.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# OBS002 - unique @profiled sites
+# ----------------------------------------------------------------------
+class TestObs002:
+    def test_duplicate_sites_across_files_flagged(self, tmp_path):
+        _write(
+            tmp_path,
+            """
+            from repro.obs import profiled
+
+            @profiled("core.kernel")
+            def a():
+                pass
+            """,
+            name="mod_a.py",
+        )
+        _write(
+            tmp_path,
+            """
+            from repro.obs import profiled
+
+            @profiled("core.kernel")
+            def b():
+                pass
+            """,
+            name="mod_b.py",
+        )
+        findings = lint_paths([tmp_path])
+        assert _codes(findings) == ["OBS002"]
+        assert "core.kernel" in findings[0].message
+        assert "mod_a.py" in findings[0].message  # names the first use
+
+    def test_unique_sites_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import profiled
+
+            @profiled("core.alpha")
+            def a():
+                pass
+
+            @profiled("core.beta")
+            def b():
+                pass
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# API001 - exact float equality on coordinates/benefits
+# ----------------------------------------------------------------------
+class TestApi001:
+    def test_benefit_equality_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(benefit):
+                return benefit == 0.0
+            """,
+        )
+        assert _codes(findings) == ["API001"]
+
+    def test_position_inequality_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(pos, target):
+                return pos != target
+            """,
+        )
+        assert _codes(findings) == ["API001"]
+
+    def test_inequalities_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def f(benefit, dist, rs):
+                return benefit <= 0.0 or dist < rs
+            """,
+        )
+        assert findings == []
+
+    def test_mode_strings_and_tolerant_compares_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+
+            def f(benefit_mode, benefit, expected):
+                ok = benefit_mode == "binary"
+                close = benefit == pytest_approx(expected)
+                return ok, close, np.isclose(benefit, expected)
+
+            def pytest_approx(x):
+                return x
+            """,
+        )
+        # pytest_approx is not a sanctioned comparator; only the literal
+        # approx/isclose/allclose names are -- so the middle compare flags
+        assert _codes(findings) == ["API001"]
+
+    def test_approx_comparator_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import pytest
+
+            def f(dist, expected):
+                assert dist == pytest.approx(expected)
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# suppressions (SUP001)
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_matched_suppression_silences(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            x = np.random.rand(3)  # checks: ignore[DET001]
+            """,
+        )
+        assert findings == []
+
+    def test_unused_suppression_is_error(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            x = 1  # checks: ignore[DET001]
+            """,
+        )
+        assert _codes(findings) == [SUPPRESSION_RULE]
+
+    def test_unknown_code_is_error(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            x = 1  # checks: ignore[NOPE99]
+            """,
+        )
+        assert _codes(findings) == [SUPPRESSION_RULE]
+        assert "NOPE99" in findings[0].message
+
+    def test_suppression_only_covers_named_rule(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            x = np.random.rand(3)  # checks: ignore[API001]
+            """,
+        )
+        # the DET001 finding survives AND the API001 suppression is unused
+        assert sorted(_codes(findings)) == ["DET001", SUPPRESSION_RULE]
+
+    def test_marker_inside_string_is_inert(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            '''
+            DOC = "np.random.rand(3)  # checks: ignore[DET001]"
+            ''',
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# framework plumbing + CLI
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_every_registered_rule_has_code_and_summary(self):
+        codes = [rule.code for rule in ALL_RULES]
+        assert len(codes) == len(set(codes))
+        assert len(codes) >= 6
+        assert all(rule.summary for rule in ALL_RULES)
+
+    def test_module_name_resolution(self):
+        from pathlib import Path
+
+        assert module_name_for(Path("src/repro/obs/trace.py")) == "repro.obs.trace"
+        assert module_name_for(Path("tests/test_x.py")) is None
+
+    def test_iter_python_files_skips_hidden_and_pycache(self, tmp_path):
+        keep = tmp_path / "pkg" / "mod.py"
+        keep.parent.mkdir()
+        keep.write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+        hidden = tmp_path / ".venv"
+        hidden.mkdir()
+        (hidden / "junk.py").write_text("x = 1\n")
+        assert iter_python_files([tmp_path]) == [keep]
+
+    def test_syntax_error_reported_not_crashing(self, tmp_path):
+        _write(tmp_path, "def broken(:\n")
+        findings = lint_paths([tmp_path])
+        assert _codes(findings) == ["PARSE"]
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            import numpy as np
+            import time
+
+            def f():
+                np.random.rand(2)
+                return time.time()
+            """,
+        )
+        assert _codes(findings) == ["DET001", "DET002"]
+        assert findings[0].line < findings[1].line
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        _write(tmp_path, "import numpy as np\nnp.random.rand(1)\n")
+        assert lint_main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        clean = tmp_path / "clean"
+        clean.mkdir()
+        (clean / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(clean)]) == 0
+        assert lint_main(["--list-rules"]) == 0
+
+    def test_repo_src_is_clean(self):
+        """The shipped tree must satisfy its own linter (no baselines)."""
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        findings = lint_paths([repo / "src"])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -119,7 +119,7 @@ class TestFieldModel:
         raw[0] = 99.0  # later caller mutation must not leak in
         assert fm.points[0, 0] != 99.0
         with pytest.raises(ValueError):
-            fm.points[0] = 0.0
+            fm.points[0] = 0.0  # checks: ignore[ALIAS001] -- raise is the point
 
     def test_negative_radius_raises(self):
         with pytest.raises(GeometryError):

@@ -56,7 +56,7 @@ class TestNeighborIndex:
     def test_points_view_readonly(self):
         idx = NeighborIndex([[1.0, 2.0]])
         with pytest.raises(ValueError):
-            idx.points[0, 0] = 9.0
+            idx.points[0, 0] = 9.0  # checks: ignore[ALIAS001] -- raise is the point
 
 
 class TestUniformGridIndex:

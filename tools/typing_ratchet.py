@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Enforce the typing ratchet: the strict-mypy package set only grows.
+
+Two complementary gates, both stdlib-only so the check runs anywhere
+(mypy itself runs as a separate CI step):
+
+1. **Config gate** — every package listed in ``tools/typing_ratchet.txt``
+   must be covered by a ``[[tool.mypy.overrides]]`` entry in
+   ``pyproject.toml`` that sets ``disallow_untyped_defs``.  Deleting or
+   narrowing the strict override without shrinking the ratchet file (a
+   reviewed, deliberate act) fails.
+2. **Coverage gate** — every function/method defined inside a ratchet
+   package must be fully annotated (parameters, ``*args``/``**kwargs``
+   and return), verified directly over the AST.  This is the property
+   the strict mypy rung enforces, so the ratchet cannot silently rot
+   between mypy runs or on machines without mypy installed.
+
+Exit status 0 when both gates hold, 1 with a findings report otherwise.
+
+Usage::
+
+    python tools/typing_ratchet.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+import tomllib
+from pathlib import Path
+
+
+def load_ratchet(path: Path) -> list[str]:
+    packages = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            packages.append(line)
+    return packages
+
+
+def strict_override_modules(pyproject: Path) -> set[str]:
+    """Module patterns of mypy overrides that set disallow_untyped_defs."""
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    out: set[str] = set()
+    for override in data.get("tool", {}).get("mypy", {}).get("overrides", []):
+        if not override.get("disallow_untyped_defs"):
+            continue
+        modules = override.get("module", [])
+        if isinstance(modules, str):
+            modules = [modules]
+        out.update(modules)
+    return out
+
+
+def covered(package: str, patterns: set[str]) -> bool:
+    """Is ``package`` (and its subpackages) under a strict pattern?"""
+    return package in patterns and f"{package}.*" in patterns
+
+
+def package_dir(root: Path, package: str) -> Path:
+    return root / "src" / Path(*package.split("."))
+
+
+def unannotated_defs(tree: ast.Module) -> list[tuple[int, str, str]]:
+    """(line, name, what-is-missing) for each incompletely annotated def."""
+    problems: list[tuple[int, str, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        missing: list[str] = []
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return")
+        if missing:
+            problems.append((node.lineno, node.name, ", ".join(missing)))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the tree this script lives in)",
+    )
+    opts = parser.parse_args(argv)
+    root: Path = opts.root
+
+    ratchet_file = root / "tools" / "typing_ratchet.txt"
+    pyproject = root / "pyproject.toml"
+    packages = load_ratchet(ratchet_file)
+    patterns = strict_override_modules(pyproject)
+
+    failures = 0
+
+    for package in packages:
+        if not covered(package, patterns):
+            print(
+                f"RATCHET: {package} is in {ratchet_file.name} but has no "
+                f"strict [[tool.mypy.overrides]] entry covering both "
+                f"{package!r} and '{package}.*' with disallow_untyped_defs "
+                "-- the strict set only grows"
+            )
+            failures += 1
+
+    for package in packages:
+        pkg_dir = package_dir(root, package)
+        if not pkg_dir.is_dir():
+            print(f"RATCHET: {package} -> {pkg_dir} does not exist")
+            failures += 1
+            continue
+        for path in sorted(pkg_dir.rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for line, name, what in unannotated_defs(tree):
+                print(
+                    f"{path.relative_to(root)}:{line}: {name}() is missing "
+                    f"annotations ({what}) but {package} is on the strict rung"
+                )
+                failures += 1
+
+    if failures:
+        print(f"typing ratchet: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(
+        f"typing ratchet: OK ({len(packages)} strict package(s): "
+        f"{', '.join(packages)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
