@@ -1,0 +1,76 @@
+"""PR4 acceptance numbers, persisted machine-readably.
+
+Writes ``benchmarks/results/BENCH_PR4.json`` with the two measurements the
+lazy-selection + parallel-fan-out work is gated on:
+
+* ``selection`` — benefit entries scanned per argmax on the fig08
+  deployment sweep, naive scan vs lazy heap, and their ratio (the >= 5x
+  reduction gate, also asserted in ``test_micro_kernels.py``);
+* ``parallel`` — wall-clock of the fig08 sweep serial vs ``workers=4``,
+  with the figure JSON asserted byte-identical *always*.  The >= 2x
+  speedup is asserted only where ``os.cpu_count() >= 4`` (CI runners);
+  on smaller machines the actuals are still recorded, so the JSON shows
+  what this host measured either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from time import perf_counter
+
+from repro.experiments import DeploymentCache, figure_to_json
+from repro.experiments.figures import run_figure
+
+from test_micro_kernels import selection_scan_ratios
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR4.json"
+
+
+def _timed_fig08(setup, *, workers: int | None) -> tuple[str, float]:
+    start = perf_counter()
+    result = run_figure(setup, 8, DeploymentCache(setup), workers=workers)
+    elapsed = perf_counter() - start
+    return figure_to_json(result), elapsed
+
+
+def test_bench_pr4_acceptance(setup):
+    cpu_count = os.cpu_count() or 1
+    ratios = selection_scan_ratios(setup)
+    reduction = ratios["scan"] / ratios["lazy"]
+
+    serial_json, serial_s = _timed_fig08(setup, workers=None)
+    parallel_json, parallel_s = _timed_fig08(setup, workers=4)
+    byte_identical = serial_json == parallel_json
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    speedup_asserted = cpu_count >= 4
+
+    payload = {
+        "scale": os.environ.get("REPRO_SCALE") or "smoke",
+        "cpu_count": cpu_count,
+        "selection": {
+            "scanned_per_argmax_scan": ratios["scan"],
+            "scanned_per_argmax_lazy": ratios["lazy"],
+            "reduction_factor": reduction,
+            "gate": ">= 5x fewer entries scanned per argmax",
+        },
+        "parallel": {
+            "figure": "fig08",
+            "serial_seconds": serial_s,
+            "workers4_seconds": parallel_s,
+            "speedup": speedup,
+            "byte_identical": byte_identical,
+            "speedup_asserted": speedup_asserted,
+            "gate": ">= 2x wall-clock with 4 workers (asserted on >= 4 cores)",
+        },
+    }
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    assert byte_identical, "parallel fig08 JSON differs from serial"
+    assert reduction >= 5.0, payload["selection"]
+    if speedup_asserted:
+        assert speedup >= 2.0, payload["parallel"]

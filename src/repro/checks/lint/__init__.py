@@ -14,6 +14,7 @@ ALIAS001  no in-place mutation of FieldModel/engine cached values
 OBS001    OBS metric/event touchpoints guarded by ``if OBS.enabled:``
 OBS002    ``@profiled`` site names unique across the library
 API001    no exact float ==/!= on coordinates or benefits
+PAR001    repro.parallel: no un-seeded RNG, no global OBS mutation
 SUP001    every ``# checks: ignore`` suppression must match a finding
 ========  ==========================================================
 """
@@ -32,6 +33,7 @@ from repro.checks.lint.rules_alias import NoInPlaceOnCachedViews
 from repro.checks.lint.rules_api import NoFloatEqualityOnCoordinates
 from repro.checks.lint.rules_det import NoLegacyGlobalRng, NoWallClockInLibrary
 from repro.checks.lint.rules_obs import ObsTouchpointsGuarded, ProfiledSitesUnique
+from repro.checks.lint.rules_par import ParallelWorkerDiscipline
 
 __all__ = [
     "ALL_RULES",
@@ -49,6 +51,7 @@ __all__ = [
     "ObsTouchpointsGuarded",
     "ProfiledSitesUnique",
     "NoFloatEqualityOnCoordinates",
+    "ParallelWorkerDiscipline",
 ]
 
 #: The registered rule set, in reporting order.
@@ -59,4 +62,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ObsTouchpointsGuarded,
     ProfiledSitesUnique,
     NoFloatEqualityOnCoordinates,
+    ParallelWorkerDiscipline,
 )

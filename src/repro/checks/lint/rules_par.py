@@ -1,0 +1,112 @@
+"""Parallel-worker discipline rule: PAR001.
+
+:mod:`repro.parallel` ships work to worker processes and merges the
+results back deterministically.  Two classes of code silently break that
+contract from inside the module itself:
+
+* **un-seeded RNG construction** — ``np.random.default_rng()`` or
+  ``random.Random()`` with no arguments draws OS entropy, so two workers
+  (or two runs) diverge.  DET001 already bans the legacy *global* RNG
+  everywhere; PAR001 additionally requires that the *explicit* generators
+  DET001 steers code toward are constructed with a seed when they appear
+  in ``repro.parallel``;
+* **global OBS mutation** — calling ``OBS.enable``/``disable``/``reset``
+  (or assigning ``OBS.enabled``/``OBS.tracer``/``OBS.metrics``) from the
+  parallel layer would race the parent's runtime state against worker
+  capture.  The only sanctioned seam is :mod:`repro.obs.bridge`'s
+  ``capture_worker_obs``/``merge_worker_obs`` pair, which lives in the
+  package that owns the singleton.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint.framework import FileContext, Finding, Rule
+
+__all__ = ["ParallelWorkerDiscipline"]
+
+#: RNG constructors that must receive an explicit seed in repro.parallel.
+_SEEDED_CONSTRUCTORS = frozenset({"numpy.random.default_rng", "random.Random"})
+
+#: Qualified names the global OBS runtime resolves to via the import map.
+_OBS_SINGLETONS = frozenset({"repro.obs.OBS", "repro.obs.runtime.OBS"})
+
+#: OBS runtime methods that mutate global observability state.
+_OBS_MUTATORS = frozenset({"enable", "disable", "reset"})
+
+#: OBS runtime attributes whose rebinding swaps global state.
+_OBS_STATE_ATTRS = frozenset({"enabled", "tracer", "metrics"})
+
+
+class ParallelWorkerDiscipline(Rule):
+    """PAR001: no un-seeded RNG or global OBS mutation in repro.parallel."""
+
+    code = "PAR001"
+    summary = (
+        "repro.parallel must not construct un-seeded RNGs or mutate the "
+        "global OBS runtime; seed every generator and go through the "
+        "repro.obs.bridge capture/merge seam"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.parallel"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_target(ctx, node, target)
+            elif isinstance(node, ast.AnnAssign):
+                yield from self._check_target(ctx, node, node.target)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        qual = ctx.imports.resolve(node.func)
+        if qual is None:
+            return
+        if qual in _SEEDED_CONSTRUCTORS and not node.args and not node.keywords:
+            yield ctx.finding(
+                self.code,
+                node,
+                f"un-seeded `{qual}()` in repro.parallel; workers must "
+                "derive all randomness from their cell's seed or two "
+                "runs of the same sweep will disagree",
+            )
+            return
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _OBS_MUTATORS
+        ):
+            owner = ctx.imports.resolve(node.func.value)
+            if owner in _OBS_SINGLETONS:
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"`OBS.{node.func.attr}(...)` in repro.parallel; "
+                    "global OBS state may only be switched through the "
+                    "repro.obs.bridge capture/merge seam",
+                )
+
+    def _check_target(
+        self, ctx: FileContext, stmt: ast.stmt, target: ast.expr
+    ) -> Iterator[Finding]:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in _OBS_STATE_ATTRS
+        ):
+            owner = ctx.imports.resolve(target.value)
+            if owner in _OBS_SINGLETONS:
+                yield ctx.finding(
+                    self.code,
+                    stmt,
+                    f"assignment to `OBS.{target.attr}` in repro.parallel; "
+                    "global OBS state may only be switched through the "
+                    "repro.obs.bridge capture/merge seam",
+                )

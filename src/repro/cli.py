@@ -14,6 +14,11 @@ Usage (installed as ``decor`` or via ``python -m repro.cli``)::
 Scale selection: ``--scale`` beats the ``REPRO_SCALE`` environment variable,
 which beats the default ("smoke").
 
+Parallelism: ``--workers N`` (on figure and summary) shards the independent
+``(series, k, seed)`` deployments across N worker processes and merges the
+results deterministically — the output is bit-identical to a serial run.
+See ``docs/performance.md``.
+
 Observability: ``--trace out.jsonl`` / ``--metrics out.json`` (on figure,
 deploy, summary and restore) enable the :mod:`repro.obs` runtime for the
 invocation and export the recorded spans/events and metric series; a trace
@@ -32,7 +37,7 @@ from repro._version import __version__
 from repro.analysis.metrics import evaluate_deployment
 from repro.core.planner import DecorPlanner, METHODS
 from repro.errors import ReproError
-from repro.experiments.figures import FIGURES
+from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.recording import figure_to_csv, figure_to_json
 from repro.experiments.runner import DeploymentCache
 from repro.experiments.setup import ExperimentSetup
@@ -92,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--seeds", type=int, default=None, help="override seed count")
     p_fig.add_argument("--json", metavar="PATH", help="also write JSON")
     p_fig.add_argument("--csv", metavar="PATH", help="also write CSV")
+    p_fig.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="compute the figure's deployments across N worker processes "
+             "(bit-identical output; default: serial)",
+    )
     _add_obs_args(p_fig)
 
     p_dep = sub.add_parser("deploy", help="run one deployment and report metrics")
@@ -110,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sum.add_argument("--k", type=int, default=3)
     p_sum.add_argument("--scale", choices=["smoke", "paper"], default=None)
     p_sum.add_argument("--seeds", type=int, default=None)
+    p_sum.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="compute the per-method deployments across N worker processes",
+    )
     _add_obs_args(p_sum)
 
     p_res = sub.add_parser("restore", help="deploy, break, repair, report")
@@ -152,7 +166,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     obs = _obs_begin(args)
     setup = _setup_from_args(args)
     cache = DeploymentCache(setup)
-    result = FIGURES[args.number](setup, cache)
+    result = run_figure(setup, args.number, cache, workers=args.workers)
     print(format_figure_table(result))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -201,7 +215,15 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     obs = _obs_begin(args)
     setup = _setup_from_args(args)
     k = min(args.k, max(setup.k_values))
-    rows = method_summary(setup, k, DeploymentCache(setup))
+    cache = DeploymentCache(setup)
+    if args.workers is not None and args.workers > 1:
+        from repro.experiments.setup import SERIES
+
+        cache.prefill(
+            [(s.name, k, seed) for s in SERIES for seed in range(setup.n_seeds)],
+            workers=args.workers,
+        )
+    rows = method_summary(setup, k, cache)
     print(format_summary_table(rows))
     if obs:
         _obs_finish(args)

@@ -25,9 +25,13 @@ only credits points of its own cell (benefit adjacency = same-cell pairs).
 
 from __future__ import annotations
 
+import os
+from typing import Hashable
+
 import numpy as np
 from scipy import sparse
 
+from repro.core.selection import LazySelector, SelectionStats
 from repro.errors import CoverageError, PlacementError
 from repro.field import FieldModel, as_field_model
 from repro.field.model import same_cell_adjacency_of
@@ -35,6 +39,50 @@ from repro.geometry.points import as_point
 from repro.obs import OBS, profiled
 
 __all__ = ["BenefitEngine", "same_cell_benefit_adjacency"]
+
+#: Valid values of the ``selection`` engine parameter / ``REPRO_SELECTION``.
+_SELECTION_STRATEGIES = ("lazy", "scan")
+
+
+def _default_selection() -> str:
+    """Engine-wide default selection strategy (env-overridable)."""
+    value = os.environ.get("REPRO_SELECTION", "lazy")
+    if value not in _SELECTION_STRATEGIES:
+        raise CoverageError(
+            f"REPRO_SELECTION must be one of {_SELECTION_STRATEGIES}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _is_symmetric(matrix: sparse.csr_matrix) -> bool:
+    """Whether a sparse matrix equals its transpose.
+
+    Compares the sorted COO triples of the matrix against those of its
+    transpose instead of materialising ``matrix - matrix.T`` — on large
+    fields the difference matrix costs an nnz-sized allocation and a full
+    sparse subtraction just to test for emptiness.
+
+    >>> from scipy import sparse
+    >>> _is_symmetric(sparse.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]])))
+    True
+    >>> _is_symmetric(sparse.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]])))
+    False
+    """
+    if matrix.shape[0] != matrix.shape[1]:
+        return False
+    csr = matrix.tocsr()
+    if not csr.has_canonical_format:
+        csr = csr.copy()
+        csr.sum_duplicates()
+    coo = csr.tocoo()
+    fwd = np.lexsort((coo.col, coo.row))
+    rev = np.lexsort((coo.row, coo.col))
+    return (
+        bool(np.array_equal(coo.row[fwd], coo.col[rev]))
+        and bool(np.array_equal(coo.col[fwd], coo.row[rev]))
+        and bool(np.array_equal(coo.data[fwd], coo.data[rev]))
+    )
 
 
 def same_cell_benefit_adjacency(
@@ -76,6 +124,12 @@ class BenefitEngine:
         ``"deficiency"`` (paper Eq. 1: weight ``max(k - k_p, 0)``) or
         ``"binary"`` (weight 1 for any still-deficient point) — the ablation
         of the deficiency weighting (DESIGN.md §6.3).
+    selection:
+        ``"lazy"`` (CELF-style stale-tolerant max-heaps, the default) or
+        ``"scan"`` (the naive full-slice argmax); ``None`` reads
+        ``REPRO_SELECTION`` (default ``"lazy"``).  Both strategies are
+        bit-identical — see :mod:`repro.core.selection` and
+        ``docs/performance.md``.
 
     Examples
     --------
@@ -101,12 +155,24 @@ class BenefitEngine:
         initial_counts: np.ndarray | None = None,
         benefit_adjacency: sparse.csr_matrix | None = None,
         benefit_mode: str = "deficiency",
+        selection: str | None = None,
     ):
         if benefit_mode not in ("deficiency", "binary"):
             raise CoverageError(
                 f"benefit_mode must be 'deficiency' or 'binary', got {benefit_mode!r}"
             )
+        if selection is None:
+            selection = _default_selection()
+        elif selection not in _SELECTION_STRATEGIES:
+            raise CoverageError(
+                f"selection must be one of {_SELECTION_STRATEGIES}, "
+                f"got {selection!r}"
+            )
         self._mode = benefit_mode
+        self._selection = selection
+        self._selectors: dict[Hashable, LazySelector] = {}
+        self._epoch = 0  # bumped on every benefit *increase* (remove_covered)
+        self.selection_stats = SelectionStats()
         self._field = as_field_model(field_points)
         self._points = self._field.points
         self._rs = float(sensing_radius)
@@ -165,7 +231,7 @@ class BenefitEngine:
                 f"benefit adjacency shape {ben.shape} != ({n}, {n}); it must "
                 "match the coverage adjacency over the field points"
             )
-        if (ben - ben.T).nnz != 0:
+        if not _is_symmetric(ben):
             raise CoverageError(
                 "benefit adjacency must be symmetric (the benefit sum of "
                 "Eq. 1 is over an undirected neighbourhood); see "
@@ -243,7 +309,26 @@ class BenefitEngine:
     # ------------------------------------------------------------------
     # selection
     # ------------------------------------------------------------------
-    def argmax(self, candidates: np.ndarray | None = None) -> int:
+    @property
+    def selection(self) -> str:
+        """The active selection strategy (``"lazy"`` or ``"scan"``)."""
+        return self._selection
+
+    def _record_argmax(self, scanned_before: int) -> None:
+        """Bridge one argmax's work counters into OBS (guarded, cheap)."""
+        if OBS.enabled:
+            stats = self.selection_stats
+            OBS.counter("selection_argmax_total", strategy=self._selection).inc()
+            OBS.counter(
+                "selection_scanned_total", strategy=self._selection
+            ).inc(stats.entries_scanned - scanned_before)
+
+    def argmax(
+        self,
+        candidates: np.ndarray | None = None,
+        *,
+        key: Hashable | None = None,
+    ) -> int:
         """Field-point index of maximum benefit.
 
         Parameters
@@ -251,14 +336,55 @@ class BenefitEngine:
         candidates:
             Optional index subset to restrict the search to (a leader's own
             cell, a node's Voronoi cell).  Ties break toward the lowest
-            index, deterministically.
+            index, deterministically — candidate sets are sorted before the
+            search so an unsorted input cannot skew the tie-break.
+        key:
+            Optional stable, hashable identity of the candidate set (e.g.
+            ``("cell", cid)``).  Under the lazy strategy a keyed call is
+            served by a per-set stale-tolerant heap instead of rescanning
+            the slice; the key must always name the same candidate set
+            (validated — a mismatch falls back to a fresh heap).  Ignored
+            by the scan strategy and for global (``candidates=None``)
+            calls, which use the engine-wide heap.
         """
+        stats = self.selection_stats
+        stats.argmax_calls += 1
+        scanned_before = stats.entries_scanned
         if candidates is None:
-            return int(np.argmax(self._benefit))
+            if self._selection == "lazy":
+                idx = self._selector_for(None, None).select(
+                    self._benefit, self._epoch, stats
+                )
+            else:
+                stats.entries_scanned += self._benefit.shape[0]
+                idx = int(np.argmax(self._benefit))
+            self._record_argmax(scanned_before)
+            return int(idx)
         cand = np.asarray(candidates, dtype=np.intp)
         if cand.size == 0:
             raise PlacementError("argmax over an empty candidate set")
-        return int(cand[np.argmax(self._benefit[cand])])
+        if cand.size > 1 and np.any(cand[1:] < cand[:-1]):
+            # the lowest-index tie-break contract requires a sorted slice
+            cand = np.sort(cand)
+        if self._selection == "lazy" and key is not None:
+            idx = self._selector_for(key, cand).select(
+                self._benefit, self._epoch, stats
+            )
+        else:
+            stats.entries_scanned += cand.size
+            idx = int(cand[np.argmax(self._benefit[cand])])
+        self._record_argmax(scanned_before)
+        return int(idx)
+
+    def _selector_for(
+        self, key: Hashable | None, candidates: np.ndarray | None
+    ) -> LazySelector:
+        """The (memoised) lazy selector serving one candidate set."""
+        selector = self._selectors.get(key)
+        if selector is None or not selector.matches(candidates):
+            selector = LazySelector(candidates)
+            self._selectors[key] = selector
+        return selector
 
     # ------------------------------------------------------------------
     # mutation
@@ -266,10 +392,6 @@ class BenefitEngine:
     def _covered_row(self, point_index: int) -> np.ndarray:
         lo, hi = self._cov.indptr[point_index], self._cov.indptr[point_index + 1]
         return self._cov.indices[lo:hi]
-
-    def _benefit_row(self, point_index: int) -> np.ndarray:
-        lo, hi = self._ben.indptr[point_index], self._ben.indptr[point_index + 1]
-        return self._ben.indices[lo:hi]
 
     def _apply_delta(self, covered: np.ndarray, sign: int) -> np.ndarray:
         """Apply a +-1 coverage change on ``covered`` points; fix benefit.
@@ -295,9 +417,20 @@ class BenefitEngine:
         else:  # pragma: no cover - internal misuse
             raise CoverageError(f"invalid sign {sign}")
         if changed.size:
-            rows = [self._benefit_row(int(p)) for p in changed]
-            touched = np.concatenate(rows)
+            # fused CSR row gather: the benefit rows of every changed point,
+            # concatenated in row order, without a Python-level per-row loop
+            indptr = self._ben.indptr
+            starts = indptr[changed]
+            lens = indptr[changed + 1] - starts
+            total = int(lens.sum())
+            pos = np.repeat(starts - (np.cumsum(lens) - lens), lens)
+            pos += np.arange(total, dtype=pos.dtype)
+            touched = self._ben.indices[pos]
             np.add.at(self._benefit, touched, -1.0 if sign == +1 else +1.0)
+            if sign == -1:
+                # benefits increased: stale heap priorities are now
+                # under-estimates; invalidate every lazy selector
+                self._epoch += 1
             if OBS.enabled:
                 OBS.counter("benefit_delta_updates_total").inc(int(touched.size))
         return covered

@@ -122,7 +122,9 @@ class _Harness:
             raise PlacementError(
                 f"in-network grid DECOR exceeded its budget of {self.budget}"
             )
-        idx = self.engine.argmax(candidates=cell_points)
+        idx = self.engine.argmax(
+            candidates=cell_points, key=("cell", leader.cell_id)
+        )
         if self.engine.benefit[idx] <= 0.0:
             raise PlacementError(
                 f"cell {leader.cell_id} deficient but zero benefit"

@@ -185,7 +185,7 @@ class _Harness:
                 raise PlacementError(
                     f"restoration exceeded its budget of {self.budget} nodes"
                 )
-            idx = self.engine.argmax(candidates=cell_points)
+            idx = self.engine.argmax(candidates=cell_points, key=("cell", cell_id))
             if self.engine.benefit[idx] <= 0.0:  # pragma: no cover
                 raise PlacementError(f"cell {cell_id} deficient, zero benefit")
             self.engine.place_at(idx)

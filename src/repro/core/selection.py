@@ -1,0 +1,163 @@
+"""CELF-style lazy-greedy selection over the incremental benefit vector.
+
+Every DECOR placement is an ``argmax`` over (a slice of) the benefit
+vector.  The naive scan re-reads the whole slice on every call even though
+a placement only perturbs a handful of entries — and, crucially, only ever
+*decreases* them (placing a sensor can never raise the benefit of another
+location).  That monotonicity is exactly the precondition of the lazy
+evaluation used for submodular maximisation (CELF; cf. the Set-K-Cover
+greedy literature): keep the candidates in a max-heap keyed by a *stale*
+benefit, pop the top, revalidate it against the live vector, and either
+accept it (a stale priority is an upper bound, so a fresh top is the true
+max) or re-push it with its current value.  Per placement this touches a
+few heap entries instead of the whole slice.
+
+Restoration breaks the precondition: :meth:`BenefitEngine.remove_covered`
+*raises* benefits, making stale heap priorities under-estimates, which the
+pop-and-revalidate loop cannot detect.  The engine therefore carries an
+**epoch counter** that is bumped on every benefit increase; a selector
+whose epoch lags the engine's rebuilds its heap from the live vector
+before selecting (heap invalidation rule: *increases invalidate, decreases
+revalidate*).
+
+Tie-breaking matches the scan exactly: heap entries are ``(-benefit,
+index)`` tuples, so equal benefits pop in ascending index order — the
+"lowest index wins" contract of :meth:`BenefitEngine.argmax`.  Benefit
+values are integer-valued float64s maintained by exact ±1 updates, so the
+``live >= stored`` freshness test is exact, and the lazy path is
+bit-identical to the scan (the ``tests/test_selection_lazy.py`` suite
+asserts this across all placement methods and the restoration protocols).
+
+Work accounting lives in :class:`SelectionStats` (plain counters, always
+on) and is bridged to OBS metrics by the engine so the algorithmic win —
+benefit entries examined per placement — is measurable, not just
+wall-clock (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["LazySelector", "SelectionStats"]
+
+
+class SelectionStats:
+    """Work counters of one engine's argmax traffic (always on, O(1)/call).
+
+    Attributes
+    ----------
+    argmax_calls:
+        Number of ``argmax`` invocations answered.
+    entries_scanned:
+        Benefit-vector entries examined: the slice length per call for the
+        scan strategy; heap builds plus pop/revalidate touches for the lazy
+        strategy.  The scanned/calls ratio is the quantity the ≥5x
+        acceptance gate in ``benchmarks/test_micro_kernels.py`` measures.
+    heap_rebuilds:
+        Full heap (re)builds — one per selector at first use plus one per
+        selector per epoch bump (benefit increase) it observes.
+    """
+
+    __slots__ = ("argmax_calls", "entries_scanned", "heap_rebuilds")
+
+    def __init__(self) -> None:
+        self.argmax_calls = 0
+        self.entries_scanned = 0
+        self.heap_rebuilds = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "argmax_calls": self.argmax_calls,
+            "entries_scanned": self.entries_scanned,
+            "heap_rebuilds": self.heap_rebuilds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SelectionStats({self.as_dict()})"
+
+
+class LazySelector:
+    """Stale-tolerant max-heap over one candidate slice of a benefit vector.
+
+    One selector serves one fixed candidate set — the whole field (global
+    argmax) or one grid/Voronoi cell — across the whole greedy run; the
+    owning :class:`~repro.core.benefit.BenefitEngine` keys selectors by the
+    caller-supplied candidate-set identity.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> benefit = np.array([2.0, 5.0, 5.0, 1.0])
+    >>> sel = LazySelector(None)
+    >>> stats = SelectionStats()
+    >>> sel.select(benefit, 0, stats)     # lowest index among the 5.0 tie
+    1
+    >>> benefit[1] = 0.0                  # a placement decreased entry 1
+    >>> sel.select(benefit, 0, stats)     # revalidates, returns the other 5.0
+    2
+    >>> benefit[3] = 9.0                  # an increase must bump the epoch
+    >>> sel.select(benefit, 1, stats)     # epoch 1: heap rebuilt, sees the 9.0
+    3
+    """
+
+    __slots__ = ("_candidates", "_epoch", "_heap")
+
+    def __init__(self, candidates: np.ndarray | None) -> None:
+        #: Sorted candidate indices, or None for "every field point".
+        self._candidates = candidates
+        self._heap: list[tuple[float, int]] = []
+        self._epoch = -1  # lags any real epoch -> first select() builds
+
+    def matches(self, candidates: np.ndarray | None) -> bool:
+        """Whether this selector serves exactly ``candidates``.
+
+        Guards the engine's keyed registry against a caller reusing a key
+        for a different candidate set.  The common case — the memoised
+        per-cell arrays of :meth:`repro.field.FieldModel.points_by_cell` —
+        hits the identity fast path.
+        """
+        mine = self._candidates
+        if mine is candidates:
+            return True
+        if mine is None or candidates is None:
+            return False
+        return bool(np.array_equal(mine, candidates))
+
+    def rebuild(self, benefit: np.ndarray, epoch: int, stats: SelectionStats) -> None:
+        """Rebuild the heap from the live benefit vector (epoch sync)."""
+        cand = self._candidates
+        if cand is None:
+            entries = [(-b, i) for i, b in enumerate(benefit.tolist())]
+        else:
+            entries = [
+                (-b, i) for b, i in zip(benefit[cand].tolist(), cand.tolist())
+            ]
+        heapq.heapify(entries)
+        self._heap = entries
+        self._epoch = epoch
+        stats.heap_rebuilds += 1
+        stats.entries_scanned += len(entries)
+
+    def select(self, benefit: np.ndarray, epoch: int, stats: SelectionStats) -> int:
+        """Index of the maximum live benefit over this selector's slice.
+
+        ``epoch`` is the engine's benefit-increase counter; a lagging heap
+        is rebuilt first.  With only decreases since the last build, every
+        stored priority upper-bounds its live value, so the loop below
+        terminates at the true maximum (lowest index on ties).
+        """
+        if self._epoch != epoch:
+            self.rebuild(benefit, epoch, stats)
+        heap = self._heap
+        scanned = 0
+        while True:
+            stored_neg, idx = heap[0]
+            scanned += 1
+            live = float(benefit[idx])
+            if live >= -stored_neg:
+                # fresh top: stored priorities bound all live values above
+                stats.entries_scanned += scanned
+                return idx
+            heapq.heapreplace(heap, (-live, idx))

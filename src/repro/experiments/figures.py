@@ -55,6 +55,8 @@ __all__ = [
     "fig13_area_failure",
     "fig14_restoration",
     "FIGURES",
+    "cells_for_figure",
+    "run_figure",
 ]
 
 
@@ -450,3 +452,55 @@ FIGURES = {
     13: fig13_area_failure,
     14: fig14_restoration,
 }
+
+
+def cells_for_figure(setup: ExperimentSetup, number: int) -> list[tuple[str, int, int]]:
+    """The ``(series, k, seed)`` deployment cells figure ``number`` reads.
+
+    This is the fan-out plan for :func:`repro.parallel.prefill_cache`: the
+    figure functions themselves stay serial and order-sensitive, so a
+    parallel run computes exactly these cells up front and the figure code
+    then sees only cache hits.  Figures 7 and 11 pin k (paper: 3, clamped
+    into the setup's range); Figure 10 reads only the DECOR series; the
+    rest sweep every series over the full k range.
+    """
+    if number not in FIGURES:
+        raise ExperimentError(f"unknown figure {number}; know {sorted(FIGURES)}")
+    if number in (7, 11):
+        k_values: list[int] = [_effective_k(setup, 3)]
+    else:
+        k_values = list(setup.k_values)
+    series_names = [
+        s.name
+        for s in SERIES
+        if number != 10 or s.name in DECOR_SERIES
+    ]
+    return [
+        (name, int(k), int(seed))
+        for name in series_names
+        for k in k_values
+        for seed in _seeds(setup)
+    ]
+
+
+def run_figure(
+    setup: ExperimentSetup,
+    number: int,
+    cache: DeploymentCache | None = None,
+    *,
+    workers: int | None = None,
+) -> FigureResult:
+    """Generate one figure, optionally prefilling its cells in parallel.
+
+    With ``workers`` ``None``/``<= 1`` this is exactly
+    ``FIGURES[number](setup, cache)``; otherwise the figure's deployment
+    cells are computed across worker processes first (deterministic merge,
+    bit-identical results) and the serial figure code runs on the warm
+    cache.
+    """
+    if number not in FIGURES:
+        raise ExperimentError(f"unknown figure {number}; know {sorted(FIGURES)}")
+    cache = cache if cache is not None else DeploymentCache(setup)
+    if workers is not None and workers > 1:
+        cache.prefill(cells_for_figure(setup, number), workers=workers)
+    return FIGURES[number](setup, cache)

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.planner import run_method
 from repro.core.result import DeploymentResult
+from repro.errors import ExperimentError
 from repro.discrepancy.randomization import cranley_patterson_rotation
 from repro.discrepancy.sequences import unit_points
 from repro.experiments.setup import ExperimentSetup, Series, series_by_name
@@ -175,6 +176,38 @@ class DeploymentCache:
         elif OBS.enabled:
             OBS.counter("deployment_cache_total", outcome="hit").inc()
         return self._store[key]
+
+    def absorb(self, series: Series | str, k: int, seed: int,
+               result: DeploymentResult) -> None:
+        """Store a result computed elsewhere (a :mod:`repro.parallel` worker).
+
+        The entry must not already be cached with a different object — a
+        silent overwrite would let a worker disagree with the serial path
+        unnoticed.
+        """
+        name = series if isinstance(series, str) else series.name
+        key = (name, int(k), int(seed))
+        if key in self._store and self._store[key] is not result:
+            raise ExperimentError(
+                f"cache already holds a result for {key}; refusing to overwrite"
+            )
+        self._store[key] = result
+
+    def prefill(self, cells, *, workers: int | None = None) -> int:
+        """Compute every ``(series, k, seed)`` cell, optionally in parallel.
+
+        Delegates to :func:`repro.parallel.prefill_cache`; with the default
+        ``workers=None`` the cells run serially in-process.  Returns the
+        number of cells actually computed (already-cached cells are skipped).
+        """
+        from repro.parallel import prefill_cache
+
+        return prefill_cache(self, cells, workers=workers)
+
+    def __contains__(self, key: tuple) -> bool:
+        series, k, seed = key
+        name = series if isinstance(series, str) else series.name
+        return (name, int(k), int(seed)) in self._store
 
     def __len__(self) -> int:
         return len(self._store)

@@ -19,7 +19,12 @@ or ``OBS.enable()``.  See ``docs/observability.md`` for the full guide.
 False
 """
 
-from repro.obs.bridge import bridge_field_stats, bridge_radio_stats
+from repro.obs.bridge import (
+    bridge_field_stats,
+    bridge_radio_stats,
+    capture_worker_obs,
+    merge_worker_obs,
+)
 from repro.obs.metrics import Gauge, Histogram, MCounter, MetricsRegistry
 from repro.obs.profile import profiled
 from repro.obs.runtime import NULL_SPAN, OBS, ObsRuntime
@@ -38,4 +43,6 @@ __all__ = [
     "profiled",
     "bridge_field_stats",
     "bridge_radio_stats",
+    "capture_worker_obs",
+    "merge_worker_obs",
 ]

@@ -11,16 +11,31 @@ Field stats are bridged as *deltas* against a
 of interest — bridging the same model twice must not double-count, and a
 model's counters keep accumulating across runs.  Radio stats are per-run
 objects, so they bridge whole.
+
+This module is also the *only* sanctioned seam between
+:mod:`repro.parallel` and the global :data:`~repro.obs.runtime.OBS`
+singleton: a worker process wraps its work in :class:`capture_worker_obs`
+and ships the resulting payload back; the parent folds it in with
+:func:`merge_worker_obs`.  Keeping the OBS mutation here (where obs owns
+its own state) is what lets the PAR001 lint rule forbid it everywhere in
+``repro.parallel`` itself.
 """
 
 from __future__ import annotations
 
+from types import TracebackType
 from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import OBS
+from repro.obs.trace import Tracer
 
-__all__ = ["bridge_field_stats", "bridge_radio_stats"]
+__all__ = [
+    "bridge_field_stats",
+    "bridge_radio_stats",
+    "capture_worker_obs",
+    "merge_worker_obs",
+]
 
 #: Metric names the bridges write; also referenced by docs and tests.
 FIELD_BUILDS_METRIC = "field_model_builds_total"
@@ -77,3 +92,76 @@ def bridge_radio_stats(
         registry.counter(RADIO_RECEIVED_METRIC, protocol=protocol).inc(received)
     if stats.dropped:
         registry.counter(RADIO_DROPPED_METRIC, protocol=protocol).inc(stats.dropped)
+
+
+class capture_worker_obs:
+    """Context manager recording OBS activity in a worker for shipping back.
+
+    On entry (when ``enabled``) the global runtime is switched on with a
+    *fresh* tracer/registry, so the capture covers exactly the wrapped work;
+    on exit recording stops and :meth:`payload` holds a picklable snapshot.
+    When ``enabled`` is false the manager is inert and the payload is
+    ``None`` — workers inherit the parent's off switch.
+
+    >>> with capture_worker_obs(True) as cap:
+    ...     OBS.counter("demo_total").inc(2)
+    >>> OBS.enabled
+    False
+    >>> cap.payload()["metrics"]
+    [('demo_total', (), 'counter', {'value': 2})]
+    >>> with capture_worker_obs(False) as cap:
+    ...     pass
+    >>> cap.payload() is None
+    True
+    """
+
+    __slots__ = ("_enabled", "_payload")
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+        self._payload: dict[str, Any] | None = None
+
+    def __enter__(self) -> "capture_worker_obs":
+        if self._enabled:
+            OBS.enable(fresh=True)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        if self._enabled:
+            self._payload = {
+                "metrics": OBS.metrics.dump_state(),
+                "trace": OBS.tracer.records(),
+                "dropped": OBS.tracer.dropped,
+            }
+            OBS.disable()
+        return False
+
+    def payload(self) -> dict[str, Any] | None:
+        """The captured snapshot (``None`` if capture was disabled)."""
+        return self._payload
+
+
+def merge_worker_obs(
+    payload: dict[str, Any] | None,
+    *,
+    metrics: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> None:
+    """Fold a worker's :class:`capture_worker_obs` payload into the parent.
+
+    Metrics add into the registry; trace records graft under the currently
+    open span (see :meth:`~repro.obs.trace.Tracer.absorb`).  ``None``
+    payloads (capture disabled, or a worker that recorded nothing) are
+    ignored.  Defaults to the global runtime's registry and tracer.
+    """
+    if payload is None:
+        return
+    registry = OBS.metrics if metrics is None else metrics
+    target = OBS.tracer if tracer is None else tracer
+    registry.absorb(payload["metrics"])
+    target.absorb(payload["trace"], dropped=int(payload.get("dropped", 0)))

@@ -124,6 +124,30 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def state(self) -> dict:
+        """Raw mergeable state (for cross-process aggregation)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": list(self.buckets),
+        }
+
+    def combine(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one."""
+        self.count += int(state["count"])
+        self.sum += float(state["sum"])
+        self.min = min(self.min, float(state["min"]))
+        self.max = max(self.max, float(state["max"]))
+        buckets = state["buckets"]
+        if len(buckets) != len(self.buckets):
+            raise ObservabilityError(
+                "histogram bucket layouts differ; cannot combine"
+            )
+        for i, n in enumerate(buckets):
+            self.buckets[i] += int(n)
+
     def as_dict(self) -> dict:
         out = {"count": self.count, "sum": self.sum, "mean": self.mean}
         if self.count:
@@ -211,6 +235,55 @@ class MetricsRegistry:
         self._instruments.clear()
         self._types.clear()
         self.ops = 0
+
+    # ------------------------------------------------------------------
+    # cross-process aggregation
+    # ------------------------------------------------------------------
+    def dump_state(self) -> list[tuple[str, tuple, str, dict]]:
+        """Picklable snapshot of every series, in stable key order.
+
+        The inverse of :meth:`absorb`: a worker process dumps its registry,
+        ships the payload back, and the parent folds it in.  Counters carry
+        their totals, gauges their current value, histograms their raw
+        bucket state.
+
+        >>> reg = MetricsRegistry()
+        >>> reg.counter("x_total", kind="a").inc(3)
+        >>> reg.dump_state()
+        [('x_total', (('kind', 'a'),), 'counter', {'value': 3})]
+        """
+        out: list[tuple[str, tuple, str, dict]] = []
+        for (name, labels), inst in sorted(
+            self._instruments.items(), key=lambda kv: kv[0]
+        ):
+            payload = inst.state() if isinstance(inst, Histogram) else inst.as_dict()
+            out.append((name, labels, inst.kind, payload))
+        return out
+
+    def absorb(self, state: list[tuple[str, tuple, str, dict]]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counter values add, gauge values add (a worker's gauge reading is
+        treated as its contribution), histogram states merge bucketwise.
+        Absorbing the same payload twice double-counts — callers own the
+        once-per-worker discipline.
+
+        >>> a, b = MetricsRegistry(), MetricsRegistry()
+        >>> a.counter("x_total").inc(2); b.counter("x_total").inc(5)
+        >>> a.absorb(b.dump_state())
+        >>> a.value("x_total")
+        7
+        """
+        for name, labels, kind, payload in state:
+            labels_dict = dict(labels)
+            if kind == "counter":
+                self.counter(name, **labels_dict).inc(payload["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels_dict).add(payload["value"])
+            elif kind == "histogram":
+                self.histogram(name, **labels_dict).combine(payload)
+            else:  # pragma: no cover - payload corruption
+                raise ObservabilityError(f"unknown instrument kind {kind!r}")
 
     # ------------------------------------------------------------------
     # export

@@ -220,6 +220,56 @@ class Tracer:
         self.dropped = 0
 
     # ------------------------------------------------------------------
+    # cross-process aggregation
+    # ------------------------------------------------------------------
+    def absorb(self, records: list[dict], *, dropped: int = 0) -> int:
+        """Graft another tracer's :meth:`records` under the open span.
+
+        Worker processes run their own tracer; the parent folds the shipped
+        records back in with this method.  Span ids are remapped into this
+        tracer's id space (two passes, because span records appear in
+        post-order — a child's record precedes its parent's, so the parent's
+        new id must exist before links are rewritten).  Top-level worker
+        spans — and any record whose parent fell out of the worker's ring
+        buffer — are re-parented under the currently open span here, and
+        depths shift accordingly.  Timestamps stay relative to the *worker's*
+        origin; within one absorbed batch they remain mutually consistent.
+
+        Returns the number of records absorbed.
+
+        >>> parent, worker = Tracer(), Tracer()
+        >>> with worker.span("cell", series="grid-small"):
+        ...     worker.event("placement", point=3)
+        >>> with parent.span("figure", figure="fig08"):
+        ...     _ = parent.absorb(worker.records())
+        >>> [(r["name"], r.get("depth")) for r in parent.records()]
+        [('placement', None), ('cell', 1), ('figure', 0)]
+        >>> parent.records()[1]["parent"] == parent.records()[2]["id"]
+        True
+        """
+        idmap: dict[int, int] = {}
+        for rec in records:
+            if rec.get("type") == "span":
+                idmap[rec["id"]] = self._take_id()
+        graft = self._stack[-1] if self._stack else None
+        base_depth = len(self._stack)
+        for rec in records:
+            rec = dict(rec)
+            if rec.get("type") == "span":
+                rec["id"] = idmap[rec["id"]]
+                parent = rec.get("parent")
+                rec["parent"] = idmap[parent] if parent in idmap else graft
+                rec["depth"] = int(rec.get("depth", 0)) + base_depth
+                self.n_spans += 1
+            else:
+                span = rec.get("span")
+                rec["span"] = idmap[span] if span in idmap else graft
+                self.n_events += 1
+            self._append(rec)
+        self.dropped += int(dropped)
+        return len(records)
+
+    # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
     def to_jsonl(self) -> str:

@@ -1,0 +1,156 @@
+"""Process-parallel fan-out of (series, k, seed) deployment cells.
+
+A figure suite's unit of work is one *cell*: run one series at one
+``(k, seed)`` and memoise the result in a
+:class:`~repro.experiments.runner.DeploymentCache`.  Cells are mutually
+independent — each derives everything from its own seeds — so a sweep can
+shard them across worker processes.  :func:`prefill_cache` does exactly
+that, and nothing else: it fills the parent's cache so the (serial,
+order-sensitive) figure code afterwards sees only cache hits.
+
+Design rules, each load-bearing for reproducibility:
+
+* **Deterministic merge.**  Results are folded back in *submission* order,
+  never completion order, so the parent cache — and any OBS telemetry
+  merged along the way — is bit-identical to a serial run regardless of
+  worker scheduling.
+* **Per-worker state.**  Each worker builds its own ``DeploymentCache``
+  (hence its own per-seed :class:`~repro.field.FieldModel`) in
+  :func:`_worker_init`; nothing mutable is shared.
+* **No hidden randomness.**  Workers derive every stochastic choice from
+  the cell's seed, exactly as the serial path does.  The PAR001 lint rule
+  forbids un-seeded RNG construction anywhere in this module.
+* **OBS by seam only.**  Workers capture their telemetry through
+  :class:`~repro.obs.bridge.capture_worker_obs` and the parent folds it in
+  with :func:`~repro.obs.bridge.merge_worker_obs`; this module never
+  enables, disables or resets the global runtime itself (also PAR001).
+
+Serial semantics are the default: ``workers=None`` (or ``<= 1``, or a
+single pending cell) runs in-process with no executor, so the parallel
+path is pure opt-in via the CLI's ``--workers N``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.checks import CHECKS
+from repro.errors import ConfigurationError
+from repro.obs import OBS, capture_worker_obs, merge_worker_obs
+
+if TYPE_CHECKING:
+    from repro.core.result import DeploymentResult
+    from repro.experiments.runner import DeploymentCache
+    from repro.experiments.setup import ExperimentSetup
+
+__all__ = ["Cell", "normalize_cells", "prefill_cache"]
+
+#: One unit of parallel work: ``(series_name, k, seed)``.
+Cell = tuple[str, int, int]
+
+#: Per-process worker state, populated once by :func:`_worker_init`.
+_WORKER: dict[str, Any] = {}
+
+
+def normalize_cells(cells: Iterable[Sequence[Any]]) -> list[Cell]:
+    """Canonicalise cell specs: name strings, int k/seed, duplicates dropped.
+
+    Order is preserved (first occurrence wins) — the deterministic merge
+    depends on it.  Series objects are accepted in place of their names.
+
+    >>> normalize_cells([("grid-small", 2, 0), ("grid-small", 2.0, 0)])
+    [('grid-small', 2, 0)]
+    """
+    out: dict[Cell, None] = {}
+    for spec in cells:
+        series, k, seed = spec
+        name = getattr(series, "name", series)
+        out.setdefault((str(name), int(k), int(seed)), None)
+    return list(out)
+
+
+def _worker_init(
+    setup: "ExperimentSetup",
+    use_initial: bool,
+    backend: str | None,
+    obs_enabled: bool,
+    checks_enabled: bool,
+) -> None:
+    """Build this worker's private cache; runs once per worker process."""
+    from repro.experiments.runner import DeploymentCache
+
+    if checks_enabled:
+        CHECKS.enable()
+    _WORKER["cache"] = DeploymentCache(
+        setup, use_initial=use_initial, backend=backend
+    )
+    _WORKER["obs"] = bool(obs_enabled)
+
+
+def _worker_run_cell(
+    cell: Cell,
+) -> tuple[Cell, "DeploymentResult", dict[str, Any] | None]:
+    """Run one cell in the worker; ship the result plus captured telemetry."""
+    cache: "DeploymentCache" = _WORKER["cache"]
+    with capture_worker_obs(_WORKER["obs"]) as cap:
+        result = cache.get(*cell)
+    return cell, result, cap.payload()
+
+
+def prefill_cache(
+    cache: "DeploymentCache",
+    cells: Iterable[Sequence[Any]],
+    *,
+    workers: int | None = None,
+) -> int:
+    """Fill ``cache`` with every cell's result; returns the number computed.
+
+    Cells already cached are skipped.  With ``workers`` in ``(None, 0, 1)``
+    — or only one cell pending — the work runs serially in-process, which
+    is byte-for-byte the behaviour of calling ``cache.get`` in a loop.
+    Otherwise a :class:`~concurrent.futures.ProcessPoolExecutor` shards the
+    pending cells across ``min(workers, len(pending))`` processes and the
+    results are folded back in submission order.
+
+    A worker exception propagates to the caller unchanged (first pending
+    cell order); the cache keeps whatever results were absorbed before it.
+    """
+    if workers is not None and workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    todo = [c for c in normalize_cells(cells) if c not in cache]
+    if not todo:
+        return 0
+    n_workers = 0 if workers is None else int(workers)
+    if n_workers <= 1 or len(todo) == 1:
+        for cell in todo:
+            cache.get(*cell)
+        return len(todo)
+
+    obs_enabled = OBS.enabled
+    with OBS.span("prefill", cells=len(todo), workers=n_workers):
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(todo)),
+            initializer=_worker_init,
+            initargs=(
+                cache.setup,
+                cache.use_initial,
+                cache.backend,
+                obs_enabled,
+                CHECKS.enabled,
+            ),
+        ) as pool:
+            futures: list[Future[Any]] = [
+                pool.submit(_worker_run_cell, cell) for cell in todo
+            ]
+            # submission order, NOT completion order: the merge must be
+            # deterministic for bit-identical figures and telemetry
+            for future in futures:
+                cell, result, payload = future.result()
+                cache.absorb(*cell, result)
+                if obs_enabled:
+                    merge_worker_obs(payload)
+    if OBS.enabled:
+        OBS.counter("parallel_cells_total").inc(len(todo))
+        OBS.counter("parallel_batches_total").inc()
+    return len(todo)

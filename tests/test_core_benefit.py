@@ -150,3 +150,60 @@ def test_incremental_benefit_equals_recompute(n, k, n_ops, seed):
             eng.remove_covered(removable.pop())
     eng.validate()
     np.testing.assert_allclose(eng.benefit, eng.recomputed_benefit())
+
+
+class TestArgmaxCandidateOrder:
+    """Regression: the tie-break must not depend on candidate ordering."""
+
+    def _tied_engine(self, selection: str) -> BenefitEngine:
+        # isolated points -> every benefit equals k, all candidates tie
+        pts = np.array([[float(10 * i), 0.0] for i in range(6)])
+        return BenefitEngine(pts, 1.0, k=2, selection=selection)
+
+    @pytest.mark.parametrize("selection", ["lazy", "scan"])
+    def test_reversed_candidates_same_winner(self, selection):
+        eng = self._tied_engine(selection)
+        fwd = eng.argmax(candidates=np.array([1, 3, 4]))
+        rev = eng.argmax(candidates=np.array([4, 3, 1]))
+        assert fwd == rev == 1  # lowest index wins the tie either way
+
+    @pytest.mark.parametrize("selection", ["lazy", "scan"])
+    def test_sorted_input_not_copied_semantics(self, selection):
+        eng = self._tied_engine(selection)
+        cand = np.array([0, 2, 5])
+        assert eng.argmax(candidates=cand) == 0
+        np.testing.assert_array_equal(cand, [0, 2, 5])  # input untouched
+
+
+class TestSymmetryValidation:
+    def test_is_symmetric_matches_subtraction_test(self, rng):
+        from scipy import sparse
+
+        from repro.core.benefit import _is_symmetric
+
+        for trial in range(20):
+            a = sparse.random(
+                30, 30, density=0.1, rng=np.random.default_rng(trial)
+            ).tocsr()
+            sym = (a + a.T).tocsr()
+            assert _is_symmetric(sym) == ((sym - sym.T).nnz == 0)
+            assert _is_symmetric(a) == ((a - a.T).nnz == 0)
+
+    def test_non_canonical_duplicates_handled(self):
+        from scipy import sparse
+
+        from repro.core.benefit import _is_symmetric
+
+        # duplicate entries that only sum to a symmetric matrix
+        row = np.array([0, 0, 1])
+        col = np.array([1, 1, 0])
+        data = np.array([1.0, 1.0, 2.0])
+        coo = sparse.coo_matrix((data, (row, col)), shape=(2, 2))
+        assert _is_symmetric(coo.tocsr())
+
+    def test_rectangular_is_not_symmetric(self):
+        from scipy import sparse
+
+        from repro.core.benefit import _is_symmetric
+
+        assert not _is_symmetric(sparse.csr_matrix(np.ones((2, 3))))

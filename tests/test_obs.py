@@ -358,3 +358,117 @@ class TestProtocolCounters:
         ) > 0
         names = {r["name"] for r in OBS.tracer.records() if r["type"] == "span"}
         assert "protocol" in names
+
+
+# ----------------------------------------------------------------------
+# cross-process aggregation (the repro.parallel seam)
+# ----------------------------------------------------------------------
+class TestMetricsAggregation:
+    def test_dump_absorb_roundtrip(self):
+        worker = MetricsRegistry()
+        worker.counter("decor_placements_total", method="grid").inc(7)
+        worker.gauge("open_spans").set(2.0)
+        worker.histogram("greedy_round_benefit").observe(1.5)
+        worker.histogram("greedy_round_benefit").observe(64.0)
+
+        parent = MetricsRegistry()
+        parent.counter("decor_placements_total", method="grid").inc(3)
+        parent.absorb(worker.dump_state())
+        assert parent.value("decor_placements_total", method="grid") == 10
+        assert parent.value("open_spans") == 2.0
+        hist = parent.histogram("greedy_round_benefit")
+        assert (hist.count, hist.min, hist.max) == (2, 1.5, 64.0)
+
+    def test_absorb_from_two_workers_is_order_independent(self):
+        def worker(n):
+            reg = MetricsRegistry()
+            reg.counter("x_total").inc(n)
+            reg.histogram("h").observe(float(n))
+            return reg.dump_state()
+
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.absorb(worker(1)); ab.absorb(worker(2))
+        ba.absorb(worker(2)); ba.absorb(worker(1))
+        assert ab.as_dict() == ba.as_dict()
+
+    def test_dump_state_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", kind="a").inc()
+        reg.histogram("h").observe(3.0)
+        json.dumps(reg.dump_state())  # picklable AND serialisable
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        a, b = Histogram(), Histogram()
+        state = b.state()
+        state["buckets"] = state["buckets"][:-1]
+        with pytest.raises(ObservabilityError):
+            a.combine(state)
+
+
+class TestTracerAbsorb:
+    def test_graft_remaps_ids_and_depths(self):
+        worker = Tracer()
+        with worker.span("series", series="grid-small"):
+            with worker.span("k", k=1):
+                worker.event("placement", point=3)
+
+        parent = Tracer()
+        with parent.span("figure", figure="fig08"):
+            with parent.span("prefill"):
+                n = parent.absorb(worker.records())
+        assert n == 3
+        recs = {r["name"]: r for r in parent.records()}
+        prefill, series, k = recs["prefill"], recs["series"], recs["k"]
+        assert series["parent"] == prefill["id"]
+        assert k["parent"] == series["id"]
+        assert recs["placement"]["span"] == k["id"]
+        assert (series["depth"], k["depth"]) == (2, 3)
+        span_ids = [r["id"] for r in parent.records() if r["type"] == "span"]
+        assert len(span_ids) == len(set(span_ids))
+        assert parent.n_spans == 4 and parent.n_events == 1
+
+    def test_absorb_outside_any_span_grafts_to_root(self):
+        worker = Tracer()
+        with worker.span("cell"):
+            pass
+        parent = Tracer()
+        parent.absorb(worker.records())
+        rec = parent.records()[0]
+        assert rec["parent"] is None and rec["depth"] == 0
+
+    def test_absorb_accumulates_dropped(self):
+        parent = Tracer()
+        parent.absorb([], dropped=5)
+        assert parent.dropped == 5
+
+
+class TestWorkerCapture:
+    def test_capture_and_merge(self):
+        from repro.obs import capture_worker_obs, merge_worker_obs
+
+        with capture_worker_obs(True) as cap:
+            with OBS.span("series", series="random"):
+                if OBS.enabled:
+                    OBS.counter("decor_placements_total", method="random").inc(4)
+        assert not OBS.enabled
+        payload = cap.payload()
+        assert payload is not None
+
+        OBS.enable(fresh=True)
+        with OBS.span("prefill"):
+            merge_worker_obs(payload)
+        OBS.disable()
+        assert OBS.metrics.value(
+            "decor_placements_total", method="random"
+        ) == 4
+        names = {r["name"] for r in OBS.tracer.records() if r["type"] == "span"}
+        assert {"series", "prefill"} <= names
+
+    def test_disabled_capture_is_inert(self):
+        from repro.obs import capture_worker_obs, merge_worker_obs
+
+        with capture_worker_obs(False) as cap:
+            pass
+        assert cap.payload() is None
+        merge_worker_obs(None)  # no-op
+        assert len(OBS.metrics) == 0

@@ -1,0 +1,242 @@
+"""Bit-identity of the lazy (CELF) selection engine against the naive scan.
+
+The lazy strategy is the default, so its contract is absolute: for every
+placement method, every benefit mode and every interleaving of placements
+with coverage *removals* (which raise benefits and invalidate the heaps),
+``selection="lazy"`` must produce exactly the argmax sequence — and hence
+exactly the deployments — of ``selection="scan"``.  These tests run with
+the runtime invariant sanitizer enabled, so every greedy step is also
+cross-checked against a from-scratch benefit recompute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.checks import CHECKS
+from repro.core.benefit import BenefitEngine
+from repro.core.selection import LazySelector, SelectionStats
+from repro.errors import CoverageError, PlacementError
+from repro.experiments.runner import run_series
+from repro.experiments.setup import SERIES, ExperimentSetup
+
+
+@pytest.fixture(autouse=True)
+def runtime_checks():
+    """Run every test under the invariant sanitizer (REPRO_CHECKS=1)."""
+    CHECKS.enable()
+    yield
+    CHECKS.disable()
+
+
+def _setup() -> ExperimentSetup:
+    return ExperimentSetup(
+        field_side=30.0, n_points=200, n_initial=0, n_seeds=1, k_values=(1, 2)
+    )
+
+
+def _engine(selection: str, *, mode: str = "deficiency", k=2, n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * 25.0
+    return BenefitEngine(
+        pts, sensing_radius=3.0, k=k, benefit_mode=mode, selection=selection
+    )
+
+
+# ----------------------------------------------------------------------
+# end-to-end: all six series
+# ----------------------------------------------------------------------
+class TestSeriesBitIdentity:
+    @pytest.mark.parametrize("series", [s.name for s in SERIES])
+    def test_deployments_identical(self, series, monkeypatch):
+        setup = _setup()
+        positions = {}
+        for strategy in ("scan", "lazy"):
+            monkeypatch.setenv("REPRO_SELECTION", strategy)
+            result = run_series(setup, series, 2, 0, use_initial=False)
+            positions[strategy] = np.asarray(
+                result.deployment.alive_positions()
+            )
+        np.testing.assert_array_equal(positions["scan"], positions["lazy"])
+
+    def test_default_is_lazy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SELECTION", raising=False)
+        assert _engine_selection_default() == "lazy"
+
+
+def _engine_selection_default() -> str:
+    eng = BenefitEngine(np.array([[0.0, 0.0]]), sensing_radius=1.0, k=1)
+    return eng.selection
+
+
+# ----------------------------------------------------------------------
+# twin-engine equivalence under arbitrary op interleavings
+# ----------------------------------------------------------------------
+class TestTwinEngines:
+    @pytest.mark.parametrize("mode", ["deficiency", "binary"])
+    def test_randomized_op_stream(self, mode):
+        """place / remove_covered / keyed and global argmax, interleaved."""
+        lazy = _engine("lazy", mode=mode)
+        scan = _engine("scan", mode=mode)
+        n = lazy.n_points
+        rng = np.random.default_rng(42)
+        removable: list[np.ndarray] = []
+        for _ in range(120):
+            op = int(rng.integers(0, 4))
+            if op == 0:
+                cand = rng.choice(n, size=int(rng.integers(1, 40)), replace=False)
+                key = ("slice", int(cand.size) % 3)
+                assert lazy.argmax(candidates=cand, key=key) == scan.argmax(
+                    candidates=cand, key=key
+                )
+            elif op == 1:
+                idx = lazy.argmax()
+                assert idx == scan.argmax()
+                np.testing.assert_array_equal(
+                    lazy.place_at(idx), cov := scan.place_at(idx)
+                )
+                removable.append(cov)
+            elif op == 2 and removable:
+                cov = removable.pop(int(rng.integers(0, len(removable))))
+                lazy.remove_covered(cov)
+                scan.remove_covered(cov)
+            else:
+                pos = rng.random(2) * 25.0
+                cov = scan.add_sensor_at_position(pos)
+                np.testing.assert_array_equal(
+                    lazy.add_sensor_at_position(pos), cov
+                )
+                removable.append(cov)
+        lazy.validate()
+        scan.validate()
+        np.testing.assert_array_equal(lazy.benefit, scan.benefit)
+
+    def test_restoration_interleaving(self):
+        """The restore protocol's remove-then-replace cycle stays identical."""
+        results = {}
+        for strategy in ("lazy", "scan"):
+            eng = _engine(strategy, k=1)
+            placed = []
+            while not eng.is_fully_covered():
+                idx = eng.argmax()
+                placed.append((idx, eng.place_at(idx)))
+            # fail half the sensors, restore greedily
+            for idx, cov in placed[::2]:
+                eng.remove_covered(cov)
+            restored = []
+            while not eng.is_fully_covered():
+                idx = eng.argmax()
+                eng.place_at(idx)
+                restored.append(idx)
+            results[strategy] = ([i for i, _ in placed], restored)
+        assert results["lazy"] == results["scan"]
+
+
+# ----------------------------------------------------------------------
+# the tie-break contract (satellite: unsorted candidate sets)
+# ----------------------------------------------------------------------
+class TestTieBreaking:
+    def _tied_engine(self, selection: str) -> BenefitEngine:
+        # isolated points: every benefit equals k -> everything ties
+        pts = np.array([[float(10 * i), 0.0] for i in range(8)])
+        return BenefitEngine(pts, sensing_radius=1.0, k=2, selection=selection)
+
+    @pytest.mark.parametrize("selection", ["lazy", "scan"])
+    def test_unsorted_candidates_break_toward_lowest_index(self, selection):
+        eng = self._tied_engine(selection)
+        assert eng.argmax(candidates=[6, 2, 5], key=("q",)) == 2
+        # same key, same set, different spelling of the order
+        assert eng.argmax(candidates=[5, 6, 2], key=("q",)) == 2
+
+    @pytest.mark.parametrize("selection", ["lazy", "scan"])
+    def test_global_tie_breaks_toward_zero(self, selection):
+        eng = self._tied_engine(selection)
+        assert eng.argmax() == 0
+
+    def test_empty_candidates_rejected(self):
+        eng = self._tied_engine("lazy")
+        with pytest.raises(PlacementError):
+            eng.argmax(candidates=np.array([], dtype=np.intp))
+
+
+# ----------------------------------------------------------------------
+# selector mechanics: stats, epochs, key reuse
+# ----------------------------------------------------------------------
+class TestSelectorMechanics:
+    def test_lazy_scans_fewer_entries(self):
+        lazy, scan = _engine("lazy"), _engine("scan")
+        for eng in (lazy, scan):
+            while not eng.is_fully_covered():
+                eng.place_at(eng.argmax())
+        assert lazy.selection_stats.argmax_calls == scan.selection_stats.argmax_calls
+        assert (
+            lazy.selection_stats.entries_scanned
+            < scan.selection_stats.entries_scanned
+        )
+        assert lazy.selection_stats.heap_rebuilds >= 1
+        assert scan.selection_stats.heap_rebuilds == 0
+
+    def test_remove_covered_invalidates_heaps(self):
+        eng = _engine("lazy", k=1)
+        idx = eng.argmax()
+        cov = eng.place_at(idx)
+        rebuilds = eng.selection_stats.heap_rebuilds
+        eng.argmax()  # decreases only: served by revalidation, no rebuild
+        assert eng.selection_stats.heap_rebuilds == rebuilds
+        eng.remove_covered(cov)  # benefits increase -> epoch bump
+        assert eng.argmax() == idx
+        assert eng.selection_stats.heap_rebuilds == rebuilds + 1
+
+    def test_key_with_changed_candidates_replaces_selector(self):
+        lazy, scan = _engine("lazy"), _engine("scan")
+        a = lazy.argmax(candidates=[3, 4, 5], key=("cell", 0))
+        assert a == scan.argmax(candidates=[3, 4, 5])
+        # same key, genuinely different set: must not serve the old heap
+        b = lazy.argmax(candidates=[10, 11], key=("cell", 0))
+        assert b == scan.argmax(candidates=[10, 11])
+
+    def test_selector_unit_semantics(self):
+        benefit = np.array([1.0, 3.0, 3.0, 0.0])
+        stats = SelectionStats()
+        sel = LazySelector(None)
+        assert sel.select(benefit, 0, stats) == 1  # lowest index among ties
+        benefit[1] = 0.5  # decrease: stale top revalidated away
+        assert sel.select(benefit, 0, stats) == 2
+        benefit[3] = 9.0  # increase without epoch bump would be missed...
+        assert sel.select(benefit, 1, stats) == 3  # ...epoch bump rebuilds
+        assert stats.heap_rebuilds == 2
+
+    def test_stats_as_dict(self):
+        stats = _engine("lazy").selection_stats
+        assert set(stats.as_dict()) == {
+            "argmax_calls", "entries_scanned", "heap_rebuilds",
+        }
+
+
+# ----------------------------------------------------------------------
+# strategy validation
+# ----------------------------------------------------------------------
+class TestStrategySelection:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SELECTION", "scan")
+        assert _engine_selection_default() == "scan"
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SELECTION", "bogus")
+        with pytest.raises(CoverageError, match="REPRO_SELECTION"):
+            _engine_selection_default()
+
+    def test_bad_param_rejected(self):
+        with pytest.raises(CoverageError, match="selection"):
+            BenefitEngine(
+                np.array([[0.0, 0.0]]), sensing_radius=1.0, k=1,
+                selection="eager",
+            )
+
+    def test_explicit_param_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SELECTION", "scan")
+        eng = BenefitEngine(
+            np.array([[0.0, 0.0]]), sensing_radius=1.0, k=1, selection="lazy"
+        )
+        assert eng.selection == "lazy"
