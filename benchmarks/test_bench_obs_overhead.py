@@ -15,6 +15,12 @@ record and metric op an enabled sweep produces corresponds to at most a
 handful of disabled-mode guard evaluations) and ``per_guard_cost`` is
 microbenchmarked on this machine, pessimistically, as a full disabled
 ``OBS.span()`` context entry/exit.
+
+The flight recorder (``repro.obs.flightrec``) makes the same promise
+behind the same guard discipline (OBS003), so
+``test_flightrec_disabled_overhead_within_bound`` applies the identical
+analytic bound to its touchpoints: one flight record emitted by an
+enabled sweep corresponds to one disabled-mode ``FREC.enabled`` check.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ import time
 
 from repro.experiments.runner import DeploymentCache
 from repro.experiments.setup import SERIES
-from repro.obs import OBS
+from repro.obs import FREC, OBS
 
 # every guard site (an ``if OBS.enabled:`` block, a span context, a
 # profiled wrapper) produces at least one trace record or metric op when
@@ -118,5 +124,47 @@ def test_disabled_overhead_within_bound(benchmark, setup):
     assert bound < MAX_DISABLED_OVERHEAD, (
         f"disabled-mode obs overhead bound {bound:.2%} exceeds "
         f"{MAX_DISABLED_OVERHEAD:.0%} ({touchpoints} touchpoints, "
+        f"{per_guard * 1e9:.0f} ns/guard, sweep {sweep_time:.2f}s)"
+    )
+
+
+def test_flightrec_disabled_overhead_within_bound(benchmark, setup):
+    """CI gate: the disabled flight recorder costs < 3% of a smoke sweep."""
+    # 1. count the flight records an instrumented sweep produces; each
+    # corresponds to one (guarded) emit site evaluated in disabled mode
+    FREC.enable(fresh=True)
+    try:
+        _sweep(setup)
+        touchpoints = len(FREC.records())
+    finally:
+        FREC.disable()
+        FREC.reset()
+    assert touchpoints > 0
+
+    # 2. microbenchmark the disabled guard (pessimistic: a full null-run
+    # context entry/exit plus the ``if FREC.enabled:`` check per site)
+    def guard_block(n=1000):
+        for _ in range(n):
+            with FREC.run("x"):
+                pass
+            if FREC.enabled:  # pragma: no cover - disabled here by design
+                FREC.emit("drop", 0, t=0.0)
+        return n
+
+    assert not FREC.enabled
+    per_guard = _best_of(guard_block, 5) / 1000.0
+
+    # 3. time the disabled sweep itself (best of 3)
+    sweep_time = _best_of(lambda: _sweep(setup), 3)
+
+    bound = touchpoints * GUARDS_PER_TOUCHPOINT * per_guard / sweep_time
+    benchmark.extra_info["flight_records"] = touchpoints
+    benchmark.extra_info["per_guard_seconds"] = per_guard
+    benchmark.extra_info["sweep_seconds"] = sweep_time
+    benchmark.extra_info["disabled_overhead_bound"] = bound
+    benchmark.pedantic(lambda: guard_block(100), rounds=3, iterations=1)
+    assert bound < MAX_DISABLED_OVERHEAD, (
+        f"disabled-mode flight-recorder overhead bound {bound:.2%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} ({touchpoints} flight records, "
         f"{per_guard * 1e9:.0f} ns/guard, sweep {sweep_time:.2f}s)"
     )

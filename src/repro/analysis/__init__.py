@@ -41,6 +41,13 @@ from repro.analysis.dispatch import (
     tour_length,
     two_opt,
 )
+from repro.analysis.flight import (
+    convergence_times,
+    election_churn,
+    energy_timeline,
+    message_breakdown,
+    split_runs,
+)
 
 __all__ = [
     "DeploymentMetrics",
@@ -62,4 +69,9 @@ __all__ = [
     "plan_dispatch",
     "tour_length",
     "two_opt",
+    "split_runs",
+    "message_breakdown",
+    "convergence_times",
+    "election_churn",
+    "energy_timeline",
 ]

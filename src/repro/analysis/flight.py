@@ -1,0 +1,258 @@
+"""Analyzers over flight recordings (see :mod:`repro.obs.flightrec`).
+
+Each function takes a record list (as returned by
+:func:`repro.obs.replay.load_stream` or
+:meth:`~repro.obs.flightrec.FlightRecorder.records`) and reduces it to the
+quantities the paper's evaluation cares about:
+
+* :func:`message_breakdown` — transmissions/deliveries/losses per message
+  kind and per run, the raw data behind Figure 10's message-cost series;
+* :func:`convergence_times` — when each run placed its last node and when
+  it went quiescent;
+* :func:`election_churn` — leadership changes per cell, quantifying the
+  §3.1 rotation mechanism;
+* :func:`energy_timeline` — cumulative radio energy over simulation time
+  from an :class:`~repro.sim.stats.EnergyModel`, per node and total.
+
+All functions are pure and deterministic: the same stream always reduces
+to the same values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ObservabilityError
+from repro.sim.stats import EnergyModel
+
+__all__ = [
+    "split_runs",
+    "message_breakdown",
+    "convergence_times",
+    "election_churn",
+    "energy_timeline",
+]
+
+
+def split_runs(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Split a stream into run blocks.
+
+    Returns one dict per run: ``run`` (number), ``protocol``, ``begin`` /
+    ``end`` (their attrs; ``end`` is ``{}`` for a truncated stream) and
+    ``events`` (the block's event records in order).
+    """
+    runs: list[dict[str, Any]] = []
+    current: dict[str, Any] | None = None
+    for rec in records:
+        rtype = rec.get("type")
+        if rtype == "begin":
+            if current is not None:
+                raise ObservabilityError("run blocks cannot nest")
+            current = {
+                "run": rec.get("run"),
+                "protocol": rec.get("protocol"),
+                "begin": dict(rec.get("attrs") or {}),
+                "end": {},
+                "events": [],
+            }
+        elif rtype == "end":
+            if current is None:
+                raise ObservabilityError("end record without a begin")
+            current["end"] = dict(rec.get("attrs") or {})
+            runs.append(current)
+            current = None
+        elif rtype == "event":
+            if current is None:
+                raise ObservabilityError("event record outside a run block")
+            current["events"].append(rec)
+    if current is not None:
+        runs.append(current)  # truncated stream: keep the partial block
+    return runs
+
+
+def message_breakdown(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-run, per-message-kind traffic accounting (Figure 10 data).
+
+    For every run block, counts ``sent`` / ``delivered`` / ``dropped``
+    events grouped by the message kind (``attrs["msg"]``), plus analytic
+    placements' border-exchange counts (``placement`` events carry a
+    ``messages`` attr in the round-model runs).  Returns one dict per run:
+    ``{"run", "protocol", "kinds": {msg: {"sent", "delivered", "dropped"}},
+    "analytic_messages"}``.
+    """
+    out = []
+    for block in split_runs(records):
+        kinds: dict[str, dict[str, int]] = {}
+        analytic = 0
+        for ev in block["events"]:
+            kind = ev.get("kind")
+            if kind in ("send", "deliver", "drop"):
+                msg = str(ev.get("attrs", {}).get("msg", "?"))
+                slot = kinds.setdefault(
+                    msg, {"sent": 0, "delivered": 0, "dropped": 0}
+                )
+                slot[
+                    {"send": "sent", "deliver": "delivered", "drop": "dropped"}[kind]
+                ] += 1
+            elif kind == "placement":
+                analytic += int(ev.get("attrs", {}).get("messages", 0))
+        out.append(
+            {
+                "run": block["run"],
+                "protocol": block["protocol"],
+                "kinds": {k: kinds[k] for k in sorted(kinds)},
+                "analytic_messages": analytic,
+            }
+        )
+    return out
+
+
+def convergence_times(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """When each run converged: last placement and quiescence times.
+
+    ``last_placement_t`` is the time of the final ``placement`` event
+    (``None`` for runs that placed nothing), ``quiescence_t`` the time of
+    the final event of any kind, and ``n_placements`` the placement count.
+    For restoration runs the dict also carries ``crash_t`` and
+    ``restored_t`` when those events are present, giving the restoration
+    latency as ``restored_t - crash_t``.
+    """
+    out = []
+    for block in split_runs(records):
+        last_placement = None
+        quiescence = None
+        crash_t = None
+        restored_t = None
+        n_placements = 0
+        for ev in block["events"]:
+            t = float(ev.get("t", 0.0))
+            quiescence = t if quiescence is None else max(quiescence, t)
+            kind = ev.get("kind")
+            if kind == "placement":
+                n_placements += 1
+                last_placement = t
+            elif kind == "crash" and crash_t is None:
+                crash_t = t
+            elif kind == "restored":
+                restored_t = float(
+                    ev.get("attrs", {}).get("restored_time", t)
+                )
+        out.append(
+            {
+                "run": block["run"],
+                "protocol": block["protocol"],
+                "n_placements": n_placements,
+                "last_placement_t": last_placement,
+                "quiescence_t": quiescence,
+                "crash_t": crash_t,
+                "restored_t": restored_t,
+            }
+        )
+    return out
+
+
+def election_churn(records: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Leadership rotation statistics per cell per run.
+
+    Reduces ``elected`` events (emitted once per round by the winning
+    node) to, per cell: rounds observed, actual leadership ``changes``
+    (the events' ``changed`` attr) and the number of distinct leaders.
+    A healthy rotation shows ``distinct_leaders`` approaching the cell's
+    population; a stuck election shows 1.
+    """
+    out = []
+    for block in split_runs(records):
+        cells: dict[int, dict[str, Any]] = {}
+        for ev in block["events"]:
+            if ev.get("kind") != "elected":
+                continue
+            attrs = ev.get("attrs", {})
+            cell = int(attrs.get("cell", -1))
+            slot = cells.setdefault(
+                cell, {"rounds": 0, "changes": 0, "leaders": set()}
+            )
+            slot["rounds"] += 1
+            slot["changes"] += bool(attrs.get("changed"))
+            slot["leaders"].add(int(ev.get("node", -1)))
+        summary = {
+            cell: {
+                "rounds": slot["rounds"],
+                "changes": slot["changes"],
+                "distinct_leaders": len(slot["leaders"]),
+            }
+            for cell, slot in sorted(cells.items())
+        }
+        out.append(
+            {
+                "run": block["run"],
+                "protocol": block["protocol"],
+                "cells": summary,
+                "total_changes": sum(s["changes"] for s in summary.values()),
+            }
+        )
+    return out
+
+
+def energy_timeline(
+    records: list[dict[str, Any]],
+    model: EnergyModel | None = None,
+    *,
+    n_bins: int = 32,
+) -> list[dict[str, Any]]:
+    """Cumulative radio energy over simulation time, per run.
+
+    Applies ``model`` (default :class:`~repro.sim.stats.EnergyModel`) to
+    the stream's ``send``/``deliver`` events: a send costs the sender
+    ``tx_cost``, a delivery costs the receiver ``rx_cost`` (a dropped
+    message costs its intended receiver nothing, matching the model).
+    Returns per run: ``times`` (bin right edges), ``total`` (cumulative
+    energy at each edge), ``per_node`` (final energy per node) and
+    ``imbalance`` (max/mean of the final profile).
+    """
+    if n_bins < 1:
+        raise ObservabilityError(f"n_bins must be positive, got {n_bins}")
+    model = EnergyModel() if model is None else model
+    out = []
+    for block in split_runs(records):
+        charges: list[tuple[float, int, float]] = []
+        for ev in block["events"]:
+            kind = ev.get("kind")
+            if kind == "send":
+                charges.append((float(ev["t"]), int(ev["node"]), model.tx_cost))
+            elif kind == "deliver":
+                charges.append((float(ev["t"]), int(ev["node"]), model.rx_cost))
+        per_node: dict[int, float] = {}
+        times: list[float] = []
+        total: list[float] = []
+        if charges:
+            t0 = charges[0][0]
+            t1 = charges[-1][0]
+            span = (t1 - t0) or 1.0
+            edges = [t0 + span * (i + 1) / n_bins for i in range(n_bins)]
+            cum = 0.0
+            i = 0
+            for edge in edges:
+                while i < len(charges) and charges[i][0] <= edge + 1e-12:
+                    _, node, cost = charges[i]
+                    per_node[node] = per_node.get(node, 0.0) + cost
+                    cum += cost
+                    i += 1
+                times.append(edge)
+                total.append(cum)
+        profile = sorted(per_node.values())
+        imbalance = 1.0
+        if profile:
+            mean = sum(profile) / len(profile)
+            if mean > 0.0:
+                imbalance = max(profile) / mean
+        out.append(
+            {
+                "run": block["run"],
+                "protocol": block["protocol"],
+                "times": times,
+                "total": total,
+                "per_node": {n: per_node[n] for n in sorted(per_node)},
+                "imbalance": imbalance,
+            }
+        )
+    return out

@@ -13,6 +13,7 @@ DET002    no wall-clock/entropy reads in library code outside repro.obs
 ALIAS001  no in-place mutation of FieldModel/engine cached values
 OBS001    OBS metric/event touchpoints guarded by ``if OBS.enabled:``
 OBS002    ``@profiled`` site names unique across the library
+OBS003    flight-recorder touchpoints guarded by ``if FREC.enabled:``
 API001    no exact float ==/!= on coordinates or benefits
 PAR001    repro.parallel: no un-seeded RNG, no global OBS mutation
 SUP001    every ``# checks: ignore`` suppression must match a finding
@@ -32,7 +33,11 @@ from repro.checks.lint.framework import (
 from repro.checks.lint.rules_alias import NoInPlaceOnCachedViews
 from repro.checks.lint.rules_api import NoFloatEqualityOnCoordinates
 from repro.checks.lint.rules_det import NoLegacyGlobalRng, NoWallClockInLibrary
-from repro.checks.lint.rules_obs import ObsTouchpointsGuarded, ProfiledSitesUnique
+from repro.checks.lint.rules_obs import (
+    FlightRecorderGuarded,
+    ObsTouchpointsGuarded,
+    ProfiledSitesUnique,
+)
 from repro.checks.lint.rules_par import ParallelWorkerDiscipline
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "NoInPlaceOnCachedViews",
     "ObsTouchpointsGuarded",
     "ProfiledSitesUnique",
+    "FlightRecorderGuarded",
     "NoFloatEqualityOnCoordinates",
     "ParallelWorkerDiscipline",
 ]
@@ -61,6 +67,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     NoInPlaceOnCachedViews,
     ObsTouchpointsGuarded,
     ProfiledSitesUnique,
+    FlightRecorderGuarded,
     NoFloatEqualityOnCoordinates,
     ParallelWorkerDiscipline,
 )

@@ -1,13 +1,20 @@
-"""Observability discipline rules: OBS001 (guards), OBS002 (unique sites).
+"""Observability discipline rules: OBS001/OBS003 (guards), OBS002 (sites).
 
 The ``repro.obs`` layer promises that disabled instrumentation costs one
 attribute check per touchpoint (the <3% CI gate in
 ``benchmarks/test_bench_obs_overhead.py`` depends on it).  That only holds
-if hot-loop touchpoints — ``OBS.event``/``OBS.counter``/``OBS.gauge``/
-``OBS.histogram``, whose *arguments* would otherwise still be evaluated
-and formatted — sit inside an ``if OBS.enabled:`` block (OBS001).
-``OBS.span`` is exempt: it is used as a context manager around whole
-phases and returns a shared null span when disabled.
+if hot-loop touchpoints — whose *arguments* would otherwise still be
+evaluated and formatted — sit inside an enabled guard:
+
+* OBS001 — ``OBS.event``/``OBS.counter``/``OBS.gauge``/``OBS.histogram``
+  under ``if OBS.enabled:``.  ``OBS.span`` is exempt: it wraps whole
+  phases as a context manager and returns a shared null span when
+  disabled.
+* OBS003 — the flight recorder's emitting touchpoints
+  (``FREC.emit``/``emit_send``/``emit_deliver``/``set_cause``/
+  ``clear_cause``/``begin_run``/``end_run``) under ``if FREC.enabled:``,
+  so the disabled path never allocates a record dict.  ``FREC.run`` and
+  ``FREC.session`` are exempt for the same reason ``OBS.span`` is.
 
 ``@profiled(site)`` site names feed the ``profile_seconds{site=...}``
 histogram; two call sites sharing a name silently merge their timings, so
@@ -21,30 +28,31 @@ from typing import Iterator
 
 from repro.checks.lint.framework import FileContext, Finding, Rule
 
-__all__ = ["ObsTouchpointsGuarded", "ProfiledSitesUnique"]
+__all__ = [
+    "FlightRecorderGuarded",
+    "ObsTouchpointsGuarded",
+    "ProfiledSitesUnique",
+]
 
-#: OBS methods whose call (and argument evaluation) must be guarded.
-_GUARDED_METHODS = frozenset({"event", "counter", "gauge", "histogram"})
 
-
-def _mentions_obs_enabled(node: ast.AST) -> bool:
-    """Does this expression read ``OBS.enabled`` (possibly inside and/or/not)?"""
+def _mentions_enabled(node: ast.AST, singleton: str) -> bool:
+    """Does this expression read ``<singleton>.enabled`` (however nested)?"""
     for sub in ast.walk(node):
         if (
             isinstance(sub, ast.Attribute)
             and sub.attr == "enabled"
             and isinstance(sub.value, ast.Name)
-            and sub.value.id == "OBS"
+            and sub.value.id == singleton
         ):
             return True
     return False
 
 
-def _is_negated_guard(test: ast.AST) -> bool:
+def _is_negated_guard(test: ast.AST, singleton: str) -> bool:
     return (
         isinstance(test, ast.UnaryOp)
         and isinstance(test.op, ast.Not)
-        and _mentions_obs_enabled(test.operand)
+        and _mentions_enabled(test.operand, singleton)
     )
 
 
@@ -54,14 +62,16 @@ def _terminates(block: list[ast.stmt]) -> bool:
     )
 
 
-class ObsTouchpointsGuarded(Rule):
-    """OBS001: OBS.event/counter/gauge/histogram under ``if OBS.enabled:``."""
+class _TouchpointsGuarded(Rule):
+    """Shared guard walker: ``<singleton>.<method>`` under an enabled check.
 
-    code = "OBS001"
-    summary = (
-        "obs metric/event touchpoints must sit inside an "
-        "`if OBS.enabled:` guard so disabled runs never format arguments"
-    )
+    Subclasses pin ``singleton`` (the runtime's conventional name at call
+    sites), ``guarded_methods`` and the finding ``consequence`` text.
+    """
+
+    singleton = ""
+    guarded_methods: frozenset[str] = frozenset()
+    consequence = ""
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.in_library or ctx.in_package("repro.obs"):
@@ -71,15 +81,16 @@ class ObsTouchpointsGuarded(Rule):
     def _walk_body(
         self, ctx: FileContext, body: list[ast.stmt], guarded: bool
     ) -> Iterator[Finding]:
+        name = self.singleton
         for stmt in body:
             if isinstance(stmt, ast.If):
-                if _mentions_obs_enabled(stmt.test) and not _is_negated_guard(
-                    stmt.test
+                if _mentions_enabled(stmt.test, name) and not _is_negated_guard(
+                    stmt.test, name
                 ):
                     yield from self._walk_body(ctx, stmt.body, guarded=True)
                     yield from self._walk_body(ctx, stmt.orelse, guarded=guarded)
-                elif _is_negated_guard(stmt.test) and _terminates(stmt.body):
-                    # ``if not OBS.enabled: return`` -- the rest of this
+                elif _is_negated_guard(stmt.test, name) and _terminates(stmt.body):
+                    # ``if not X.enabled: return`` -- the rest of this
                     # block runs only when enabled
                     yield from self._walk_body(ctx, stmt.body, guarded=guarded)
                     yield from self._walk_body(ctx, stmt.orelse, guarded=True)
@@ -130,17 +141,57 @@ class ObsTouchpointsGuarded(Rule):
             if (
                 isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
-                and node.func.attr in _GUARDED_METHODS
+                and node.func.attr in self.guarded_methods
                 and isinstance(node.func.value, ast.Name)
-                and node.func.value.id == "OBS"
+                and node.func.value.id == self.singleton
             ):
                 yield ctx.finding(
                     self.code,
                     node,
-                    f"`OBS.{node.func.attr}(...)` is not inside an "
-                    "`if OBS.enabled:` guard; disabled runs would still "
-                    "evaluate its arguments",
+                    f"`{self.singleton}.{node.func.attr}(...)` is not inside "
+                    f"an `if {self.singleton}.enabled:` guard; "
+                    f"{self.consequence}",
                 )
+
+
+class ObsTouchpointsGuarded(_TouchpointsGuarded):
+    """OBS001: OBS.event/counter/gauge/histogram under ``if OBS.enabled:``."""
+
+    code = "OBS001"
+    summary = (
+        "obs metric/event touchpoints must sit inside an "
+        "`if OBS.enabled:` guard so disabled runs never format arguments"
+    )
+    singleton = "OBS"
+    guarded_methods = frozenset({"event", "counter", "gauge", "histogram"})
+    consequence = "disabled runs would still evaluate its arguments"
+
+
+class FlightRecorderGuarded(_TouchpointsGuarded):
+    """OBS003: FREC emitting touchpoints under ``if FREC.enabled:``."""
+
+    code = "OBS003"
+    summary = (
+        "flight-recorder touchpoints must sit inside an "
+        "`if FREC.enabled:` guard so the disabled path never allocates "
+        "a record"
+    )
+    singleton = "FREC"
+    guarded_methods = frozenset(
+        {
+            "emit",
+            "emit_send",
+            "emit_deliver",
+            "set_cause",
+            "clear_cause",
+            "begin_run",
+            "end_run",
+        }
+    )
+    consequence = (
+        "disabled runs would still build the record dict and scrub its "
+        "attributes"
+    )
 
 
 class ProfiledSitesUnique(Rule):

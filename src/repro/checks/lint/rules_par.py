@@ -30,8 +30,17 @@ __all__ = ["ParallelWorkerDiscipline"]
 #: RNG constructors that must receive an explicit seed in repro.parallel.
 _SEEDED_CONSTRUCTORS = frozenset({"numpy.random.default_rng", "random.Random"})
 
-#: Qualified names the global OBS runtime resolves to via the import map.
-_OBS_SINGLETONS = frozenset({"repro.obs.OBS", "repro.obs.runtime.OBS"})
+#: Qualified names the global observability singletons resolve to via the
+#: import map (the OBS runtime and the FREC flight recorder share the
+#: capture/merge seam and the same mutation discipline).
+_OBS_SINGLETONS = frozenset(
+    {
+        "repro.obs.OBS",
+        "repro.obs.runtime.OBS",
+        "repro.obs.FREC",
+        "repro.obs.flightrec.FREC",
+    }
+)
 
 #: OBS runtime methods that mutate global observability state.
 _OBS_MUTATORS = frozenset({"enable", "disable", "reset"})

@@ -24,6 +24,12 @@ deploy, summary and restore) enable the :mod:`repro.obs` runtime for the
 invocation and export the recorded spans/events and metric series; a trace
 summary table is printed either way.  ``REPRO_OBS=1`` enables recording
 without exporting.
+
+Flight recording: ``--flight-record out.jsonl`` (same commands) records a
+causal per-node protocol event log (see :mod:`repro.obs.flightrec`) whose
+header embeds a cleaned argv, so ``decor replay out.jsonl`` can re-execute
+the command and verify the stream reproduces byte for byte — including
+sweeps recorded with ``--workers N``, which replay serially.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from repro.experiments.setup import ExperimentSetup
 from repro.geometry.region import Rect
 from repro.network.failures import area_failure
 from repro.network.spec import SensorSpec
-from repro.obs import OBS, bridge_field_stats
+from repro.obs import FREC, OBS, bridge_field_stats
 from repro.viz.ascii_field import render_coverage, render_deployment, render_points
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +65,11 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--metrics", metavar="PATH",
         help="enable instrumentation; write the metrics dump as JSON",
     )
+    parser.add_argument(
+        "--flight-record", metavar="PATH",
+        help="record a replayable causal protocol event log as JSON lines "
+             "(verify it later with `decor replay PATH`)",
+    )
 
 
 def _obs_begin(args: argparse.Namespace) -> bool:
@@ -67,6 +78,31 @@ def _obs_begin(args: argparse.Namespace) -> bool:
     if wants:
         OBS.enable(fresh=True)
     return wants
+
+
+#: Flags stripped from the argv recorded in a flight stream's header:
+#: output/export paths and worker counts do not affect the event stream,
+#: and stripping ``--flight-record`` itself keeps replay from recursing.
+_NON_REPLAY_FLAGS = (
+    "--flight-record", "--trace", "--metrics", "--json", "--csv", "--workers"
+)
+
+
+def _flightrec_argv(argv: list[str]) -> list[str]:
+    """Clean argv for a flight-stream header (drops non-semantic flags)."""
+    out: list[str] = []
+    skip = False
+    for token in argv:
+        if skip:
+            skip = False
+            continue
+        if token in _NON_REPLAY_FLAGS:
+            skip = True
+            continue
+        if any(token.startswith(flag + "=") for flag in _NON_REPLAY_FLAGS):
+            continue
+        out.append(token)
+    return out
 
 
 def _obs_finish(args: argparse.Namespace) -> None:
@@ -149,6 +185,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_life.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("gallery", help="print paper Figures 4-6 as ASCII art")
+
+    p_rep = sub.add_parser(
+        "replay", help="validate and re-verify a flight recording"
+    )
+    p_rep.add_argument("recording", metavar="PATH",
+                       help="a JSONL flight recording (from --flight-record)")
+    p_rep.add_argument("--no-verify", action="store_true",
+                       help="only validate the schema, do not re-execute")
+    p_rep.add_argument("--timeline", metavar="PATH",
+                       help="also render a swim-lane SVG of one run block")
+    p_rep.add_argument("--run", type=int, default=1, metavar="N",
+                       help="run block to render with --timeline (default 1)")
     return parser
 
 
@@ -276,6 +324,43 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.replay import load_stream, validate_stream, verify_stream
+
+    records = load_stream(args.recording)
+    stats = validate_stream(records)
+    print(
+        f"{args.recording}: {stats['n_records']} records, "
+        f"{stats['n_runs']} run blocks, {stats['n_events']} events"
+    )
+    kinds = ", ".join(f"{k}={v}" for k, v in stats["kinds"].items())
+    if kinds:
+        print(f"event kinds : {kinds}")
+    if args.timeline:
+        from repro.viz import save_svg
+        from repro.viz.timeline import svg_timeline
+
+        save_svg(args.timeline, svg_timeline(records, run=args.run))
+        print(f"wrote {args.timeline}")
+    if args.no_verify:
+        print("schema      : valid (replay verification skipped)")
+        return 0
+    if not stats["has_header"]:
+        print("schema      : valid (no header; stream is not replayable)")
+        return 0
+    report = verify_stream(records)
+    if report.matches:
+        print(
+            f"replay      : {report.n_replayed} records reproduced "
+            "byte-identically"
+        )
+        return 0
+    print(f"replay MISMATCH at record {report.first_divergence}:",
+          file=sys.stderr)
+    print(report.detail, file=sys.stderr)
+    return 1
+
+
 def _cmd_gallery(_: argparse.Namespace) -> int:
     region = Rect.square(100.0)
     spec = SensorSpec(4.0, 8.0)
@@ -296,27 +381,41 @@ def _cmd_gallery(_: argparse.Namespace) -> int:
     return 0
 
 
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "deploy":
+        return _cmd_deploy(args)
+    if args.command == "summary":
+        return _cmd_summary(args)
+    if args.command == "restore":
+        return _cmd_restore(args)
+    if args.command == "lifetime":
+        return _cmd_lifetime(args)
+    if args.command == "gallery":
+        return _cmd_gallery(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     try:
-        if args.command == "figure":
-            return _cmd_figure(args)
-        if args.command == "deploy":
-            return _cmd_deploy(args)
-        if args.command == "summary":
-            return _cmd_summary(args)
-        if args.command == "restore":
-            return _cmd_restore(args)
-        if args.command == "lifetime":
-            return _cmd_lifetime(args)
-        if args.command == "gallery":
-            return _cmd_gallery(args)
+        path = getattr(args, "flight_record", None)
+        if path:
+            header = ("cli", {"argv": _flightrec_argv(raw)})
+            with FREC.session(path, header=header) as session:
+                code = _dispatch(args)
+            print(f"wrote {path} ({len(session.records)} flight records)")
+            return code
+        return _dispatch(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    raise AssertionError("unreachable")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,7 +27,7 @@ from repro.errors import PlacementError
 from repro.field import as_field_model
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
-from repro.obs import OBS
+from repro.obs import FREC, OBS
 
 __all__ = ["grid_decor"]
 
@@ -95,7 +95,8 @@ def grid_decor(
     checker = greedy_checker(engine, method="grid")
 
     rounds = 0
-    with OBS.span("placement", method="grid", k=k, cell_size=float(cell_size)) as span:
+    with OBS.span("placement", method="grid", k=k, cell_size=float(cell_size)) as span, \
+            FREC.run("grid_decor", k=int(k), cell_size=float(cell_size)) as frun:
         progress = True
         while progress:
             progress = False
@@ -135,6 +136,14 @@ def grid_decor(
                 checker.after_step(len(added) - 1, idx, pos)
                 progress = True
                 counts = engine.counts  # refreshed view after mutation
+                if FREC.enabled:
+                    # analytic rounds stand in for sim time; the acting
+                    # "node" is the placing cell's leader, i.e. the cell id
+                    FREC.emit(
+                        "placement", cid, t=float(rounds), cause=None,
+                        cell=cid, point=int(idx), benefit=benefit,
+                        messages=n_msgs,
+                    )
                 if OBS.enabled:
                     OBS.event(
                         "placement",
@@ -149,6 +158,7 @@ def grid_decor(
                     OBS.histogram("greedy_round_benefit").observe(benefit)
         span.set(placed=len(added), rounds=rounds,
                  messages=int(per_cell_msgs.sum()))
+        frun.set(placed=len(added), rounds=rounds)
 
     if not engine.is_fully_covered():  # pragma: no cover - defensive
         raise PlacementError("grid DECOR stalled before reaching full coverage")

@@ -35,7 +35,7 @@ from repro.field import as_field_model
 from repro.geometry.points import as_points
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
-from repro.obs import OBS, bridge_radio_stats
+from repro.obs import FREC, OBS, bridge_radio_stats
 from repro.sim.engine import Simulator
 from repro.sim.heartbeat import HeartbeatConfig, HeartbeatNode
 from repro.sim.radio import Radio
@@ -188,6 +188,12 @@ class _Harness:
             idx = self.engine.argmax(candidates=cell_points, key=("cell", cell_id))
             if self.engine.benefit[idx] <= 0.0:  # pragma: no cover
                 raise PlacementError(f"cell {cell_id} deficient, zero benefit")
+            if FREC.enabled:
+                FREC.emit(
+                    "placement", leader.node_id, t=self.sim.now,
+                    cell=int(cell_id), point=int(idx),
+                    benefit=float(self.engine.benefit[idx]),
+                )
             self.engine.place_at(idx)
             pos = self.pts[idx]
             self.placements.append((self.sim.now, cell_id, int(idx)))
@@ -265,6 +271,7 @@ def run_restoration_protocol(
     horizon: float = 200.0,
     seed: int = 0,
     max_nodes: int | None = None,
+    flight_record: str | None = None,
 ) -> RestorationProtocolReport:
     """Simulate failure detection and in-network repair; see module docs.
 
@@ -282,10 +289,21 @@ def run_restoration_protocol(
     horizon:
         Simulation-time budget; exceeding it without restoring raises.
 
+    ``flight_record`` writes a standalone flight recording of this run to
+    the given path (see :mod:`repro.obs.flightrec`).
+
     Returns
     -------
     RestorationProtocolReport
     """
+    if flight_record is not None:
+        with FREC.session(flight_record):
+            return run_restoration_protocol(
+                field_points, spec, k, region, cell_size,
+                sensor_positions, failed_node_ids,
+                heartbeat=heartbeat, crash_time=crash_time, horizon=horizon,
+                seed=seed, max_nodes=max_nodes,
+            )
     field = as_field_model(field_points)
     pts = field.points
     sensors = as_points(sensor_positions)
@@ -320,6 +338,12 @@ def run_restoration_protocol(
         )
 
     def crash() -> None:
+        if FREC.enabled:
+            # node -1 is the environment: the failure event itself, causally
+            # upstream of every per-node "fail" the loop below emits
+            FREC.set_cause(
+                FREC.emit("crash", -1, t=sim.now, failed=int(failed.size))
+            )
         for nid in failed:
             harness.nodes[int(nid)].fail()
             engine.remove_covered(covered_by[int(nid)])
@@ -330,7 +354,10 @@ def run_restoration_protocol(
 
     with OBS.span(
         "protocol", kind="restoration", k=k, failed=int(failed.size)
-    ) as span:
+    ) as span, FREC.run(
+        "restoration", k=int(k), failed=int(failed.size),
+        crash_time=float(crash_time),
+    ) as frun:
         # run in heartbeat-period slices until restored (or horizon)
         while True:
             target = sim.now + config.period
@@ -346,8 +373,16 @@ def run_restoration_protocol(
         if OBS.enabled and harness.restored_time is not None:
             OBS.event("restored", sim_time=harness.restored_time,
                       replacements=len(harness.placements))
+        if FREC.enabled and harness.restored_time is not None:
+            FREC.emit(
+                "restored", -1, t=sim.now, cause=None,
+                restored_time=float(harness.restored_time),
+                replacements=len(harness.placements),
+            )
         span.set(replacements=len(harness.placements),
                  messages=radio.stats.total_sent())
+        frun.set(replacements=len(harness.placements),
+                 restored=harness.restored_time is not None)
         if OBS.enabled:
             bridge_radio_stats(radio.stats, protocol="restoration")
 

@@ -30,7 +30,7 @@ from repro.errors import PlacementError
 from repro.geometry.points import squared_distances_to
 from repro.geometry.voronoi import VoronoiOwnership
 from repro.network.spec import SensorSpec
-from repro.obs import OBS
+from repro.obs import FREC, OBS
 
 __all__ = ["voronoi_decor", "local_voronoi_benefit"]
 
@@ -132,7 +132,9 @@ def voronoi_decor(
     rounds = 0
     with OBS.span(
         "placement", method="voronoi", k=k, rc=float(spec.communication_radius)
-    ) as span:
+    ) as span, FREC.run(
+        "voronoi_decor", k=int(k), rc=float(spec.communication_radius)
+    ) as frun:
         progress = True
         while progress:
             progress = False
@@ -180,6 +182,18 @@ def voronoi_decor(
                 checker.after_step(len(added) - 1, idx, pos)
                 deficiency = engine.deficiency().astype(np.float64)
                 progress = True
+                if FREC.enabled:
+                    # analytic rounds stand in for sim time; the acting
+                    # "node" is the placing Voronoi site
+                    FREC.emit(
+                        "placement", int(site), t=float(rounds), cause=None,
+                        point=idx, benefit=benefit, messages=n_msgs,
+                    )
+                    FREC.emit(
+                        "handoff", nid, t=float(rounds), cause=None,
+                        from_site=int(site),
+                        points_owned=int(ownership.owned_points(nid).size),
+                    )
                 if OBS.enabled:
                     OBS.event(
                         "placement",
@@ -196,6 +210,7 @@ def voronoi_decor(
                     OBS.histogram("greedy_round_benefit").observe(benefit)
         span.set(placed=len(added), rounds=rounds,
                  messages=int(sum(per_node_msgs)))
+        frun.set(placed=len(added), rounds=rounds)
 
     if not engine.is_fully_covered():  # pragma: no cover - defensive
         raise PlacementError("Voronoi DECOR stalled before reaching full coverage")

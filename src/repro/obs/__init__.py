@@ -9,6 +9,12 @@ Three pillars behind one opt-in switch:
 * :mod:`repro.obs.profile` — the ``@profiled(site)`` decorator feeding a
   ``profile_seconds`` histogram.
 
+A fourth pillar has its own switch: :mod:`repro.obs.flightrec`'s
+:data:`FREC` records causal per-node protocol event logs (enable with
+``REPRO_FLIGHTREC=1``, the CLI's ``--flight-record``, or a runner's
+``flight_record=`` kwarg) that :mod:`repro.obs.replay` can deterministically
+re-execute and verify.
+
 Everything instrumented records into the module-level :data:`OBS` runtime,
 which is **off by default**: disabled call sites pay one attribute check.
 Turn it on with ``REPRO_OBS=1``, the CLI's ``--trace``/``--metrics`` flags,
@@ -25,6 +31,7 @@ from repro.obs.bridge import (
     capture_worker_obs,
     merge_worker_obs,
 )
+from repro.obs.flightrec import FREC, FlightRecorder
 from repro.obs.metrics import Gauge, Histogram, MCounter, MetricsRegistry
 from repro.obs.profile import profiled
 from repro.obs.runtime import NULL_SPAN, OBS, ObsRuntime
@@ -34,6 +41,8 @@ __all__ = [
     "OBS",
     "ObsRuntime",
     "NULL_SPAN",
+    "FREC",
+    "FlightRecorder",
     "Tracer",
     "Span",
     "MetricsRegistry",

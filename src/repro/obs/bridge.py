@@ -26,6 +26,7 @@ from __future__ import annotations
 from types import TracebackType
 from typing import Any
 
+from repro.obs.flightrec import FREC, FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.runtime import OBS
 from repro.obs.trace import Tracer
@@ -90,8 +91,9 @@ def bridge_radio_stats(
         registry.counter(RADIO_SENT_METRIC, protocol=protocol).inc(sent)
     if received:
         registry.counter(RADIO_RECEIVED_METRIC, protocol=protocol).inc(received)
-    if stats.dropped:
-        registry.counter(RADIO_DROPPED_METRIC, protocol=protocol).inc(stats.dropped)
+    dropped = stats.total_dropped()
+    if dropped:
+        registry.counter(RADIO_DROPPED_METRIC, protocol=protocol).inc(dropped)
 
 
 class capture_worker_obs:
@@ -102,6 +104,11 @@ class capture_worker_obs:
     on exit recording stops and :meth:`payload` holds a picklable snapshot.
     When ``enabled`` is false the manager is inert and the payload is
     ``None`` — workers inherit the parent's off switch.
+
+    ``flightrec`` independently captures the flight recorder the same way:
+    the worker's run blocks ship back under the payload's ``"records"`` key
+    and :func:`merge_worker_obs` folds them into the parent's stream via
+    :meth:`~repro.obs.flightrec.FlightRecorder.absorb`.
 
     >>> with capture_worker_obs(True) as cap:
     ...     OBS.counter("demo_total").inc(2)
@@ -115,15 +122,18 @@ class capture_worker_obs:
     True
     """
 
-    __slots__ = ("_enabled", "_payload")
+    __slots__ = ("_enabled", "_flightrec", "_payload")
 
-    def __init__(self, enabled: bool) -> None:
+    def __init__(self, enabled: bool, flightrec: bool = False) -> None:
         self._enabled = bool(enabled)
+        self._flightrec = bool(flightrec)
         self._payload: dict[str, Any] | None = None
 
     def __enter__(self) -> "capture_worker_obs":
         if self._enabled:
             OBS.enable(fresh=True)
+        if self._flightrec:
+            FREC.enable(fresh=True)
         return self
 
     def __exit__(
@@ -132,13 +142,18 @@ class capture_worker_obs:
         exc: BaseException | None,
         tb: TracebackType | None,
     ) -> bool:
+        if self._enabled or self._flightrec:
+            self._payload = {}
         if self._enabled:
-            self._payload = {
-                "metrics": OBS.metrics.dump_state(),
-                "trace": OBS.tracer.records(),
-                "dropped": OBS.tracer.dropped,
-            }
+            self._payload.update(
+                metrics=OBS.metrics.dump_state(),
+                trace=OBS.tracer.records(),
+                dropped=OBS.tracer.dropped,
+            )
             OBS.disable()
+        if self._flightrec:
+            self._payload["records"] = FREC.records()
+            FREC.reset()
         return False
 
     def payload(self) -> dict[str, Any] | None:
@@ -151,17 +166,23 @@ def merge_worker_obs(
     *,
     metrics: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
+    flightrec: FlightRecorder | None = None,
 ) -> None:
     """Fold a worker's :class:`capture_worker_obs` payload into the parent.
 
     Metrics add into the registry; trace records graft under the currently
-    open span (see :meth:`~repro.obs.trace.Tracer.absorb`).  ``None``
-    payloads (capture disabled, or a worker that recorded nothing) are
-    ignored.  Defaults to the global runtime's registry and tracer.
+    open span (see :meth:`~repro.obs.trace.Tracer.absorb`); flight records
+    append as renumbered run blocks (see
+    :meth:`~repro.obs.flightrec.FlightRecorder.absorb`).  ``None`` payloads
+    (capture disabled, or a worker that recorded nothing) are ignored.
+    Defaults to the global runtime's registry/tracer/recorder.
     """
     if payload is None:
         return
-    registry = OBS.metrics if metrics is None else metrics
-    target = OBS.tracer if tracer is None else tracer
-    registry.absorb(payload["metrics"])
-    target.absorb(payload["trace"], dropped=int(payload.get("dropped", 0)))
+    if "metrics" in payload:
+        registry = OBS.metrics if metrics is None else metrics
+        target = OBS.tracer if tracer is None else tracer
+        registry.absorb(payload["metrics"])
+        target.absorb(payload["trace"], dropped=int(payload.get("dropped", 0)))
+    if "records" in payload:
+        (FREC if flightrec is None else flightrec).absorb(payload["records"])

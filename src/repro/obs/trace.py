@@ -222,7 +222,9 @@ class Tracer:
     # ------------------------------------------------------------------
     # cross-process aggregation
     # ------------------------------------------------------------------
-    def absorb(self, records: list[dict], *, dropped: int = 0) -> int:
+    def absorb(
+        self, records: "list[dict] | Tracer", *, dropped: int = 0
+    ) -> int:
         """Graft another tracer's :meth:`records` under the open span.
 
         Worker processes run their own tracer; the parent folds the shipped
@@ -235,6 +237,14 @@ class Tracer:
         depths shift accordingly.  Timestamps stay relative to the *worker's*
         origin; within one absorbed batch they remain mutually consistent.
 
+        ``records`` may be another :class:`Tracer` directly, in which case
+        its ring-buffer overflow count carries over automatically — records
+        the worker already lost must stay counted as lost at the parent,
+        or a merged trace would silently claim completeness.  When passing
+        a plain record list, propagate the source's count via ``dropped=``
+        (as :func:`repro.obs.bridge.merge_worker_obs` does from the shipped
+        payload).
+
         Returns the number of records absorbed.
 
         >>> parent, worker = Tracer(), Tracer()
@@ -246,7 +256,18 @@ class Tracer:
         [('placement', None), ('cell', 1), ('figure', 0)]
         >>> parent.records()[1]["parent"] == parent.records()[2]["id"]
         True
+        >>> overflowing = Tracer(capacity=1)
+        >>> for i in range(3):
+        ...     overflowing.event("tick", i=i)
+        >>> _ = parent.absorb(overflowing)
+        >>> parent.dropped
+        2
         """
+        if isinstance(records, Tracer):
+            if records is self:
+                raise ObservabilityError("a tracer cannot absorb itself")
+            dropped += records.dropped
+            records = records.records()
         idmap: dict[int, int] = {}
         for rec in records:
             if rec.get("type") == "span":

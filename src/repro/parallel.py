@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.checks import CHECKS
 from repro.errors import ConfigurationError
-from repro.obs import OBS, capture_worker_obs, merge_worker_obs
+from repro.obs import FREC, OBS, capture_worker_obs, merge_worker_obs
 
 if TYPE_CHECKING:
     from repro.core.result import DeploymentResult
@@ -76,6 +76,7 @@ def _worker_init(
     backend: str | None,
     obs_enabled: bool,
     checks_enabled: bool,
+    frec_enabled: bool = False,
 ) -> None:
     """Build this worker's private cache; runs once per worker process."""
     from repro.experiments.runner import DeploymentCache
@@ -86,6 +87,7 @@ def _worker_init(
         setup, use_initial=use_initial, backend=backend
     )
     _WORKER["obs"] = bool(obs_enabled)
+    _WORKER["frec"] = bool(frec_enabled)
 
 
 def _worker_run_cell(
@@ -93,7 +95,7 @@ def _worker_run_cell(
 ) -> tuple[Cell, "DeploymentResult", dict[str, Any] | None]:
     """Run one cell in the worker; ship the result plus captured telemetry."""
     cache: "DeploymentCache" = _WORKER["cache"]
-    with capture_worker_obs(_WORKER["obs"]) as cap:
+    with capture_worker_obs(_WORKER["obs"], _WORKER["frec"]) as cap:
         result = cache.get(*cell)
     return cell, result, cap.payload()
 
@@ -128,6 +130,7 @@ def prefill_cache(
         return len(todo)
 
     obs_enabled = OBS.enabled
+    frec_enabled = FREC.enabled
     with OBS.span("prefill", cells=len(todo), workers=n_workers):
         with ProcessPoolExecutor(
             max_workers=min(n_workers, len(todo)),
@@ -138,6 +141,7 @@ def prefill_cache(
                 cache.backend,
                 obs_enabled,
                 CHECKS.enabled,
+                frec_enabled,
             ),
         ) as pool:
             futures: list[Future[Any]] = [
@@ -148,7 +152,7 @@ def prefill_cache(
             for future in futures:
                 cell, result, payload = future.result()
                 cache.absorb(*cell, result)
-                if obs_enabled:
+                if obs_enabled or frec_enabled:
                     merge_worker_obs(payload)
     if OBS.enabled:
         OBS.counter("parallel_cells_total").inc(len(todo))

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.obs import OBS
+from repro.obs import FREC, OBS
 from repro.sim.messages import Message
 from repro.sim.protocol import NodeProtocol
 
@@ -112,6 +112,7 @@ class CellElectionNode(NodeProtocol):
         heard = self._heard(round_no)
         # highest priority wins; ties toward lower node id
         winner = min(heard, key=lambda n: (-heard[n], n))
+        changed = winner != self.current_leader
         self.current_leader = winner
         self.leadership_history.append(winner)
         if OBS.enabled and winner == self.node_id:
@@ -119,6 +120,14 @@ class CellElectionNode(NodeProtocol):
             OBS.counter("leader_elections_total", cell=self.cell_id).inc()
             OBS.event("leader_elected", cell=self.cell_id, round=round_no,
                       leader=winner)
+        if FREC.enabled and winner == self.node_id:
+            # recorded once per round by the winner itself; ``changed``
+            # marks actual leadership transitions for churn analysis
+            FREC.emit(
+                "elected", self.node_id, t=self.sim.now,
+                cell=self.cell_id, round=round_no, changed=changed,
+                voters=len(heard),
+            )
         # prune stale rounds so the buffer stays bounded
         for r in [r for r in self._heard_by_round if r < round_no]:
             del self._heard_by_round[r]

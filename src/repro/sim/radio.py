@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.geometry.points import as_point, squared_distances_to
-from repro.obs import OBS
+from repro.obs import FREC, OBS
 from repro.sim.engine import Simulator
 from repro.sim.messages import Message
 
@@ -29,17 +29,26 @@ __all__ = ["Radio", "RadioStats"]
 
 @dataclass
 class RadioStats:
-    """Cumulative per-radio counters."""
+    """Cumulative per-radio counters.
+
+    ``sent``/``received``/``dropped`` are all per-node dicts; ``dropped``
+    is keyed by the *intended receiver* of the lost message (loss is a
+    per-(message, receiver) event), so energy/reliability analyses can
+    attribute losses to the node that missed them.
+    """
 
     sent: dict[int, int] = field(default_factory=dict)
     received: dict[int, int] = field(default_factory=dict)
-    dropped: int = 0
+    dropped: dict[int, int] = field(default_factory=dict)
 
     def total_sent(self) -> int:
         return sum(self.sent.values())
 
     def total_received(self) -> int:
         return sum(self.received.values())
+
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
 
 
 class Radio:
@@ -106,6 +115,7 @@ class Radio:
         self._handlers[node_id] = handler
         self.stats.sent.setdefault(node_id, 0)
         self.stats.received.setdefault(node_id, 0)
+        self.stats.dropped.setdefault(node_id, 0)
 
     def kill_node(self, node_id: int) -> None:
         """Silence a node: it neither sends nor receives from now on."""
@@ -153,14 +163,22 @@ class Radio:
         self.stats.sent[sender] += 1
         if OBS.enabled:
             OBS.counter("radio_sent_total", kind=kind, mode="broadcast").inc()
+        send_id = None
+        if FREC.enabled:
+            send_id = FREC.emit_send(
+                sender, t=self._sim.now, msg=kind, mode="broadcast",
+                receivers=len(receivers),
+            )
         delivered = 0
         for r in receivers:
             if self._loss and self._rng is not None and self._rng.random() < self._loss:
-                self.stats.dropped += 1
+                self.stats.dropped[r] = self.stats.dropped.get(r, 0) + 1
                 if OBS.enabled:
-                    OBS.counter("radio_dropped_total", kind=kind).inc()
+                    OBS.counter("radio_dropped_total", kind=kind, node=r).inc()
+                if FREC.enabled:
+                    FREC.emit("drop", r, t=self._sim.now, cause=send_id, msg=kind)
                 continue
-            self._deliver(r, msg)
+            self._deliver(r, msg, send_id)
             delivered += 1
         return delivered
 
@@ -180,22 +198,36 @@ class Radio:
         self.stats.sent[sender] += 1
         if OBS.enabled:
             OBS.counter("radio_sent_total", kind=kind, mode="unicast").inc()
+        send_id = None
+        if FREC.enabled:
+            send_id = FREC.emit_send(
+                sender, t=self._sim.now, msg=kind, mode="unicast", to=receiver
+            )
         msg = Message(sender, kind, payload, self._sim.now)
         if not self._alive[receiver]:
             return False
         if self._loss and self._rng is not None and self._rng.random() < self._loss:
-            self.stats.dropped += 1
+            self.stats.dropped[receiver] = self.stats.dropped.get(receiver, 0) + 1
             if OBS.enabled:
-                OBS.counter("radio_dropped_total", kind=kind).inc()
+                OBS.counter("radio_dropped_total", kind=kind, node=receiver).inc()
+            if FREC.enabled:
+                FREC.emit("drop", receiver, t=self._sim.now, cause=send_id, msg=kind)
             return False
-        self._deliver(receiver, msg)
+        self._deliver(receiver, msg, send_id)
         return True
 
-    def _deliver(self, receiver: int, msg: Message) -> None:
+    def _deliver(self, receiver: int, msg: Message, send_id: int | None = None) -> None:
         def deliver() -> None:
             # the receiver may have died between send and delivery
             if self._alive.get(receiver, False):
                 self.stats.received[receiver] += 1
+                if FREC.enabled:
+                    FREC.set_cause(
+                        FREC.emit_deliver(
+                            receiver, send_id, t=self._sim.now, msg=msg.kind,
+                            sender=msg.sender,
+                        )
+                    )
                 self._handlers[receiver].on_message(msg)
 
         self._sim.schedule(self._delay, deliver)

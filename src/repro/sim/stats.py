@@ -47,9 +47,20 @@ class EnergyModel:
         )
 
     def energy_profile(self, stats: RadioStats) -> dict[int, float]:
-        """Energy per node for all nodes the radio has seen."""
-        ids = set(stats.sent) | set(stats.received)
+        """Energy per node for all nodes the radio has seen.
+
+        Nodes that only ever appear as the intended receiver of lost
+        messages (``stats.dropped``) are included with their (zero-cost)
+        energy, so the profile's key set covers the whole topology and can
+        be zipped against the per-node drop counts.
+        """
+        ids = set(stats.sent) | set(stats.received) | set(stats.dropped)
         return {nid: self.node_energy(stats, nid) for nid in sorted(ids)}
+
+    def drops_profile(self, stats: RadioStats) -> dict[int, int]:
+        """Lost messages per intended receiver, aligned with the profile."""
+        ids = set(stats.sent) | set(stats.received) | set(stats.dropped)
+        return {nid: int(stats.dropped.get(nid, 0)) for nid in sorted(ids)}
 
     def imbalance(self, stats: RadioStats) -> float:
         """Max/mean energy ratio — 1.0 is a perfectly balanced network.

@@ -6,6 +6,7 @@ from repro.viz.ascii_field import (
     render_deployment,
 )
 from repro.viz.svg_field import svg_field, save_svg
+from repro.viz.timeline import svg_timeline
 
 __all__ = [
     "render_points",
@@ -13,4 +14,5 @@ __all__ = [
     "render_deployment",
     "svg_field",
     "save_svg",
+    "svg_timeline",
 ]

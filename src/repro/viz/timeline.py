@@ -1,0 +1,219 @@
+"""Swim-lane SVG timelines of flight recordings.
+
+Renders one run block of a flight recording (see
+:mod:`repro.obs.flightrec`) as a nodes × simulation-time diagram: one
+horizontal lane per node, message deliveries as arrows from the sender's
+lane at send time to the receiver's lane at delivery time, losses as
+dashed arrows ending in a cross, and protocol milestones (placements,
+elections, failures, suspicions) as coloured marks on their node's lane.
+The output is a complete standalone SVG document;
+:func:`repro.viz.svg_field.save_svg` writes it to disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["svg_timeline"]
+
+_LANE_H = 22.0
+_MARGIN_L = 70.0
+_MARGIN_R = 16.0
+_MARGIN_T = 34.0
+_MARGIN_B = 30.0
+
+#: Mark colours per event kind (marked kinds only; timers are too dense).
+_MARKS = {
+    "start": "#7f8c8d",
+    "placement": "#27ae60",
+    "handoff": "#16a085",
+    "elected": "#d4a017",
+    "suspect": "#e67e22",
+    "rescind": "#95a5a6",
+    "fail": "#c0392b",
+    "crash": "#c0392b",
+    "restored": "#2980b9",
+}
+
+
+def _fmt(value: float) -> str:
+    out = f"{value:.2f}".rstrip("0").rstrip(".")
+    return "0" if out == "-0" else out
+
+
+def _lane_label(node: int) -> str:
+    return "env" if node < 0 else f"node {node}"
+
+
+def svg_timeline(
+    records: list[dict[str, Any]],
+    *,
+    run: int = 1,
+    width: int = 960,
+    include_timers: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render one run block of a flight recording as a swim-lane SVG.
+
+    Parameters
+    ----------
+    records:
+        A flight-record stream (headers and other runs are ignored).
+    run:
+        The 1-based run-block number to draw.
+    width:
+        Pixel width of the document; lane height is fixed, so the height
+        follows the number of participating nodes.
+    include_timers:
+        Also mark ``timer_set``/``timer_fire`` events (dense; off by
+        default).
+    title:
+        Caption; defaults to the run's protocol name.
+    """
+    from repro.analysis.flight import split_runs
+
+    if width < 200:
+        raise ConfigurationError(f"width too small for a timeline: {width}")
+    blocks = [b for b in split_runs(records) if b["run"] == run]
+    if not blocks:
+        raise ConfigurationError(f"recording has no run block number {run}")
+    block = blocks[0]
+    events = [
+        ev
+        for ev in block["events"]
+        if include_timers or ev.get("kind") not in ("timer_set", "timer_fire")
+    ]
+
+    nodes = sorted({int(ev["node"]) for ev in events})
+    if not nodes:
+        nodes = [0]
+    lane_of = {n: i for i, n in enumerate(nodes)}
+    t_values = [float(ev["t"]) for ev in events] or [0.0]
+    t0, t1 = min(t_values), max(t_values)
+    span = (t1 - t0) or 1.0
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    height = int(_MARGIN_T + _LANE_H * len(nodes) + _MARGIN_B)
+
+    def x_of(t: float) -> float:
+        return _MARGIN_L + plot_w * (float(t) - t0) / span
+
+    def y_of(node: int) -> float:
+        return _MARGIN_T + _LANE_H * (lane_of[int(node)] + 0.5)
+
+    caption = title or f"{block['protocol']} (run {run})"
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="monospace" font-size="10">',
+        f"<title>{caption}</title>",
+        f'<rect x="0" y="0" width="{width}" height="{height}" fill="#fdfdfd"/>',
+        f'<text x="{_fmt(_MARGIN_L)}" y="14" font-size="12">{caption}</text>',
+    ]
+
+    # lanes and labels
+    for node in nodes:
+        y = y_of(node)
+        parts.append(
+            f'<line x1="{_fmt(_MARGIN_L)}" y1="{_fmt(y)}" '
+            f'x2="{_fmt(width - _MARGIN_R)}" y2="{_fmt(y)}" '
+            'stroke="#d8dde2" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="6" y="{_fmt(y + 3)}" fill="#444">'
+            f"{_lane_label(node)}</text>"
+        )
+
+    # time axis: a few round ticks along the bottom
+    axis_y = _MARGIN_T + _LANE_H * len(nodes) + 12
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = t0 + span * frac
+        x = x_of(t)
+        parts.append(
+            f'<line x1="{_fmt(x)}" y1="{_fmt(_MARGIN_T - 4)}" '
+            f'x2="{_fmt(x)}" y2="{_fmt(axis_y - 10)}" '
+            'stroke="#eef1f4" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(x - 8)}" y="{_fmt(axis_y)}" fill="#666">'
+            f"t={_fmt(t)}</text>"
+        )
+
+    # message arrows: sender lane at send time -> receiver lane at event time
+    by_id = {int(ev["id"]): ev for ev in block["events"]}
+    for ev in events:
+        kind = ev.get("kind")
+        if kind not in ("deliver", "drop"):
+            continue
+        cause = ev.get("cause")
+        send = by_id.get(cause) if cause is not None else None
+        if send is None or send.get("kind") != "send":
+            continue
+        x1, y1 = x_of(send["t"]), y_of(send["node"])
+        x2, y2 = x_of(ev["t"]), y_of(ev["node"])
+        if kind == "deliver":
+            style = 'stroke="#5b7fb4" stroke-width="0.8" opacity="0.7"'
+        else:
+            style = (
+                'stroke="#c0392b" stroke-width="0.8" opacity="0.7" '
+                'stroke-dasharray="3,2"'
+            )
+        parts.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" {style}/>'
+        )
+        if kind == "drop":
+            parts.append(
+                f'<text x="{_fmt(x2 - 3)}" y="{_fmt(y2 + 3)}" '
+                'fill="#c0392b" font-size="9">x</text>'
+            )
+
+    # event marks on their lanes
+    for ev in events:
+        kind = str(ev.get("kind"))
+        x, y = x_of(ev["t"]), y_of(ev["node"])
+        if kind == "send":
+            parts.append(
+                f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="1.6" '
+                'fill="#34495e"/>'
+            )
+        elif kind == "deliver":
+            parts.append(
+                f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="1.6" '
+                'fill="none" stroke="#34495e" stroke-width="0.8"/>'
+            )
+        elif kind in _MARKS:
+            colour = _MARKS[kind]
+            if kind in ("fail", "crash"):
+                parts.append(
+                    f'<path d="M {_fmt(x - 3)} {_fmt(y - 3)} L {_fmt(x + 3)} '
+                    f'{_fmt(y + 3)} M {_fmt(x - 3)} {_fmt(y + 3)} '
+                    f'L {_fmt(x + 3)} {_fmt(y - 3)}" '
+                    f'stroke="{colour}" stroke-width="1.6"/>'
+                )
+            elif kind == "placement":
+                parts.append(
+                    f'<rect x="{_fmt(x - 2.5)}" y="{_fmt(y - 2.5)}" '
+                    f'width="5" height="5" fill="{colour}"/>'
+                )
+            else:
+                parts.append(
+                    f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="2.6" '
+                    f'fill="{colour}" opacity="0.9"/>'
+                )
+        elif kind in ("timer_set", "timer_fire"):
+            parts.append(
+                f'<circle cx="{_fmt(x)}" cy="{_fmt(y)}" r="1" '
+                'fill="#b7bec5"/>'
+            )
+
+    # minimal legend for the non-obvious marks
+    lx = width - _MARGIN_R - 230.0
+    parts.append(
+        f'<text x="{_fmt(lx)}" y="14" fill="#666">'
+        "squares=placements, x=failures, dashed=losses</text>"
+    )
+
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -390,6 +390,109 @@ class TestObs002:
 
 
 # ----------------------------------------------------------------------
+# OBS003 - guarded flight-recorder touchpoints
+# ----------------------------------------------------------------------
+class TestObs003:
+    def test_unguarded_emit_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import FREC
+
+            def f(sim):
+                FREC.emit("drop", 3, t=sim.now, msg="HB")
+            """,
+        )
+        assert _codes(findings) == ["OBS003"]
+        assert "FREC.emit" in findings[0].message
+
+    def test_guarded_touchpoints_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import FREC
+
+            def f(sim, receiver):
+                send_id = None
+                if FREC.enabled:
+                    send_id = FREC.emit_send(0, t=sim.now, msg="HELLO")
+                if FREC.enabled:
+                    eid = FREC.emit_deliver(receiver, send_id, t=sim.now,
+                                            msg="HELLO")
+                    FREC.set_cause(eid)
+            """,
+        )
+        assert findings == []
+
+    def test_early_exit_guard_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import FREC
+
+            def f(sim):
+                if not FREC.enabled:
+                    return
+                FREC.emit("placement", 1, t=sim.now, point=7)
+            """,
+        )
+        assert findings == []
+
+    def test_run_and_session_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import FREC
+
+            def f(path):
+                with FREC.session(path):
+                    with FREC.run("grid", k=2):
+                        pass
+            """,
+        )
+        assert findings == []
+
+    def test_unguarded_set_cause_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import FREC
+
+            def f(eid):
+                FREC.set_cause(eid)
+            """,
+        )
+        assert _codes(findings) == ["OBS003"]
+
+    def test_guard_does_not_leak_into_nested_def(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import FREC
+
+            def f(sim):
+                if FREC.enabled:
+                    def late():
+                        FREC.emit("fail", 2, t=sim.now)
+                    return late
+            """,
+        )
+        assert _codes(findings) == ["OBS003"]
+
+    def test_non_library_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import FREC
+            FREC.emit("start", 0, t=0.0)
+            """,
+            library=False,
+            name="test_frec_usage.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # API001 - exact float equality on coordinates/benefits
 # ----------------------------------------------------------------------
 class TestApi001:
@@ -663,6 +766,19 @@ class TestPar001:
             """,
         )
         assert _codes(findings) == ["PAR001"]
+
+    def test_frec_mutation_flagged(self, tmp_path):
+        findings = self._write_parallel(
+            tmp_path,
+            """
+            from repro.obs import FREC
+
+            def worker():
+                FREC.enable(fresh=True)
+                FREC.enabled = False
+            """,
+        )
+        assert _codes(findings) == ["PAR001", "PAR001"]
 
     def test_obs_read_and_sanctioned_seam_clean(self, tmp_path):
         findings = self._write_parallel(

@@ -245,7 +245,8 @@ class TestBridges:
             def total_received(self):
                 return 5
 
-            dropped = 2
+            def total_dropped(self):
+                return 2
 
         OBS.enable(fresh=True)
         bridge_radio_stats(FakeStats(), protocol="test")
@@ -440,6 +441,27 @@ class TestTracerAbsorb:
         parent = Tracer()
         parent.absorb([], dropped=5)
         assert parent.dropped == 5
+
+    def test_absorb_tracer_instance_propagates_overflow(self):
+        # a worker whose ring buffer overflowed must not look complete
+        # after merging: its eviction count carries over automatically
+        worker = Tracer(capacity=2)
+        for i in range(5):
+            worker.event("tick", i=i)
+        assert worker.dropped == 3
+
+        parent = Tracer()
+        n = parent.absorb(worker)
+        assert n == 2
+        assert parent.dropped == 3
+        # explicit dropped= still adds on top (the bridge payload path)
+        parent.absorb(worker, dropped=4)
+        assert parent.dropped == 3 + 3 + 4
+
+    def test_absorb_self_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ObservabilityError):
+            tracer.absorb(tracer)
 
 
 class TestWorkerCapture:

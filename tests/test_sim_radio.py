@@ -128,7 +128,10 @@ class TestLoss:
         sim.run()
         received = len(sinks[1].inbox)
         assert 25 <= received <= 75
-        assert radio.stats.dropped == 100 - received
+        assert radio.stats.total_dropped() == 100 - received
+        # drops are attributed to the receiver that lost the message
+        assert radio.stats.dropped[1] == 100 - received
+        assert radio.stats.dropped.get(0, 0) == 0
 
     def test_lossy_requires_rng(self):
         with pytest.raises(SimulationError):

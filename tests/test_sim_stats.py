@@ -23,6 +23,19 @@ class TestEnergyModel:
         profile = EnergyModel(1.0, 0.5).energy_profile(stats)
         assert profile == {0: 1.0, 1: 1.0}
 
+    def test_profile_includes_drop_only_nodes(self):
+        # a node that only ever lost messages still appears (at zero energy)
+        stats = RadioStats(sent={0: 1}, dropped={2: 3})
+        profile = EnergyModel(1.0, 0.5).energy_profile(stats)
+        assert profile == {0: 1.0, 2: 0.0}
+
+    def test_drops_profile_aligned_with_energy(self):
+        stats = RadioStats(sent={0: 1}, received={1: 2}, dropped={1: 4})
+        model = EnergyModel()
+        drops = model.drops_profile(stats)
+        assert drops == {0: 0, 1: 4}
+        assert set(drops) == set(model.energy_profile(stats))
+
     def test_negative_cost_rejected(self):
         with pytest.raises(SimulationError):
             EnergyModel(tx_cost=-1.0)
