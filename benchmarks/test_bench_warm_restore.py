@@ -1,0 +1,151 @@
+"""Acceptance gate for warm-start restoration (region-scoped invalidation).
+
+The claim (docs/performance.md): across a sequence of small-disc area
+failures, a warm :class:`~repro.core.restoration.RestorationSession`
+re-examines only each epoch's damaged region, so its selection work per
+epoch is bounded by the damage footprint while the cold path pays a full
+O(n) engine-and-heap rebuild every epoch.
+
+The gate measures benefit-vector entries scanned (the engine's own OBS
+work counter, deterministic — no timing flakiness) on the paper's fig08
+field scale (100x100, 2000 Halton points), deliberately independent of
+``REPRO_SCALE``: at smoke scale the field is small enough that the damage
+footprint is not far from the whole field and the asymptotic gap cannot
+show.  Epoch 0 is excluded from both sides: the warm session pays one
+full heap build there (its warm-up, amortised over the sequence), after
+which steady-state epochs must scan **>= 5x** fewer entries than cold.
+
+Wall-clock for the same scenario is recorded to ``results/`` (and
+ratcheted by ``tools/bench_ratchet.py``) but not gated here — timing
+belongs to the ratchet's generous tolerance, counters to this hard gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.restoration import RestorationSession
+from repro.experiments import ExperimentSetup
+from repro.experiments.runner import DeploymentCache
+from repro.experiments.setup import series_by_name
+from repro.network.failures import area_failure
+from repro.obs import OBS
+
+from conftest import RESULTS_DIR
+
+#: Steady-state epochs measured (plus one warm-up epoch excluded).
+N_EPOCHS = 6
+#: The "small disc": one sensing radius — a localized failure, the regime
+#: region-scoped invalidation is built for.
+DISC_RADII = 1.0
+#: The acceptance threshold: warm scans >= 5x fewer entries than cold.
+MIN_RATIO = 5.0
+
+
+def _scanned_and_wall(warm: bool, setup, result, field, spec, k) -> tuple[int, float]:
+    """(steady-state entries scanned, total wall seconds) for one mode."""
+    session = RestorationSession(
+        field, spec, result.deployment, k, "centralized", warm=warm
+    )
+    OBS.enable(fresh=True)
+    warmup = 0
+    t0 = time.perf_counter()
+    try:
+        for epoch in range(N_EPOCHS):
+            center = setup.region.sample(
+                1, np.random.default_rng(90_000 + epoch)
+            )[0]
+            event = area_failure(
+                session.deployment, center, DISC_RADII * setup.rs
+            )
+            session.restore(event)
+            if epoch == 0:
+                warmup = OBS.metrics.value(
+                    "selection_scanned_total", strategy="lazy"
+                )
+    finally:
+        wall = time.perf_counter() - t0
+        OBS.disable()
+    total = OBS.metrics.value("selection_scanned_total", strategy="lazy")
+    OBS.reset()
+    return int(total - warmup), wall
+
+
+@pytest.fixture(scope="module")
+def fig08_scale_run():
+    """One centralized k=2 deployment at the paper's fig08 field scale."""
+    setup = ExperimentSetup.paper().with_seeds(1)
+    cache = DeploymentCache(setup)
+    series = series_by_name("centralized")
+    result = cache.get(series, 2, 0)
+    return setup, result, cache.field(0), setup.spec_for(series), 2
+
+
+def test_warm_restore_scan_reduction(fig08_scale_run, monkeypatch):
+    """Tentpole acceptance gate: >= 5x fewer benefit entries scanned warm
+    vs cold across steady-state small-disc failure epochs."""
+    monkeypatch.setenv("REPRO_SELECTION", "lazy")
+    setup, result, field, spec, k = fig08_scale_run
+    warm_scanned, warm_wall = _scanned_and_wall(
+        True, setup, result, field, spec, k
+    )
+    cold_scanned, cold_wall = _scanned_and_wall(
+        False, setup, result, field, spec, k
+    )
+    assert warm_scanned > 0 and cold_scanned > 0
+    ratio = cold_scanned / warm_scanned
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "warm_restore.json").write_text(
+        json.dumps(
+            {
+                "scenario": {
+                    "field": "fig08-paper-scale",
+                    "n_points": setup.n_points,
+                    "method": "centralized",
+                    "k": k,
+                    "epochs": N_EPOCHS,
+                    "disc_radius": DISC_RADII * setup.rs,
+                    "steady_state": "epochs 1..N (epoch 0 = warm-up)",
+                },
+                "entries_scanned": {
+                    "warm": warm_scanned,
+                    "cold": cold_scanned,
+                    "ratio": round(ratio, 2),
+                },
+                "wall_seconds": {
+                    "warm": round(warm_wall, 4),
+                    "cold": round(cold_wall, 4),
+                },
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    assert ratio >= MIN_RATIO, (
+        f"warm restoration scanned {warm_scanned} entries vs cold "
+        f"{cold_scanned} ({ratio:.1f}x) — below the {MIN_RATIO}x gate"
+    )
+
+
+def test_warm_restore_bit_identical_here_too(fig08_scale_run):
+    """The perf scenario itself stays bit-identical warm vs cold."""
+    setup, result, field, spec, k = fig08_scale_run
+    finals = []
+    for warm in (True, False):
+        session = RestorationSession(
+            field, spec, result.deployment, k, "centralized", warm=warm
+        )
+        for epoch in range(3):
+            center = setup.region.sample(
+                1, np.random.default_rng(90_000 + epoch)
+            )[0]
+            session.restore(
+                area_failure(session.deployment, center, DISC_RADII * setup.rs)
+            )
+        finals.append(session.deployment.alive_positions())
+    assert np.array_equal(finals[0], finals[1])

@@ -23,6 +23,7 @@ from repro.checks.contracts import (
     greedy_checker,
     validate_adjacency_symmetry,
     validate_engine_consistency,
+    validate_warm_engine,
 )
 from repro.checks.runtime import CHECKS, ChecksRuntime
 
@@ -35,4 +36,5 @@ __all__ = [
     "greedy_checker",
     "validate_adjacency_symmetry",
     "validate_engine_consistency",
+    "validate_warm_engine",
 ]

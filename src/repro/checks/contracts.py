@@ -73,6 +73,7 @@ __all__ = [
     "greedy_checker",
     "validate_adjacency_symmetry",
     "validate_engine_consistency",
+    "validate_warm_engine",
 ]
 
 
@@ -133,6 +134,51 @@ def validate_engine_consistency(
             f"{int(where.size)} point(s), first at field point "
             f"{int(where[0])} (method={method!r})",
             step=step,
+        )
+
+
+def validate_warm_engine(
+    engine: "BenefitEngine",
+    initial_positions: np.ndarray,
+    *,
+    epoch: int | None = None,
+) -> None:
+    """Check a warm engine against a cold rebuild from the survivors.
+
+    The region-scoped invalidation contract: after removing the failed
+    sensors' coverage rows, a warm engine's counts and benefit vector must
+    be *exactly* (integer-exact, not approximately) the state a fresh
+    engine built from ``initial_positions`` would hold — that equality is
+    what makes warm restoration bit-identical to the cold path.  O(field)
+    per epoch — sanitizer pricing, like the per-step Eq. 1 recompute.
+    """
+    from repro.core.benefit import BenefitEngine  # import cycle guard
+
+    ben = engine.benefit_adjacency
+    reference = BenefitEngine(
+        engine.field,
+        engine.sensing_radius,
+        np.asarray(engine.k_per_point),
+        benefit_adjacency=None if ben is engine.coverage_adjacency else ben,
+        benefit_mode=engine.benefit_mode,
+    )
+    for pos in np.asarray(initial_positions, dtype=np.float64).reshape(-1, 2):
+        reference.add_sensor_at_position(pos)
+    if not np.array_equal(engine.counts, reference.counts):
+        bad = np.nonzero(engine.counts != reference.counts)[0]
+        raise InvariantError(
+            "warm-equals-cold",
+            f"warm coverage counts diverged from the cold rebuild at "
+            f"{int(bad.size)} point(s), first at field point {int(bad[0])}",
+            step=epoch,
+        )
+    if not np.array_equal(engine.benefit, reference.benefit):
+        bad = np.nonzero(engine.benefit - reference.benefit)[0]
+        raise InvariantError(
+            "warm-equals-cold",
+            f"warm benefit vector diverged from the cold rebuild at "
+            f"{int(bad.size)} point(s), first at field point {int(bad[0])}",
+            step=epoch,
         )
 
 

@@ -8,6 +8,7 @@ Usage (installed as ``decor`` or via ``python -m repro.cli``)::
     decor deploy --k 3 --method voronoi # one deployment, metrics + ASCII view
     decor summary --k 3                 # one-row-per-method bottom line
     decor restore --k 3 --method grid   # deploy, disaster, repair, report
+    decor restore --epochs 5 --warm     # survive 5 failure epochs, warm engine
     decor lifetime --k 3                # sleep-shift lifetime multiplier
     decor gallery                       # paper Figures 4-6 as ASCII art
 
@@ -42,7 +43,7 @@ import sys
 from repro._version import __version__
 from repro.analysis.metrics import evaluate_deployment
 from repro.core.planner import DecorPlanner, METHODS
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.recording import figure_to_csv, figure_to_json
 from repro.experiments.runner import DeploymentCache
@@ -173,6 +174,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--disaster-radius", type=float, default=None,
                        help="default: 0.24 x side (the paper's proportion)")
     p_res.add_argument("--seed", type=int, default=0)
+    p_res.add_argument(
+        "--epochs", type=int, default=1, metavar="N",
+        help="survive N failure epochs (disc/random/correlated schedule) "
+             "through one RestorationSession (default: one disaster disc)",
+    )
+    strat = p_res.add_mutually_exclusive_group()
+    strat.add_argument(
+        "--warm", dest="warm", action="store_true", default=None,
+        help="keep the benefit engine warm across epochs "
+             "(region-scoped invalidation; default, see REPRO_RESTORE)",
+    )
+    strat.add_argument(
+        "--cold", dest="warm", action="store_false",
+        help="rebuild all placement state each epoch (the paper's loop)",
+    )
     _add_obs_args(p_res)
 
     p_life = sub.add_parser("lifetime", help="sleep-shift lifetime multiplier")
@@ -279,6 +295,8 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 
 def _cmd_restore(args: argparse.Namespace) -> int:
+    if args.epochs < 1:
+        raise ConfigurationError(f"--epochs must be >= 1, got {args.epochs}")
     obs = _obs_begin(args)
     planner = DecorPlanner(
         Rect.square(args.side),
@@ -288,16 +306,43 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     )
     result = planner.deploy(args.k, method=args.method, cell_size=args.cell_size)
     radius = args.disaster_radius or 0.24 * args.side
-    event = area_failure(result.deployment, planner.region.center, radius)
-    report = planner.restore_after(
-        result, event, method=args.method, cell_size=args.cell_size
-    )
     print(f"deployed           : {result.total_alive} nodes (k={args.k}, "
           f"{args.method})")
-    print(f"disaster           : radius {radius:g}, {event.n_failed} nodes lost")
-    print(f"coverage after loss: {report.covered_after_failure:.1%}")
-    print(f"repair             : +{report.extra_nodes} nodes -> "
-          f"{report.covered_after_repair:.0%} k-covered")
+    if args.epochs == 1 and args.warm is None:
+        # the classic one-shot flow: one disaster disc, one repair
+        event = area_failure(result.deployment, planner.region.center, radius)
+        report = planner.restore_after(
+            result, event, method=args.method, cell_size=args.cell_size
+        )
+        print(f"disaster           : radius {radius:g}, "
+              f"{event.n_failed} nodes lost")
+        print(f"coverage after loss: {report.covered_after_failure:.1%}")
+        print(f"repair             : +{report.extra_nodes} nodes -> "
+              f"{report.covered_after_repair:.0%} k-covered")
+    else:
+        from repro.experiments.epochs import epoch_failure
+
+        session = planner.session(
+            result, method=args.method, warm=args.warm,
+            cell_size=args.cell_size,
+        )
+        total = 0
+        for epoch in range(args.epochs):
+            event = epoch_failure(
+                session.deployment, planner.region, epoch, args.seed,
+                radius=radius,
+            )
+            report = session.restore(event)
+            total += report.extra_nodes
+            print(f"epoch {epoch} ({event.kind:>10}): "
+                  f"{event.n_failed} lost, "
+                  f"{report.covered_after_failure:.1%} after loss, "
+                  f"repair +{report.extra_nodes} -> "
+                  f"{report.covered_after_repair:.0%} k-covered")
+        mode = "warm" if session.warm else "cold"
+        print(f"survived           : {session.epoch} epochs ({mode}), "
+              f"+{total} nodes total, "
+              f"{session.deployment.n_alive} alive")
     if obs:
         bridge_field_stats(planner.field)
         _obs_finish(args)

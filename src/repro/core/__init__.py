@@ -28,7 +28,12 @@ from repro.core.random_placement import random_placement
 from repro.core.grid_decor import grid_decor
 from repro.core.voronoi_decor import voronoi_decor
 from repro.core.redundancy import redundant_nodes, redundancy_fraction
-from repro.core.restoration import restore, RestorationReport
+from repro.core.restoration import (
+    RestorationReport,
+    RestorationSession,
+    default_restore_strategy,
+    restore,
+)
 from repro.core.planner import DecorPlanner, METHODS, run_method
 from repro.core.lattice_placement import hexagonal_lattice, lattice_placement
 from repro.core.mixed import (
@@ -64,6 +69,8 @@ __all__ = [
     "redundancy_fraction",
     "restore",
     "RestorationReport",
+    "RestorationSession",
+    "default_restore_strategy",
     "DecorPlanner",
     "METHODS",
     "run_method",

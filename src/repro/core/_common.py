@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import sparse
 
+from repro.checks import CHECKS, validate_warm_engine
 from repro.core.benefit import BenefitEngine
 from repro.core.result import DeploymentResult, MessageStats, PlacementTrace
 from repro.errors import PlacementError
@@ -31,6 +32,45 @@ def placement_budget(n_points: int, k: int, max_nodes: int | None) -> int:
     return k * n_points + 1024
 
 
+def _check_warm_engine(
+    engine: BenefitEngine,
+    spec: SensorSpec,
+    k: int,
+    benefit_adjacency: sparse.csr_matrix | None,
+    benefit_mode: str,
+) -> None:
+    """Reject a pre-warmed engine that does not match this run's problem.
+
+    A warm engine carries coverage state, so every structural parameter
+    (radius, requirement, benefit adjacency/mode — the field identity is
+    checked by the caller) must agree with what a cold ``init_run`` would
+    have built — a mismatch would silently repair the wrong problem.
+    """
+    if engine.sensing_radius != float(spec.sensing_radius):
+        raise PlacementError(
+            f"warm engine has rs={engine.sensing_radius}, "
+            f"spec has rs={spec.sensing_radius}"
+        )
+    if not np.array_equal(
+        engine.k_per_point, np.broadcast_to(k, (engine.n_points,))
+    ):
+        raise PlacementError("warm engine coverage requirement k mismatch")
+    if engine.benefit_mode != benefit_mode:
+        raise PlacementError(
+            f"warm engine benefit_mode={engine.benefit_mode!r} != "
+            f"{benefit_mode!r}"
+        )
+    expected = (
+        engine.coverage_adjacency if benefit_adjacency is None else benefit_adjacency
+    )
+    if engine.benefit_adjacency is not expected:
+        # the grid variant's same-cell adjacency is memoised per field
+        # model, so a matching engine holds the identical object
+        raise PlacementError(
+            "warm engine was built with a different benefit adjacency"
+        )
+
+
 def init_run(
     field_points: np.ndarray | FieldModel,
     spec: SensorSpec,
@@ -39,22 +79,56 @@ def init_run(
     *,
     benefit_adjacency: sparse.csr_matrix | None = None,
     benefit_mode: str = "deficiency",
+    engine: BenefitEngine | None = None,
 ) -> tuple[FieldModel, Deployment, BenefitEngine]:
     """Build the field model, deployment and benefit engine, accounting
     initial nodes.  Passing an existing :class:`FieldModel` shares its
-    cached adjacency/index across runs."""
-    field = as_field_model(field_points)
-    engine = BenefitEngine(
-        field,
-        spec.sensing_radius,
-        k,
-        benefit_adjacency=benefit_adjacency,
-        benefit_mode=benefit_mode,
-    )
+    cached adjacency/index across runs.
+
+    A pre-warmed ``engine`` (the :class:`RestorationSession` seam) is used
+    as-is: it must already account the coverage of ``initial_positions``,
+    so only the deployment is (re)built from them — the engine's counts,
+    benefit vector and live selection heaps carry over from the previous
+    failure epoch.
+    """
+    if engine is not None:
+        if (
+            isinstance(field_points, FieldModel)
+            and field_points is not engine.field
+        ):
+            # raw point arrays can't be identity-checked (a model would be
+            # freshly built from them); shared FieldModels can and must be
+            raise PlacementError(
+                "warm engine was built on a different FieldModel; pass the "
+                "engine's own model (engine.field) as field_points"
+            )
+        field = engine.field
+        _check_warm_engine(engine, spec, k, benefit_adjacency, benefit_mode)
+    else:
+        field = as_field_model(field_points)
+        engine = BenefitEngine(
+            field,
+            spec.sensing_radius,
+            k,
+            benefit_adjacency=benefit_adjacency,
+            benefit_mode=benefit_mode,
+        )
     if initial_positions is not None and len(as_points(initial_positions)):
         deployment = Deployment(initial_positions)
-        for nid in deployment.alive_ids():
-            engine.add_sensor_at_position(deployment.position_of(int(nid)))
+        if not engine.tracks_rows or engine.n_rows == 0:
+            # cold path: account the initial sensors' coverage now (a warm
+            # engine with tracked rows already carries it)
+            for nid in deployment.alive_ids():
+                engine.add_sensor_at_position(deployment.position_of(int(nid)))
+        elif engine.n_rows != deployment.n_alive:
+            raise PlacementError(
+                f"warm engine tracks {engine.n_rows} sensor rows but "
+                f"{deployment.n_alive} initial positions were given"
+            )
+        elif CHECKS.enabled:
+            # sanitizer: warm state must equal a cold rebuild (the
+            # region-scoped invalidation contract; docs/static_analysis.md)
+            validate_warm_engine(engine, deployment.alive_positions())
     else:
         deployment = Deployment()
     return field, deployment, engine

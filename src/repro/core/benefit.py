@@ -130,6 +130,14 @@ class BenefitEngine:
         ``REPRO_SELECTION`` (default ``"lazy"``).  Both strategies are
         bit-identical — see :mod:`repro.core.selection` and
         ``docs/performance.md``.
+    track_rows:
+        Record the covered-point row of every accounted sensor (in
+        :meth:`place_at`/:meth:`add_sensor_at_position` call order) so a
+        later failure can be applied as :meth:`remove_rows` — exactly the
+        failed sensors' rows, nothing recomputed.  This is what lets a
+        :class:`~repro.core.restoration.RestorationSession` keep one warm
+        engine across failure epochs; off by default because one-shot
+        placement runs never remove anything.
 
     Examples
     --------
@@ -156,6 +164,7 @@ class BenefitEngine:
         benefit_adjacency: sparse.csr_matrix | None = None,
         benefit_mode: str = "deficiency",
         selection: str | None = None,
+        track_rows: bool = False,
     ):
         if benefit_mode not in ("deficiency", "binary"):
             raise CoverageError(
@@ -172,6 +181,11 @@ class BenefitEngine:
         self._selection = selection
         self._selectors: dict[Hashable, LazySelector] = {}
         self._epoch = 0  # bumped on every benefit *increase* (remove_covered)
+        # dirty_log[e]: candidates whose benefit rose in the e -> e+1 bump
+        # (region-scoped invalidation; selectors re-push only these).  The
+        # invariant len(_dirty_log) == _epoch always holds.
+        self._dirty_log: list[np.ndarray] = []
+        self._rows: list[np.ndarray] | None = [] if track_rows else None
         self.selection_stats = SelectionStats()
         self._field = as_field_model(field_points)
         self._points = self._field.points
@@ -286,6 +300,20 @@ class BenefitEngine:
         return self._cov
 
     @property
+    def benefit_adjacency(self) -> sparse.csr_matrix:
+        """The adjacency used in the benefit sum (== coverage adjacency
+        unless a restricted one, e.g. same-cell, was supplied)."""
+        return self._ben
+
+    @property
+    def sensing_radius(self) -> float:
+        return self._rs
+
+    @property
+    def benefit_mode(self) -> str:
+        return self._mode
+
+    @property
     def field(self) -> FieldModel:
         """The shared spatial model of the field approximation."""
         return self._field
@@ -353,7 +381,7 @@ class BenefitEngine:
         if candidates is None:
             if self._selection == "lazy":
                 idx = self._selector_for(None, None).select(
-                    self._benefit, self._epoch, stats
+                    self._benefit, self._epoch, stats, self._dirty_log
                 )
             else:
                 stats.entries_scanned += self._benefit.shape[0]
@@ -368,7 +396,7 @@ class BenefitEngine:
             cand = np.sort(cand)
         if self._selection == "lazy" and key is not None:
             idx = self._selector_for(key, cand).select(
-                self._benefit, self._epoch, stats
+                self._benefit, self._epoch, stats, self._dirty_log
             )
         else:
             stats.entries_scanned += cand.size
@@ -429,7 +457,11 @@ class BenefitEngine:
             np.add.at(self._benefit, touched, -1.0 if sign == +1 else +1.0)
             if sign == -1:
                 # benefits increased: stale heap priorities are now
-                # under-estimates; invalidate every lazy selector
+                # under-estimates.  The epoch bump invalidates every lazy
+                # selector, and the dirty-log entry scopes the invalidation
+                # to the region that actually rose — selectors re-push just
+                # these candidates instead of rebuilding their heaps.
+                self._dirty_log.append(np.unique(touched))
                 self._epoch += 1
             if OBS.enabled:
                 OBS.counter("benefit_delta_updates_total").inc(int(touched.size))
@@ -439,7 +471,10 @@ class BenefitEngine:
         """Place a sensor at field point ``point_index``; returns covered indices."""
         if not (0 <= point_index < self.n_points):
             raise PlacementError(f"point index {point_index} out of range")
-        return self._apply_delta(self._covered_row(point_index), +1).copy()
+        covered = self._apply_delta(self._covered_row(point_index), +1).copy()
+        if self._rows is not None:
+            self._rows.append(covered)
+        return covered
 
     def add_sensor_at_position(self, position: np.ndarray) -> np.ndarray:
         """Account for a sensor at an arbitrary position (initial deployment).
@@ -447,12 +482,70 @@ class BenefitEngine:
         Returns the covered field-point indices (keep them if the sensor may
         later fail, for :meth:`remove_covered`).
         """
-        covered = self._field.query_ball(as_point(position), self._rs)
-        return self._apply_delta(covered, +1).copy()
+        covered = self._apply_delta(
+            self._field.query_ball(as_point(position), self._rs), +1
+        ).copy()
+        if self._rows is not None:
+            self._rows.append(covered)
+        return covered
 
     def remove_covered(self, covered: np.ndarray) -> None:
         """Undo a sensor's coverage given the point list it covered."""
         self._apply_delta(np.asarray(covered, dtype=np.intp), -1)
+
+    # ------------------------------------------------------------------
+    # per-sensor row tracking (warm restoration)
+    # ------------------------------------------------------------------
+    @property
+    def tracks_rows(self) -> bool:
+        """Whether this engine records per-sensor coverage rows."""
+        return self._rows is not None
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tracked sensor rows (== sensors currently accounted)."""
+        if self._rows is None:
+            raise CoverageError("engine was built without track_rows=True")
+        return len(self._rows)
+
+    def coverage_row(self, row_index: int) -> np.ndarray:
+        """The covered-point indices of tracked sensor ``row_index``."""
+        if self._rows is None:
+            raise CoverageError("engine was built without track_rows=True")
+        return self._rows[row_index]
+
+    def remove_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """Apply a failure: undo exactly the given sensors' coverage rows.
+
+        ``row_indices`` name tracked sensors in accounting order — under a
+        :class:`~repro.core.restoration.RestorationSession` that order
+        coincides with the deployment's node ids, so a
+        :class:`~repro.network.failures.FailureEvent` maps 1:1 onto rows.
+        The surviving rows are compacted (keeping their relative order) so
+        they again line up with the survivors' new 0-based ids.
+
+        Returns the failure's coverage footprint: the sorted unique field
+        points that lost at least one unit of coverage (the "damaged
+        region" driving region-scoped invalidation and the per-epoch
+        flight-recorder events).
+        """
+        if self._rows is None:
+            raise CoverageError("engine was built without track_rows=True")
+        idx = np.asarray(row_indices, dtype=np.intp)
+        if idx.size == 0:
+            return np.empty(0, dtype=np.intp)
+        if idx.min() < 0 or idx.max() >= len(self._rows):
+            raise CoverageError(
+                f"row indices out of range [0, {len(self._rows)})"
+            )
+        if np.unique(idx).size != idx.size:
+            raise CoverageError("duplicate row indices in remove_rows")
+        failed = set(idx.tolist())
+        rows = self._rows
+        for i in idx.tolist():
+            self._apply_delta(rows[i], -1)
+        self._rows = [row for i, row in enumerate(rows) if i not in failed]
+        return np.unique(np.concatenate([rows[i] for i in idx.tolist()]))
 
     # ------------------------------------------------------------------
     # verification

@@ -29,6 +29,8 @@ def centralized_greedy(
     initial_positions: np.ndarray | None = None,
     max_nodes: int | None = None,
     benefit_mode: str = "deficiency",
+    engine=None,
+    stop_at_budget: bool = False,
 ) -> DeploymentResult:
     """k-cover the field points with the global greedy of Algorithm 1.
 
@@ -50,6 +52,14 @@ def centralized_greedy(
     benefit_mode:
         ``"deficiency"`` (paper Eq. 1) or ``"binary"`` (unweighted count of
         deficient points) — the benefit-function ablation.
+    engine:
+        Optional pre-warmed :class:`~repro.core.benefit.BenefitEngine`
+        already accounting ``initial_positions`` (the warm-restoration
+        seam); built fresh when omitted.
+    stop_at_budget:
+        Return the (partial) deployment when ``max_nodes`` is exhausted
+        instead of raising — used by :func:`repro.core.restoration.restore`
+        to report truncated repairs.
 
     Returns
     -------
@@ -57,7 +67,8 @@ def centralized_greedy(
         With ``method == "centralized"`` and one trace entry per added node.
     """
     field, deployment, engine = init_run(
-        field_points, spec, k, initial_positions, benefit_mode=benefit_mode
+        field_points, spec, k, initial_positions,
+        benefit_mode=benefit_mode, engine=engine,
     )
     pts = field.points
     trace = PlacementTrace()
@@ -67,6 +78,8 @@ def centralized_greedy(
     with OBS.span("placement", method="centralized", k=k) as span:
         while not engine.is_fully_covered():
             if len(added) >= budget:
+                if stop_at_budget:
+                    break
                 raise PlacementError(
                     f"centralized greedy exceeded its budget of {budget} nodes"
                 )

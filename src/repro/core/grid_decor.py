@@ -42,6 +42,8 @@ def grid_decor(
     initial_positions: np.ndarray | None = None,
     max_nodes: int | None = None,
     count_base_station_reports: bool = False,
+    engine=None,
+    stop_at_budget: bool = False,
 ) -> DeploymentResult:
     """k-cover the field with per-cell greedy leaders.
 
@@ -67,6 +69,15 @@ def grid_decor(
         If true, each placement also costs one message for the leader's
         report to the base station (§3.1).  Off by default so Figure 10
         counts only the inter-leader border traffic.
+    engine:
+        Optional pre-warmed :class:`~repro.core.benefit.BenefitEngine`
+        already accounting ``initial_positions`` (the warm-restoration
+        seam).  Must have been built with this field model's memoised
+        same-cell benefit adjacency for the same grid.
+    stop_at_budget:
+        Return the (partial) deployment when ``max_nodes`` is exhausted
+        instead of raising — used by :func:`repro.core.restoration.restore`
+        to report truncated repairs.
 
     Returns
     -------
@@ -80,7 +91,8 @@ def grid_decor(
         spec.sensing_radius, region, cell_size
     )
     _, deployment, engine = init_run(
-        field, spec, k, initial_positions, benefit_adjacency=benefit_adjacency
+        field, spec, k, initial_positions,
+        benefit_adjacency=benefit_adjacency, engine=engine,
     )
 
     points_by_cell = field.points_by_cell(region, cell_size)
@@ -95,10 +107,11 @@ def grid_decor(
     checker = greedy_checker(engine, method="grid")
 
     rounds = 0
+    truncated = False
     with OBS.span("placement", method="grid", k=k, cell_size=float(cell_size)) as span, \
             FREC.run("grid_decor", k=int(k), cell_size=float(cell_size)) as frun:
         progress = True
-        while progress:
+        while progress and not truncated:
             progress = False
             rounds += 1
             counts = engine.counts
@@ -107,6 +120,9 @@ def grid_decor(
                 if not np.any(counts[cell_points] < k):
                     continue
                 if len(added) >= budget:
+                    if stop_at_budget:
+                        truncated = True
+                        break
                     raise PlacementError(
                         f"grid DECOR exceeded its budget of {budget} nodes"
                     )
@@ -160,7 +176,7 @@ def grid_decor(
                  messages=int(per_cell_msgs.sum()))
         frun.set(placed=len(added), rounds=rounds)
 
-    if not engine.is_fully_covered():  # pragma: no cover - defensive
+    if not truncated and not engine.is_fully_covered():  # pragma: no cover - defensive
         raise PlacementError("grid DECOR stalled before reaching full coverage")
 
     nodes_per_cell = np.zeros(partition.n_cells, dtype=np.int64)

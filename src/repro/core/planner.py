@@ -9,14 +9,12 @@ wants: *"give me a k-covered deployment of this area, then keep it repaired"*.
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.core.centralized import centralized_greedy
 from repro.core.grid_decor import grid_decor
 from repro.core.random_placement import random_placement
-from repro.core.restoration import RestorationReport, restore
+from repro.core.restoration import RestorationReport, RestorationSession, restore
 from repro.core.result import DeploymentResult
 from repro.core.voronoi_decor import voronoi_decor
 from repro.discrepancy.sequences import field_points as make_field_points
@@ -46,6 +44,8 @@ def run_method(
     cell_size: float | None = None,
     initial_positions: np.ndarray | None = None,
     max_nodes: int | None = None,
+    engine=None,
+    stop_at_budget: bool = False,
 ) -> DeploymentResult:
     """Run a placement method by name with the uniform argument set.
 
@@ -60,31 +60,31 @@ def run_method(
         Required for ``"random"``.
     cell_size:
         Required for ``"grid"``.
+    engine:
+        Optional pre-warmed :class:`~repro.core.benefit.BenefitEngine`
+        already accounting ``initial_positions`` — the single seam through
+        which warm restoration reaches every method.
+    stop_at_budget:
+        Tolerate ``max_nodes`` exhaustion (return the partial deployment
+        instead of raising).
     """
+    common = dict(
+        initial_positions=initial_positions, max_nodes=max_nodes,
+        engine=engine, stop_at_budget=stop_at_budget,
+    )
     if name == "centralized":
-        return centralized_greedy(
-            field_points, spec, k,
-            initial_positions=initial_positions, max_nodes=max_nodes,
-        )
+        return centralized_greedy(field_points, spec, k, **common)
     if name == "grid":
         if region is None or cell_size is None:
             raise ConfigurationError("grid needs region= and cell_size=")
-        return grid_decor(
-            field_points, spec, k, region, cell_size,
-            initial_positions=initial_positions, max_nodes=max_nodes,
-        )
+        return grid_decor(field_points, spec, k, region, cell_size, **common)
     if name == "voronoi":
-        return voronoi_decor(
-            field_points, spec, k,
-            initial_positions=initial_positions, max_nodes=max_nodes,
-        )
+        return voronoi_decor(field_points, spec, k, **common)
     if name == "random":
         if rng is None:
             raise ConfigurationError("random needs rng=")
         return random_placement(
-            field_points, spec, k, rng,
-            region=region, initial_positions=initial_positions,
-            max_nodes=max_nodes,
+            field_points, spec, k, rng, region=region, **common
         )
     raise ConfigurationError(f"unknown method {name!r}; known: {METHODS}")
 
@@ -184,22 +184,16 @@ class DecorPlanner:
         method: str = "voronoi",
         *,
         cell_size: float | None = None,
+        max_nodes: int | None = None,
     ) -> RestorationReport:
-        """Repair a previously returned deployment after a failure event."""
-        method_fn: Callable[..., DeploymentResult]
-        kwargs: dict = {}
-        if method == "centralized":
-            method_fn = centralized_greedy
-        elif method == "grid":
-            if cell_size is None:
-                raise ConfigurationError("grid restoration needs cell_size=")
-            method_fn, kwargs = grid_decor, {"region": self.region, "cell_size": cell_size}
-        elif method == "voronoi":
-            method_fn = voronoi_decor
-        elif method == "random":
-            method_fn, kwargs = random_placement, {"rng": self.rng, "region": self.region}
-        else:
-            raise ConfigurationError(f"unknown method {method!r}; known: {METHODS}")
+        """Repair a previously returned deployment after a failure event.
+
+        Dispatches by name through :func:`restore`/:func:`run_method` — the
+        same seam warm restoration uses — so every method gets the
+        planner's region/rng wired in uniformly.
+        """
+        if method == "grid" and cell_size is None:
+            raise ConfigurationError("grid restoration needs cell_size=")
         with OBS.span("restore", method=method, k=result.k,
                       failed=failure.n_failed):
             return restore(
@@ -208,6 +202,38 @@ class DecorPlanner:
                 result.deployment,
                 failure,
                 result.k,
-                method_fn,
-                **kwargs,
+                method,
+                max_nodes=max_nodes,
+                region=self.region,
+                rng=self.rng,
+                cell_size=cell_size,
             )
+
+    def session(
+        self,
+        result: DeploymentResult,
+        method: str = "voronoi",
+        *,
+        warm: bool | None = None,
+        cell_size: float | None = None,
+        max_nodes: int | None = None,
+    ) -> RestorationSession:
+        """A :class:`RestorationSession` maintaining ``result``'s network.
+
+        The session shares the planner's field model, region and RNG; in
+        warm mode (the default, see ``REPRO_RESTORE``) its benefit engine
+        persists across failure epochs so each repair re-examines only the
+        damaged region.
+        """
+        return RestorationSession(
+            self.field,
+            self.spec,
+            result.deployment,
+            result.k,
+            method,
+            warm=warm,
+            region=self.region,
+            rng=self.rng,
+            cell_size=cell_size,
+            max_nodes=max_nodes,
+        )

@@ -31,6 +31,8 @@ def random_placement(
     initial_positions: np.ndarray | None = None,
     max_nodes: int | None = None,
     batch_size: int = 16,
+    engine=None,
+    stop_at_budget: bool = False,
 ) -> DeploymentResult:
     """Place uniform-random nodes until the field points are k-covered.
 
@@ -47,6 +49,14 @@ def random_placement(
         Safety budget; random placement on an unlucky seed needs many nodes,
         so the default is ``64 * k * lower_bound``-ish via
         :func:`placement_budget`.
+    engine:
+        Optional pre-warmed :class:`~repro.core.benefit.BenefitEngine`
+        already accounting ``initial_positions`` (the warm-restoration
+        seam); built fresh when omitted.
+    stop_at_budget:
+        Return the (partial) deployment when ``max_nodes`` is exhausted
+        instead of raising — used by :func:`repro.core.restoration.restore`
+        to report truncated repairs.
 
     Notes
     -----
@@ -56,7 +66,9 @@ def random_placement(
     """
     if batch_size < 1:
         raise PlacementError(f"batch_size must be >= 1, got {batch_size}")
-    field, deployment, engine = init_run(field_points, spec, k, initial_positions)
+    field, deployment, engine = init_run(
+        field_points, spec, k, initial_positions, engine=engine
+    )
     if region is None:
         region = bounding_rect_of(field.points)
     trace = PlacementTrace()
@@ -65,6 +77,8 @@ def random_placement(
     with OBS.span("placement", method="random", k=k) as span:
         while not engine.is_fully_covered():
             if len(added) >= budget:
+                if stop_at_budget:
+                    break
                 raise PlacementError(
                     f"random placement exceeded its budget of {budget} nodes"
                 )

@@ -5,24 +5,75 @@ network and a :class:`~repro.network.failures.FailureEvent`, it applies the
 failure, measures the coverage drop, re-runs a placement method seeded with
 the survivors, and reports how many extra nodes the repair needed — the
 quantity of Figure 14.
+
+:class:`RestorationSession` lifts that one-shot primitive to a *sequence*
+of failure epochs over one network.  The paper's loop rebuilds all
+placement state from scratch each epoch, so repair cost is proportional to
+the field; the session instead keeps one :class:`~repro.core.benefit.
+BenefitEngine` warm across epochs: a failure removes exactly the failed
+sensors' tracked coverage rows, region-scoped invalidation re-pushes only
+the benefit entries the damage actually raised (see
+:mod:`repro.core.selection`), and the repair run receives the warm engine
+through the ``engine=`` seam of :func:`repro.core.planner.run_method`.
+Repair work then scales with the damaged area, not the field — while
+staying **bit-identical** to the cold path: counts and benefits are exact
+integer state, removing the failed rows leaves precisely the state a fresh
+engine built from the survivors would hold, and the selector's partial
+invalidation provably returns the same argmax sequence
+(``tests/test_restoration_session.py`` asserts byte-equality of
+deployments, figure payloads and flight-recorder streams across epochs;
+the runtime sanitizer additionally cross-checks warm state against a cold
+rebuild every epoch when ``REPRO_CHECKS=1``).
+
+Warm/cold selection mirrors ``REPRO_SELECTION``: the ``warm=`` parameter
+overrides the ``REPRO_RESTORE`` environment variable (``"warm"``, the
+default, or ``"cold"``).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from repro.core.benefit import BenefitEngine
 from repro.core.result import DeploymentResult
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.field import FieldModel, as_field_model
+from repro.geometry.region import Rect
 from repro.network.coverage import CoverageState
 from repro.network.deployment import Deployment
 from repro.network.failures import FailureEvent
 from repro.network.spec import SensorSpec
+from repro.obs import FREC
 
-__all__ = ["RestorationReport", "restore", "coverage_after_failure"]
+__all__ = [
+    "RestorationReport",
+    "RestorationSession",
+    "default_restore_strategy",
+    "restore",
+    "coverage_after_failure",
+]
+
+#: Valid values of ``REPRO_RESTORE`` / the session ``warm=`` selection.
+_RESTORE_STRATEGIES = ("warm", "cold")
+
+
+def default_restore_strategy() -> str:
+    """Session-wide default restoration strategy (env-overridable).
+
+    Reads ``REPRO_RESTORE`` (``"warm"`` or ``"cold"``, default ``"warm"``),
+    mirroring how ``REPRO_SELECTION`` selects the argmax strategy.
+    """
+    value = os.environ.get("REPRO_RESTORE", "warm")
+    if value not in _RESTORE_STRATEGIES:
+        raise ExperimentError(
+            f"REPRO_RESTORE must be one of {_RESTORE_STRATEGIES}, "
+            f"got {value!r}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -39,6 +90,10 @@ class RestorationReport:
         Nodes the repair added (Figure 14's y-axis).
     repair:
         The full placement result of the repair run.
+    complete:
+        Whether the repair restored full k-coverage.  ``False`` only for
+        ``max_nodes``-truncated repairs (an un-truncated repair that falls
+        short raises :class:`~repro.errors.ExperimentError` instead).
     """
 
     failure: FailureEvent
@@ -48,6 +103,7 @@ class RestorationReport:
     covered_after_repair: float
     extra_nodes: int
     repair: DeploymentResult
+    complete: bool = True
 
 
 def coverage_after_failure(
@@ -75,7 +131,10 @@ def restore(
     deployment: Deployment,
     failure: FailureEvent,
     k: int,
-    method: Callable[..., DeploymentResult],
+    method: Callable[..., DeploymentResult] | str,
+    *,
+    max_nodes: int | None = None,
+    engine: BenefitEngine | None = None,
     **method_kwargs,
 ) -> RestorationReport:
     """Apply a failure and repair the network back to full k-coverage.
@@ -93,10 +152,21 @@ def restore(
     failure:
         Failure event whose node ids refer to ``deployment``.
     method:
-        One of the placement algorithms (``centralized_greedy``,
-        ``grid_decor``, ``voronoi_decor``, ``random_placement``) — any
+        A method name from :data:`repro.core.planner.METHODS` (dispatched
+        through :func:`repro.core.planner.run_method`, the single seam all
+        restoration flows share), or — for custom algorithms — any
         callable accepting ``(field_points, spec, k, ...)`` plus
         ``initial_positions=`` and returning a :class:`DeploymentResult`.
+    max_nodes:
+        Optional budget on repair placements.  When given, a repair that
+        exhausts it is *tolerated*: the report comes back with
+        ``complete=False`` and the partial coverage instead of raising.
+    engine:
+        Optional pre-warmed :class:`~repro.core.benefit.BenefitEngine`
+        that already accounts the survivors' coverage (a failure applied
+        via :meth:`~repro.core.benefit.BenefitEngine.remove_rows`); the
+        repair run then reuses its counts, benefit vector and live
+        selection heaps.  :class:`RestorationSession` manages this.
     method_kwargs:
         Extra arguments forwarded to ``method`` (``region=``, ``rng=``,
         ``cell_size=``, ...).
@@ -116,15 +186,41 @@ def restore(
         field, spec.sensing_radius, survivor
     ).covered_fraction(k)
 
-    repair = method(
-        field,
-        spec,
-        k,
-        initial_positions=survivor.alive_positions(),
-        **method_kwargs,
-    )
+    tolerant = max_nodes is not None
+    if isinstance(method, str):
+        # route by name through run_method: the one place that knows how to
+        # wire engine=/stop_at_budget= into every placement method
+        from repro.core.planner import run_method
+
+        repair = run_method(
+            method,
+            field,
+            spec,
+            k,
+            initial_positions=survivor.alive_positions(),
+            max_nodes=max_nodes,
+            engine=engine,
+            stop_at_budget=tolerant,
+            **method_kwargs,
+        )
+    else:
+        extra: dict = {}
+        if max_nodes is not None:
+            extra["max_nodes"] = max_nodes
+            extra["stop_at_budget"] = True
+        if engine is not None:
+            extra["engine"] = engine
+        repair = method(
+            field,
+            spec,
+            k,
+            initial_positions=survivor.alive_positions(),
+            **extra,
+            **method_kwargs,
+        )
     after_repair = repair.final_covered_fraction(k)
-    if after_repair < 1.0 - 1e-12:
+    complete = after_repair >= 1.0 - 1e-12
+    if not complete and not tolerant:
         raise ExperimentError(
             f"repair with {getattr(method, '__name__', method)!r} left coverage "
             f"at {after_repair:.4f} < 1"
@@ -137,4 +233,212 @@ def restore(
         covered_after_repair=after_repair,
         extra_nodes=repair.added_count,
         repair=repair,
+        complete=complete,
     )
+
+
+class RestorationSession:
+    """Persistent, epoch-aware restoration of one deployed network.
+
+    Holds the network and (in warm mode) one tracked
+    :class:`~repro.core.benefit.BenefitEngine` across a sequence of
+    failures; each :meth:`restore` call applies one failure epoch and
+    repairs with the session's method.  Warm and cold sessions produce
+    bit-identical reports, deployments and flight-recorder streams — warm
+    just gets there by re-examining only the damaged region (see the
+    module docstring and ``docs/performance.md``).
+
+    Parameters
+    ----------
+    field_points, spec, k:
+        The field approximation and coverage requirement.
+    deployment:
+        The network to maintain (epoch 0 state); copied, never mutated.
+        Node ids in the first :class:`~repro.network.failures.FailureEvent`
+        refer to this deployment; later events refer to the previous
+        epoch's ``report.repair.deployment``.
+    method:
+        Repair method name from :data:`repro.core.planner.METHODS`.
+    warm:
+        ``True``/``False`` select the strategy explicitly; ``None`` (the
+        default) reads ``REPRO_RESTORE`` (default ``"warm"``).
+    region, rng, cell_size:
+        Method parameters, validated eagerly (``"grid"`` needs ``region``
+        and ``cell_size``; ``"random"`` needs ``rng``).
+    max_nodes:
+        Optional per-epoch repair budget; exhausting it yields a report
+        with ``complete=False`` instead of raising.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import DecorPlanner
+    >>> from repro.geometry import Rect
+    >>> from repro.network import SensorSpec, area_failure
+    >>> planner = DecorPlanner(Rect.square(30.0), SensorSpec(4.0, 8.0),
+    ...                        n_points=200)
+    >>> result = planner.deploy(k=1, method="centralized")
+    >>> session = planner.session(result, method="centralized")
+    >>> for _ in range(2):
+    ...     event = area_failure(session.deployment, planner.region.center, 6.0)
+    ...     report = session.restore(event)
+    >>> session.epoch, report.covered_after_repair
+    (2, 1.0)
+    """
+
+    def __init__(
+        self,
+        field_points: np.ndarray | FieldModel,
+        spec: SensorSpec,
+        deployment: Deployment,
+        k: int,
+        method: str = "voronoi",
+        *,
+        warm: bool | None = None,
+        region: Rect | None = None,
+        rng: np.random.Generator | None = None,
+        cell_size: float | None = None,
+        max_nodes: int | None = None,
+    ):
+        from repro.core.planner import METHODS  # import cycle: planner uses restore
+
+        if method not in METHODS:
+            raise ConfigurationError(
+                f"unknown method {method!r}; known: {METHODS}"
+            )
+        if method == "grid" and (region is None or cell_size is None):
+            raise ConfigurationError("grid restoration needs region= and cell_size=")
+        if method == "random" and rng is None:
+            raise ConfigurationError("random restoration needs rng=")
+        if warm is None:
+            warm = default_restore_strategy() == "warm"
+        self._field = as_field_model(field_points)
+        self._spec = spec
+        self._k = int(k)
+        self._method = method
+        self._region = region
+        self._rng = rng
+        self._cell_size = cell_size
+        self._max_nodes = max_nodes
+        self._deployment = deployment.copy()
+        self._epoch = 0
+        self._warm = bool(warm)
+        self._engine = self._build_engine() if self._warm else None
+        self._row_of = {
+            int(nid): row
+            for row, nid in enumerate(self._deployment.alive_ids())
+        }
+
+    def _build_engine(self) -> BenefitEngine:
+        """The warm engine: tracked rows, accounting the current network."""
+        benefit_adjacency = None
+        if self._method == "grid":
+            # the memoised same-cell adjacency — identical object to what
+            # grid_decor computes, which is what the engine seam validates
+            benefit_adjacency = self._field.same_cell_adjacency(
+                self._spec.sensing_radius, self._region, self._cell_size
+            )
+        engine = BenefitEngine(
+            self._field,
+            self._spec.sensing_radius,
+            self._k,
+            benefit_adjacency=benefit_adjacency,
+            track_rows=True,
+        )
+        for nid in self._deployment.alive_ids():
+            engine.add_sensor_at_position(
+                self._deployment.position_of(int(nid))
+            )
+        return engine
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def deployment(self) -> Deployment:
+        """The network as of the last completed epoch (do not mutate)."""
+        return self._deployment
+
+    @property
+    def epoch(self) -> int:
+        """Number of completed failure epochs."""
+        return self._epoch
+
+    @property
+    def warm(self) -> bool:
+        return self._warm
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    @property
+    def engine(self) -> BenefitEngine | None:
+        """The warm engine (``None`` in cold mode)."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    def restore(self, failure: FailureEvent) -> RestorationReport:
+        """Apply one failure epoch and repair; returns the epoch's report.
+
+        ``failure.node_ids`` refer to :attr:`deployment`.  In warm mode the
+        failed sensors' coverage rows are removed from the live engine —
+        region-scoped invalidation marks exactly the benefit entries the
+        damage raised — and the repair runs on the warm engine; in cold
+        mode everything is rebuilt from the survivors.  Both paths emit
+        identical flight-recorder events (epoch, damage footprint, repair
+        size) and return bit-identical reports.
+        """
+        dep = self._deployment
+        failed_ids = np.asarray(failure.node_ids, dtype=np.intp)
+        failed_pos = np.array(
+            [dep.position_of(int(nid)) for nid in failed_ids],
+            dtype=np.float64,
+        ).reshape(-1, 2)
+        # the damage footprint, computed identically in warm and cold mode
+        # so the recorded streams stay byte-identical
+        dirty = self._field.dirty_region(
+            failed_pos, self._spec.sensing_radius
+        )
+        with FREC.run(
+            "restoration", method=self._method, k=self._k
+        ) as frun:
+            if FREC.enabled:
+                FREC.emit(
+                    "fail", -1, t=float(self._epoch), cause=None,
+                    epoch=self._epoch, n_failed=int(failed_ids.size),
+                    dirty_points=dirty.n_points,
+                )
+            if self._engine is not None:
+                rows = np.asarray(
+                    [self._row_of[int(nid)] for nid in failed_ids],
+                    dtype=np.intp,
+                )
+                self._engine.remove_rows(rows)
+            report = restore(
+                self._field,
+                self._spec,
+                dep,
+                failure,
+                self._k,
+                self._method,
+                max_nodes=self._max_nodes,
+                engine=self._engine,
+                region=self._region,
+                rng=self._rng,
+                cell_size=self._cell_size,
+            )
+            if FREC.enabled:
+                FREC.emit(
+                    "restored", -1, t=float(self._epoch), cause=None,
+                    epoch=self._epoch, extra_nodes=report.extra_nodes,
+                    covered=report.covered_after_repair,
+                )
+            frun.set(epochs=self._epoch + 1)
+        self._deployment = report.repair.deployment
+        self._row_of = {
+            int(nid): row
+            for row, nid in enumerate(self._deployment.alive_ids())
+        }
+        self._epoch += 1
+        return report

@@ -15,10 +15,27 @@ few heap entries instead of the whole slice.
 Restoration breaks the precondition: :meth:`BenefitEngine.remove_covered`
 *raises* benefits, making stale heap priorities under-estimates, which the
 pop-and-revalidate loop cannot detect.  The engine therefore carries an
-**epoch counter** that is bumped on every benefit increase; a selector
-whose epoch lags the engine's rebuilds its heap from the live vector
-before selecting (heap invalidation rule: *increases invalidate, decreases
+**epoch counter** that is bumped on every benefit increase, together with a
+**dirty log**: one array per epoch naming exactly the candidates whose
+benefit rose (derived from the removed sensor's coverage footprint).  A
+selector whose epoch lags the engine's catches up by *re-pushing only its
+dirty candidates* at their live values, keeping the rest of the heap alive
+across failure epochs — repair cost then scales with the damaged region,
+not the field.  Without a dirty log (or when the pending dirty set is as
+large as the slice) the selector falls back to a full heap rebuild, which
+is the pre-warm-start behaviour (heap invalidation rule: *increases
+invalidate — regionally when the increase is localised — decreases
 revalidate*).
+
+Re-pushing leaves the dirty candidate's older entries in the heap as
+under-estimates.  That is safe: the accept test ``live >= stored`` fires
+only when ``stored`` is the heap maximum, and the maximum entry of every
+candidate is still an upper bound on its live value (the fresh push is
+exact), so the popped maximum bounds every live value and acceptance still
+returns the true argmax.  Stale under-estimate duplicates are skimmed off
+by the same revalidation loop when they eventually surface.  To bound the
+duplicate growth the selector compacts (full rebuild) when the heap
+exceeds :data:`HEAP_COMPACT_FACTOR` times its slice size.
 
 Tie-breaking matches the scan exactly: heap entries are ``(-benefit,
 index)`` tuples, so equal benefits pop in ascending index order — the
@@ -26,12 +43,15 @@ index)`` tuples, so equal benefits pop in ascending index order — the
 values are integer-valued float64s maintained by exact ±1 updates, so the
 ``live >= stored`` freshness test is exact, and the lazy path is
 bit-identical to the scan (the ``tests/test_selection_lazy.py`` suite
-asserts this across all placement methods and the restoration protocols).
+asserts this across all placement methods and the restoration protocols;
+``tests/test_restoration_session.py`` extends the proof across warm
+failure epochs).
 
 Work accounting lives in :class:`SelectionStats` (plain counters, always
 on) and is bridged to OBS metrics by the engine so the algorithmic win —
 benefit entries examined per placement — is measurable, not just
-wall-clock (see ``docs/performance.md``).
+wall-clock (see ``docs/performance.md``; the grow-only bench ratchet in
+``tools/bench_ratchet.py`` pins the recorded numbers).
 """
 
 from __future__ import annotations
@@ -40,7 +60,11 @@ import heapq
 
 import numpy as np
 
-__all__ = ["LazySelector", "SelectionStats"]
+__all__ = ["LazySelector", "SelectionStats", "HEAP_COMPACT_FACTOR"]
+
+#: A selector compacts (rebuilds) its heap once duplicates from partial
+#: invalidation grow it past this multiple of the candidate-slice size.
+HEAP_COMPACT_FACTOR = 4
 
 
 class SelectionStats:
@@ -52,26 +76,45 @@ class SelectionStats:
         Number of ``argmax`` invocations answered.
     entries_scanned:
         Benefit-vector entries examined: the slice length per call for the
-        scan strategy; heap builds plus pop/revalidate touches for the lazy
-        strategy.  The scanned/calls ratio is the quantity the ≥5x
-        acceptance gate in ``benchmarks/test_micro_kernels.py`` measures.
+        scan strategy; heap builds plus pop/revalidate touches plus dirty
+        re-pushes for the lazy strategy.  The scanned/calls ratio is the
+        quantity the ≥5x acceptance gate in
+        ``benchmarks/test_micro_kernels.py`` measures, and the per-repair
+        total is what ``benchmarks/test_bench_warm_restore.py`` gates.
     heap_rebuilds:
         Full heap (re)builds — one per selector at first use plus one per
-        selector per epoch bump (benefit increase) it observes.
+        epoch sync that could not be served by partial invalidation
+        (no dirty log, oversized dirty set, heap compaction).
+    partial_invalidations:
+        Epoch syncs served by re-pushing dirty candidates instead of a
+        full rebuild (the region-scoped warm-restoration path).
+    entries_repushed:
+        Candidates re-pushed at their live value during partial
+        invalidations (each also counts toward ``entries_scanned``).
     """
 
-    __slots__ = ("argmax_calls", "entries_scanned", "heap_rebuilds")
+    __slots__ = (
+        "argmax_calls",
+        "entries_scanned",
+        "heap_rebuilds",
+        "partial_invalidations",
+        "entries_repushed",
+    )
 
     def __init__(self) -> None:
         self.argmax_calls = 0
         self.entries_scanned = 0
         self.heap_rebuilds = 0
+        self.partial_invalidations = 0
+        self.entries_repushed = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "argmax_calls": self.argmax_calls,
             "entries_scanned": self.entries_scanned,
             "heap_rebuilds": self.heap_rebuilds,
+            "partial_invalidations": self.partial_invalidations,
+            "entries_repushed": self.entries_repushed,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -82,9 +125,10 @@ class LazySelector:
     """Stale-tolerant max-heap over one candidate slice of a benefit vector.
 
     One selector serves one fixed candidate set — the whole field (global
-    argmax) or one grid/Voronoi cell — across the whole greedy run; the
-    owning :class:`~repro.core.benefit.BenefitEngine` keys selectors by the
-    caller-supplied candidate-set identity.
+    argmax) or one grid/Voronoi cell — across the whole greedy run *and*,
+    under a :class:`~repro.core.restoration.RestorationSession`, across
+    failure epochs; the owning :class:`~repro.core.benefit.BenefitEngine`
+    keys selectors by the caller-supplied candidate-set identity.
 
     Examples
     --------
@@ -98,17 +142,25 @@ class LazySelector:
     >>> sel.select(benefit, 0, stats)     # revalidates, returns the other 5.0
     2
     >>> benefit[3] = 9.0                  # an increase must bump the epoch
-    >>> sel.select(benefit, 1, stats)     # epoch 1: heap rebuilt, sees the 9.0
+    >>> sel.select(benefit, 1, stats)     # epoch 1, no dirty log: full rebuild
     3
+    >>> benefit[0] = 11.0                 # localised increase, epoch 2 ...
+    >>> dirty_log = [None, np.array([0])]  # ... named by the dirty log
+    >>> sel.select(benefit, 2, stats, dirty_log)   # partial: re-push entry 0
+    0
+    >>> stats.partial_invalidations
+    1
     """
 
-    __slots__ = ("_candidates", "_epoch", "_heap")
+    __slots__ = ("_candidates", "_epoch", "_heap", "_mask")
 
     def __init__(self, candidates: np.ndarray | None) -> None:
         #: Sorted candidate indices, or None for "every field point".
         self._candidates = candidates
         self._heap: list[tuple[float, int]] = []
         self._epoch = -1  # lags any real epoch -> first select() builds
+        #: Lazily built membership mask over the full vector (slices only).
+        self._mask: np.ndarray | None = None
 
     def matches(self, candidates: np.ndarray | None) -> bool:
         """Whether this selector serves exactly ``candidates``.
@@ -125,6 +177,10 @@ class LazySelector:
             return False
         return bool(np.array_equal(mine, candidates))
 
+    def _slice_size(self, benefit: np.ndarray) -> int:
+        cand = self._candidates
+        return benefit.shape[0] if cand is None else int(cand.size)
+
     def rebuild(self, benefit: np.ndarray, epoch: int, stats: SelectionStats) -> None:
         """Rebuild the heap from the live benefit vector (epoch sync)."""
         cand = self._candidates
@@ -140,16 +196,80 @@ class LazySelector:
         stats.heap_rebuilds += 1
         stats.entries_scanned += len(entries)
 
-    def select(self, benefit: np.ndarray, epoch: int, stats: SelectionStats) -> int:
+    def _own_dirty(self, dirty: np.ndarray, n: int) -> np.ndarray:
+        """Restrict a dirty-candidate array to this selector's slice."""
+        if self._candidates is None:
+            return dirty
+        if self._mask is None:
+            mask = np.zeros(n, dtype=bool)
+            mask[self._candidates] = True
+            self._mask = mask
+        return dirty[self._mask[dirty]]
+
+    def _sync(
+        self,
+        benefit: np.ndarray,
+        epoch: int,
+        stats: SelectionStats,
+        dirty_log: list[np.ndarray] | None,
+    ) -> None:
+        """Catch the heap up to ``epoch`` (partial if the dirty log allows).
+
+        ``dirty_log[e]`` names the candidates whose benefit rose in the
+        bump from epoch ``e`` to ``e + 1``; a selector at epoch ``s`` owes
+        the union of ``dirty_log[s:epoch]``.  Entries the engine has
+        forgotten (``None``) or a fresh/oversized backlog force a full
+        rebuild — the conservative path is always correct, partial is the
+        fast path.
+        """
+        if (
+            self._epoch < 0
+            or dirty_log is None
+            or len(dirty_log) < epoch
+            or any(d is None for d in dirty_log[self._epoch : epoch])
+        ):
+            self.rebuild(benefit, epoch, stats)
+            return
+        pending = dirty_log[self._epoch : epoch]
+        total = sum(int(d.size) for d in pending)
+        size = self._slice_size(benefit)
+        if total >= size:
+            self.rebuild(benefit, epoch, stats)
+            return
+        heap = self._heap
+        pushed = 0
+        n = benefit.shape[0]
+        for dirty in pending:
+            own = self._own_dirty(dirty, n)
+            for idx in own.tolist():
+                heapq.heappush(heap, (-float(benefit[idx]), idx))
+            pushed += int(own.size)
+        self._epoch = epoch
+        stats.partial_invalidations += 1
+        stats.entries_repushed += pushed
+        stats.entries_scanned += pushed
+        if len(heap) > HEAP_COMPACT_FACTOR * size:
+            # duplicate growth from repeated partial syncs: compact
+            self.rebuild(benefit, epoch, stats)
+
+    def select(
+        self,
+        benefit: np.ndarray,
+        epoch: int,
+        stats: SelectionStats,
+        dirty_log: list[np.ndarray] | None = None,
+    ) -> int:
         """Index of the maximum live benefit over this selector's slice.
 
-        ``epoch`` is the engine's benefit-increase counter; a lagging heap
-        is rebuilt first.  With only decreases since the last build, every
-        stored priority upper-bounds its live value, so the loop below
-        terminates at the true maximum (lowest index on ties).
+        ``epoch`` is the engine's benefit-increase counter and
+        ``dirty_log`` its per-epoch dirty-candidate arrays; a lagging heap
+        is first synced — partially when the increases were localised, by
+        full rebuild otherwise.  Afterwards the maximum heap entry of each
+        candidate upper-bounds its live value, so the loop below terminates
+        at the true maximum (lowest index on ties).
         """
         if self._epoch != epoch:
-            self.rebuild(benefit, epoch, stats)
+            self._sync(benefit, epoch, stats, dirty_log)
         heap = self._heap
         scanned = 0
         while True:

@@ -75,6 +75,8 @@ def voronoi_decor(
     *,
     initial_positions: np.ndarray | None = None,
     max_nodes: int | None = None,
+    engine=None,
+    stop_at_budget: bool = False,
 ) -> DeploymentResult:
     """k-cover the field with per-node local-Voronoi greedy placement.
 
@@ -93,6 +95,14 @@ def voronoi_decor(
         with a single seed node at the globally best field point (the paper
         always starts from a partial deployment; the seed models the base
         station dropping the first sensor).
+    engine:
+        Optional pre-warmed :class:`~repro.core.benefit.BenefitEngine`
+        already accounting ``initial_positions`` (the warm-restoration
+        seam); built fresh when omitted.
+    stop_at_budget:
+        Return the (partial) deployment when ``max_nodes`` is exhausted
+        instead of raising — used by :func:`repro.core.restoration.restore`
+        to report truncated repairs.
 
     Returns
     -------
@@ -101,7 +111,9 @@ def voronoi_decor(
         node that placed at least one sensor... per *added or initial* node
         id, since in this architecture every node is its own cell.
     """
-    field, deployment, engine = init_run(field_points, spec, k, initial_positions)
+    field, deployment, engine = init_run(
+        field_points, spec, k, initial_positions, engine=engine
+    )
     pts = field.points
     trace = PlacementTrace()
     added: list[int] = []
@@ -130,13 +142,14 @@ def voronoi_decor(
         )
 
     rounds = 0
+    truncated = False
     with OBS.span(
         "placement", method="voronoi", k=k, rc=float(spec.communication_radius)
     ) as span, FREC.run(
         "voronoi_decor", k=int(k), rc=float(spec.communication_radius)
     ) as frun:
         progress = True
-        while progress:
+        while progress and not truncated:
             progress = False
             rounds += 1
             # iterate a snapshot of current sites; sites added this round join
@@ -148,6 +161,9 @@ def voronoi_decor(
                 if owned.size == 0 or not np.any(deficiency[owned] > 0):
                     continue
                 if len(added) >= budget:
+                    if stop_at_budget:
+                        truncated = True
+                        break
                     raise PlacementError(
                         f"Voronoi DECOR exceeded its budget of {budget} nodes"
                     )
@@ -212,7 +228,7 @@ def voronoi_decor(
                  messages=int(sum(per_node_msgs)))
         frun.set(placed=len(added), rounds=rounds)
 
-    if not engine.is_fully_covered():  # pragma: no cover - defensive
+    if not truncated and not engine.is_fully_covered():  # pragma: no cover - defensive
         raise PlacementError("Voronoi DECOR stalled before reaching full coverage")
 
     msgs = np.asarray(per_node_msgs, dtype=np.int64)

@@ -33,6 +33,14 @@ from repro.experiments.figures import (
     fig14_restoration,
     FIGURES,
 )
+from repro.experiments.epochs import (
+    FAILURE_SCHEDULE,
+    EpochRecord,
+    EpochSweepResult,
+    epoch_failure,
+    epoch_series,
+    run_epoch_sweep,
+)
 from repro.experiments.availability import (
     AvailabilityConfig,
     AvailabilityReport,
@@ -70,6 +78,12 @@ __all__ = [
     "fig13_area_failure",
     "fig14_restoration",
     "FIGURES",
+    "FAILURE_SCHEDULE",
+    "EpochRecord",
+    "EpochSweepResult",
+    "epoch_failure",
+    "epoch_series",
+    "run_epoch_sweep",
     "AvailabilityConfig",
     "AvailabilityReport",
     "simulate_availability",

@@ -33,10 +33,6 @@ from repro.analysis.survival import (
 )
 from repro.core.redundancy import redundancy_fraction, redundant_nodes
 from repro.core.restoration import restore
-from repro.core.centralized import centralized_greedy
-from repro.core.grid_decor import grid_decor
-from repro.core.random_placement import random_placement
-from repro.core.voronoi_decor import voronoi_decor
 from repro.errors import ExperimentError
 from repro.experiments.runner import DeploymentCache
 from repro.experiments.setup import DECOR_SERIES, SERIES, ExperimentSetup
@@ -383,14 +379,6 @@ def fig13_area_failure(
     )
 
 
-_METHOD_FNS = {
-    "centralized": centralized_greedy,
-    "grid": grid_decor,
-    "voronoi": voronoi_decor,
-    "random": random_placement,
-}
-
-
 @_figure_span("fig14")
 def fig14_restoration(
     setup: ExperimentSetup, cache: DeploymentCache | None = None
@@ -407,26 +395,18 @@ def fig14_restoration(
                 result = cache.get(series, k, seed)
                 event = _disaster(setup, result)
                 pts = cache.field(seed)
-                method = _METHOD_FNS[series.method]
-                kwargs: dict = {}
-                if series.method == "grid":
-                    kwargs = {
-                        "region": setup.region,
-                        "cell_size": setup.cell_size_for(series),
-                    }
-                elif series.method == "random":
-                    kwargs = {
-                        "region": setup.region,
-                        "rng": np.random.default_rng(60_000 + seed),
-                    }
+                # dispatch by name through run_method: region/rng/cell_size
+                # are wired uniformly (unused ones are ignored)
                 report = restore(
                     pts,
                     setup.spec_for(series),
                     result.deployment,
                     event,
                     k,
-                    method,
-                    **kwargs,
+                    series.method,
+                    region=setup.region,
+                    rng=np.random.default_rng(60_000 + seed),
+                    cell_size=setup.cell_size_for(series),
                 )
                 vals.append(report.extra_nodes)
             ys.append(float(np.mean(vals)))

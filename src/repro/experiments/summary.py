@@ -22,7 +22,7 @@ import numpy as np
 from repro.analysis.survival import max_tolerable_failure_fraction
 from repro.core.redundancy import redundancy_fraction
 from repro.core.restoration import restore
-from repro.experiments.figures import _METHOD_FNS, _disaster
+from repro.experiments.figures import _disaster
 from repro.experiments.runner import DeploymentCache, field_for_seed
 from repro.experiments.setup import SERIES, ExperimentSetup
 from repro.errors import ExperimentError
@@ -89,25 +89,16 @@ def method_summary(
                 100.0 * max_tolerable_failure_fraction(result.coverage, rng, k=1)
             )
             event = _disaster(setup, result)
-            kwargs: dict = {}
-            if series.method == "grid":
-                kwargs = {
-                    "region": setup.region,
-                    "cell_size": setup.cell_size_for(series),
-                }
-            elif series.method == "random":
-                kwargs = {
-                    "region": setup.region,
-                    "rng": np.random.default_rng(80_000 + seed),
-                }
             report = restore(
                 field_for_seed(setup, seed),
                 setup.spec_for(series),
                 result.deployment,
                 event,
                 k,
-                _METHOD_FNS[series.method],
-                **kwargs,
+                series.method,
+                region=setup.region,
+                rng=np.random.default_rng(80_000 + seed),
+                cell_size=setup.cell_size_for(series),
             )
             repair_nodes.append(report.extra_nodes)
         out.append(

@@ -17,6 +17,7 @@ from repro.field.backends import (
     resolve_backend_name,
 )
 from repro.field.model import (
+    DirtyRegion,
     FieldModel,
     FieldModelStats,
     as_field_model,
@@ -25,6 +26,7 @@ from repro.field.model import (
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "DirtyRegion",
     "FieldModel",
     "FieldModelStats",
     "GridHashBackend",

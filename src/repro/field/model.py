@@ -47,7 +47,27 @@ from repro.geometry.grid import GridPartition
 from repro.geometry.points import as_points
 from repro.geometry.region import Rect
 
-__all__ = ["FieldModel", "FieldModelStats", "as_field_model", "same_cell_adjacency_of"]
+__all__ = [
+    "DirtyRegion",
+    "FieldModel",
+    "FieldModelStats",
+    "as_field_model",
+    "same_cell_adjacency_of",
+]
+
+
+@dataclass(frozen=True)
+class DirtyRegion:
+    """A failure footprint: field points (and optionally grid cells) whose
+    coverage a set of failed sensors touched.  Produced by
+    :meth:`FieldModel.dirty_region`."""
+
+    points: np.ndarray
+    cells: np.ndarray | None = None
+
+    @property
+    def n_points(self) -> int:
+        return int(self.points.size)
 
 
 def same_cell_adjacency_of(
@@ -214,6 +234,52 @@ class FieldModel:
     def query_ball_many(self, centers: np.ndarray, radius: float) -> list[np.ndarray]:
         """Ball query for many probe centers at once."""
         return self.neighbor_index().query_ball_many(centers, radius)
+
+    def dirty_region(
+        self,
+        positions: np.ndarray,
+        radius: float,
+        *,
+        region: Rect | None = None,
+        cell_width: float | None = None,
+        cell_height: float | None = None,
+    ) -> DirtyRegion:
+        """The failure footprint of sensors at ``positions``.
+
+        Maps a set of failed-sensor positions to the field points whose
+        coverage they touched (everything within ``radius`` of any failed
+        sensor) and, when a grid decomposition is given, the cells those
+        points fall in — the "damaged region" that warm restoration
+        re-examines instead of the whole field (see
+        :class:`repro.core.restoration.RestorationSession` and
+        ``docs/performance.md``).
+
+        Parameters
+        ----------
+        positions:
+            ``(m, 2)`` failed-sensor positions.
+        radius:
+            Coverage radius ``rs`` of the failed sensors.
+        region, cell_width, cell_height:
+            Optional grid decomposition; when ``region`` and ``cell_width``
+            are given, :attr:`DirtyRegion.cells` lists the affected cell
+            ids (otherwise it is ``None``).
+        """
+        centers = as_points(positions)
+        if centers.shape[0] == 0:
+            points = np.empty(0, dtype=np.intp)
+        else:
+            balls = self.query_ball_many(centers, radius)
+            points = np.unique(np.concatenate(balls)) if balls else np.empty(
+                0, dtype=np.intp
+            )
+        cells: np.ndarray | None = None
+        if region is not None:
+            if cell_width is None:
+                raise GeometryError("dirty_region with region= needs cell_width=")
+            assignment = self.cell_of(region, cell_width, cell_height)
+            cells = np.unique(assignment[points])
+        return DirtyRegion(points=points, cells=cells)
 
     def adjacency(self, radius: float) -> sparse.csr_matrix:
         """Symmetric 0/1 CSR adjacency of field points within ``radius``.

@@ -186,6 +186,25 @@ class TestSelectorMechanics:
         assert eng.selection_stats.heap_rebuilds == rebuilds
         eng.remove_covered(cov)  # benefits increase -> epoch bump
         assert eng.argmax() == idx
+        # region-scoped: the localised increase is served by re-pushing the
+        # dirty candidates, not by rebuilding the whole heap
+        assert eng.selection_stats.heap_rebuilds == rebuilds
+        assert eng.selection_stats.partial_invalidations == 1
+        assert eng.selection_stats.entries_repushed > 0
+
+    def test_field_wide_increase_falls_back_to_rebuild(self):
+        # remove every sensor at once: the dirty set spans (almost) the
+        # whole field, so partial invalidation would not pay -- the
+        # selector must compact via a full rebuild instead
+        eng = _engine("lazy", k=1)
+        placed = []
+        while not eng.is_fully_covered():
+            idx = eng.argmax()
+            placed.append(eng.place_at(idx))
+        rebuilds = eng.selection_stats.heap_rebuilds
+        for cov in placed:
+            eng.remove_covered(cov)
+        assert eng.argmax() == eng.argmax(candidates=np.arange(eng.n_points))
         assert eng.selection_stats.heap_rebuilds == rebuilds + 1
 
     def test_key_with_changed_candidates_replaces_selector(self):
@@ -211,6 +230,7 @@ class TestSelectorMechanics:
         stats = _engine("lazy").selection_stats
         assert set(stats.as_dict()) == {
             "argmax_calls", "entries_scanned", "heap_rebuilds",
+            "partial_invalidations", "entries_repushed",
         }
 
 

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Enforce the selection-work ratchet: the engine only gets leaner.
+
+The companion of ``tools/typing_ratchet.py`` for performance: where the
+typing ratchet pins which packages are strictly typed, this one pins how
+much *work* the benefit engine's selection layer does on two canonical
+workloads, so an innocent-looking refactor cannot quietly re-introduce
+full-field rescans:
+
+1. **fig08 sweep** — benefit-vector entries scanned per argmax over the
+   whole smoke-scale Figure 8 deployment sweep, per selection strategy
+   (``scan`` and ``lazy``); the lazy (CELF) numbers are what PR 4 gated.
+2. **epoch sweep** — steady-state entries scanned by warm vs cold
+   restoration across small-disc failure epochs at the paper's fig08
+   field scale (the PR 6 warm-start gate; epoch 0 is the warm-up and is
+   excluded, see ``benchmarks/test_bench_warm_restore.py``).
+
+Both counters are deterministic (seeded fields, integer work counts), so
+the gate is tight: the measured value may not exceed the recorded one by
+more than ``--tolerance`` (default 5%).  Wall-clock seconds are recorded
+alongside for context and gated only by the generous ``--wall-factor``
+(default 10x) — timing is machine-dependent, counters are the contract.
+
+Exit status 0 when the ratchet holds, 1 with a findings report otherwise.
+
+Usage::
+
+    python tools/bench_ratchet.py [--root REPO_ROOT]   # check
+    python tools/bench_ratchet.py --update              # re-record
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+RECORD_NAME = "bench_ratchet.json"
+
+
+def _import_repro(root: Path) -> None:
+    src = root / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+
+
+def measure_fig08_sweep(root: Path) -> dict:
+    """Entries scanned per argmax on the smoke fig08 sweep, per strategy."""
+    _import_repro(root)
+    import os
+
+    from repro.experiments import ExperimentSetup
+    from repro.experiments.figures import cells_for_figure
+    from repro.experiments.runner import DeploymentCache
+    from repro.obs import OBS
+    from repro.parallel import prefill_cache
+
+    setup = ExperimentSetup.smoke()
+    out: dict = {"scanned": {}, "argmax_calls": {}, "wall_seconds": {}}
+    previous = os.environ.get("REPRO_SELECTION")
+    try:
+        for strategy in ("scan", "lazy"):
+            os.environ["REPRO_SELECTION"] = strategy
+            OBS.enable(fresh=True)
+            t0 = time.perf_counter()
+            try:
+                prefill_cache(
+                    DeploymentCache(setup), cells_for_figure(setup, 8)
+                )
+            finally:
+                wall = time.perf_counter() - t0
+                OBS.disable()
+            out["scanned"][strategy] = int(
+                OBS.metrics.value("selection_scanned_total", strategy=strategy)
+            )
+            out["argmax_calls"][strategy] = int(
+                OBS.metrics.value("selection_argmax_total", strategy=strategy)
+            )
+            out["wall_seconds"][strategy] = round(wall, 4)
+            OBS.reset()
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SELECTION", None)
+        else:
+            os.environ["REPRO_SELECTION"] = previous
+    return out
+
+
+def measure_epoch_sweep(root: Path, *, epochs: int = 6) -> dict:
+    """Steady-state warm/cold selection work at the paper fig08 scale."""
+    _import_repro(root)
+    import numpy as np
+
+    from repro.core.restoration import RestorationSession
+    from repro.experiments import ExperimentSetup
+    from repro.experiments.runner import DeploymentCache
+    from repro.experiments.setup import series_by_name
+    from repro.network.failures import area_failure
+    from repro.obs import OBS
+
+    setup = ExperimentSetup.paper().with_seeds(1)
+    cache = DeploymentCache(setup)
+    series = series_by_name("centralized")
+    result = cache.get(series, 2, 0)
+    field = cache.field(0)
+    spec = setup.spec_for(series)
+
+    out: dict = {"entries_scanned": {}, "wall_seconds": {}, "epochs": epochs}
+    for warm in (True, False):
+        session = RestorationSession(
+            field, spec, result.deployment, 2, "centralized", warm=warm
+        )
+        OBS.enable(fresh=True)
+        warmup = 0
+        t0 = time.perf_counter()
+        try:
+            for epoch in range(epochs):
+                center = setup.region.sample(
+                    1, np.random.default_rng(90_000 + epoch)
+                )[0]
+                session.restore(
+                    area_failure(session.deployment, center, setup.rs)
+                )
+                if epoch == 0:
+                    warmup = OBS.metrics.value(
+                        "selection_scanned_total", strategy="lazy"
+                    )
+        finally:
+            wall = time.perf_counter() - t0
+            OBS.disable()
+        total = OBS.metrics.value("selection_scanned_total", strategy="lazy")
+        OBS.reset()
+        mode = "warm" if warm else "cold"
+        out["entries_scanned"][mode] = int(total - warmup)
+        out["wall_seconds"][mode] = round(wall, 4)
+    return out
+
+
+def measure(root: Path) -> dict:
+    return {
+        "fig08_sweep": measure_fig08_sweep(root),
+        "epoch_sweep": measure_epoch_sweep(root),
+    }
+
+
+def _walk_counters(d: dict, prefix: str = "") -> list[tuple[str, float]]:
+    """Flatten nested numeric leaves, skipping wall_seconds subtrees."""
+    out: list[tuple[str, float]] = []
+    for key, value in d.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if key == "wall_seconds":
+            continue
+        if isinstance(value, dict):
+            out.extend(_walk_counters(value, path))
+        elif isinstance(value, (int, float)):
+            out.append((path, float(value)))
+    return out
+
+
+def _walk_walls(d: dict, prefix: str = "") -> list[tuple[str, float]]:
+    out: list[tuple[str, float]] = []
+    for key, value in d.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if key == "wall_seconds" and isinstance(value, dict):
+            out.extend(
+                (f"{path}.{k}", float(v)) for k, v in value.items()
+            )
+        elif isinstance(value, dict):
+            out.extend(_walk_walls(value, path))
+    return out
+
+
+def check(recorded: dict, current: dict, *, tolerance: float,
+          wall_factor: float) -> int:
+    failures = 0
+    rec_counters = dict(_walk_counters(recorded))
+    for path, value in _walk_counters(current):
+        baseline = rec_counters.get(path)
+        if baseline is None:
+            print(f"RATCHET: {path} = {value:g} has no recorded baseline "
+                  f"-- run with --update to record it")
+            failures += 1
+        elif value > baseline * (1.0 + tolerance):
+            print(
+                f"RATCHET: {path} regressed: {value:g} > recorded "
+                f"{baseline:g} (+{100 * (value / baseline - 1):.1f}%, "
+                f"tolerance {100 * tolerance:.0f}%) -- selection work "
+                "only shrinks; if the increase is deliberate, re-record "
+                "with --update"
+            )
+            failures += 1
+    rec_walls = dict(_walk_walls(recorded))
+    for path, value in _walk_walls(current):
+        baseline = rec_walls.get(path)
+        if baseline and value > baseline * wall_factor:
+            print(
+                f"RATCHET: {path} took {value:.3f}s vs recorded "
+                f"{baseline:.3f}s (> {wall_factor:g}x) -- wall-clock "
+                "sanity bound blown"
+            )
+            failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the tree this script lives in)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-measure and rewrite the recorded numbers",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed relative counter increase (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--wall-factor", type=float, default=10.0,
+        help="allowed wall-clock multiple of the recorded time (default 10x)",
+    )
+    opts = parser.parse_args(argv)
+    root: Path = opts.root
+    record_path = root / "tools" / RECORD_NAME
+
+    current = measure(root)
+    if opts.update:
+        record_path.write_text(
+            json.dumps(current, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"bench ratchet: recorded -> {record_path.relative_to(root)}")
+        return 0
+
+    if not record_path.is_file():
+        print(
+            f"RATCHET: {record_path} is missing -- run "
+            "`python tools/bench_ratchet.py --update` to record baselines",
+            file=sys.stderr,
+        )
+        return 1
+    recorded = json.loads(record_path.read_text(encoding="utf-8"))
+    failures = check(
+        recorded, current,
+        tolerance=opts.tolerance, wall_factor=opts.wall_factor,
+    )
+    if failures:
+        print(f"bench ratchet: {failures} failure(s)", file=sys.stderr)
+        return 1
+    scanned = current["epoch_sweep"]["entries_scanned"]
+    print(
+        "bench ratchet: OK (fig08 lazy scanned "
+        f"{current['fig08_sweep']['scanned']['lazy']}, epoch sweep "
+        f"warm {scanned['warm']} vs cold {scanned['cold']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
