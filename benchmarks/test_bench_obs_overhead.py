@@ -168,3 +168,51 @@ def test_flightrec_disabled_overhead_within_bound(benchmark, setup):
         f"{MAX_DISABLED_OVERHEAD:.0%} ({touchpoints} flight records, "
         f"{per_guard * 1e9:.0f} ns/guard, sweep {sweep_time:.2f}s)"
     )
+
+
+def test_sampler_disabled_overhead_within_bound(benchmark, setup):
+    """CI gate: the disabled sampler path costs < 3% of a smoke sweep.
+
+    The telemetry touchpoints (``OBS.sample`` hooks plus the guarded
+    ``record_*_health`` helpers) make the same promise as OBS001/OBS003
+    sites (OBS004): disabled, each costs one ``OBS.enabled`` check plus —
+    for the ``OBS.sample`` facade itself — one no-op method call.  The
+    bound is analytic for the same reason as the tests above.
+    """
+    # 1. count the sample rows + health recordings an enabled sweep emits;
+    # each corresponds to one guarded telemetry site evaluated per cell
+    OBS.enable(fresh=True, sample=0.0)
+    try:
+        _sweep(setup)
+        touchpoints = OBS.sampler.seq + OBS.metrics.ops
+    finally:
+        OBS.disable()
+    OBS.reset()
+    assert touchpoints > 0
+
+    # 2. microbenchmark the disabled path (pessimistic: the full facade
+    # call, not just the guard the call sites actually use)
+    def guard_block(n=1000):
+        for _ in range(n):
+            OBS.sample("x", step=0)
+            if OBS.enabled:  # pragma: no cover - disabled here by design
+                OBS.gauge("x").set(1.0)
+        return n
+
+    assert not OBS.enabled
+    per_guard = _best_of(guard_block, 5) / 1000.0
+
+    # 3. time the disabled sweep itself (best of 3)
+    sweep_time = _best_of(lambda: _sweep(setup), 3)
+
+    bound = touchpoints * GUARDS_PER_TOUCHPOINT * per_guard / sweep_time
+    benchmark.extra_info["telemetry_touchpoints"] = touchpoints
+    benchmark.extra_info["per_guard_seconds"] = per_guard
+    benchmark.extra_info["sweep_seconds"] = sweep_time
+    benchmark.extra_info["disabled_overhead_bound"] = bound
+    benchmark.pedantic(lambda: guard_block(100), rounds=3, iterations=1)
+    assert bound < MAX_DISABLED_OVERHEAD, (
+        f"disabled-mode sampler overhead bound {bound:.2%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} ({touchpoints} telemetry touchpoints, "
+        f"{per_guard * 1e9:.0f} ns/guard, sweep {sweep_time:.2f}s)"
+    )

@@ -14,6 +14,7 @@ ALIAS001  no in-place mutation of FieldModel/engine cached values
 OBS001    OBS metric/event touchpoints guarded by ``if OBS.enabled:``
 OBS002    ``@profiled`` site names unique across the library
 OBS003    flight-recorder touchpoints guarded by ``if FREC.enabled:``
+OBS004    telemetry touchpoints (OBS.sample, record_*_health) guarded
 API001    no exact float ==/!= on coordinates or benefits
 PAR001    repro.parallel: no un-seeded RNG, no global OBS mutation
 SUP001    every ``# checks: ignore`` suppression must match a finding
@@ -37,6 +38,7 @@ from repro.checks.lint.rules_obs import (
     FlightRecorderGuarded,
     ObsTouchpointsGuarded,
     ProfiledSitesUnique,
+    TelemetryTouchpointsGuarded,
 )
 from repro.checks.lint.rules_par import ParallelWorkerDiscipline
 
@@ -56,6 +58,7 @@ __all__ = [
     "ObsTouchpointsGuarded",
     "ProfiledSitesUnique",
     "FlightRecorderGuarded",
+    "TelemetryTouchpointsGuarded",
     "NoFloatEqualityOnCoordinates",
     "ParallelWorkerDiscipline",
 ]
@@ -68,6 +71,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ObsTouchpointsGuarded,
     ProfiledSitesUnique,
     FlightRecorderGuarded,
+    TelemetryTouchpointsGuarded,
     NoFloatEqualityOnCoordinates,
     ParallelWorkerDiscipline,
 )

@@ -15,6 +15,11 @@ evaluated and formatted — sit inside an enabled guard:
   ``clear_cause``/``begin_run``/``end_run``) under ``if FREC.enabled:``,
   so the disabled path never allocates a record dict.  ``FREC.run`` and
   ``FREC.session`` are exempt for the same reason ``OBS.span`` is.
+* OBS004 — the telemetry touchpoints (``OBS.sample`` plus the
+  ``record_*_health`` helpers from :mod:`repro.obs.health`) under
+  ``if OBS.enabled:``.  The health helpers recompute domain gauges
+  (holes, energy profiles) — real work, not just argument formatting —
+  so an unguarded call would charge disabled runs for it.
 
 ``@profiled(site)`` site names feed the ``profile_seconds{site=...}``
 histogram; two call sites sharing a name silently merge their timings, so
@@ -32,6 +37,7 @@ __all__ = [
     "FlightRecorderGuarded",
     "ObsTouchpointsGuarded",
     "ProfiledSitesUnique",
+    "TelemetryTouchpointsGuarded",
 ]
 
 
@@ -67,10 +73,13 @@ class _TouchpointsGuarded(Rule):
 
     Subclasses pin ``singleton`` (the runtime's conventional name at call
     sites), ``guarded_methods`` and the finding ``consequence`` text.
+    ``guarded_functions`` additionally matches bare-name helper calls
+    (``record_coverage_health(...)``) that must sit under the same guard.
     """
 
     singleton = ""
     guarded_methods: frozenset[str] = frozenset()
+    guarded_functions: frozenset[str] = frozenset()
     consequence = ""
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -138,9 +147,10 @@ class _TouchpointsGuarded(Rule):
     def _check_expr(self, ctx: FileContext, root: ast.AST) -> Iterator[Finding]:
         """Flag touchpoint calls anywhere under an unguarded node."""
         for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
             if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
+                isinstance(node.func, ast.Attribute)
                 and node.func.attr in self.guarded_methods
                 and isinstance(node.func.value, ast.Name)
                 and node.func.value.id == self.singleton
@@ -150,6 +160,17 @@ class _TouchpointsGuarded(Rule):
                     node,
                     f"`{self.singleton}.{node.func.attr}(...)` is not inside "
                     f"an `if {self.singleton}.enabled:` guard; "
+                    f"{self.consequence}",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self.guarded_functions
+            ):
+                yield ctx.finding(
+                    self.code,
+                    node,
+                    f"`{node.func.id}(...)` is not inside an "
+                    f"`if {self.singleton}.enabled:` guard; "
                     f"{self.consequence}",
                 )
 
@@ -191,6 +212,30 @@ class FlightRecorderGuarded(_TouchpointsGuarded):
     consequence = (
         "disabled runs would still build the record dict and scrub its "
         "attributes"
+    )
+
+
+class TelemetryTouchpointsGuarded(_TouchpointsGuarded):
+    """OBS004: OBS.sample / record_*_health under ``if OBS.enabled:``."""
+
+    code = "OBS004"
+    summary = (
+        "telemetry touchpoints (OBS.sample, record_*_health) must sit "
+        "inside an `if OBS.enabled:` guard so disabled runs never "
+        "recompute health gauges or format sample context"
+    )
+    singleton = "OBS"
+    guarded_methods = frozenset({"sample"})
+    guarded_functions = frozenset(
+        {
+            "record_coverage_health",
+            "record_energy_health",
+            "record_protocol_health",
+        }
+    )
+    consequence = (
+        "disabled runs would still recompute domain health (holes, "
+        "energy profiles) or format the sample context"
     )
 
 

@@ -31,6 +31,15 @@ causal per-node protocol event log (see :mod:`repro.obs.flightrec`) whose
 header embeds a cleaned argv, so ``decor replay out.jsonl`` can re-execute
 the command and verify the stream reproduces byte for byte — including
 sweeps recorded with ``--workers N``, which replay serially.
+
+Live telemetry: ``--sample sink.jsonl`` streams timestamped metric deltas
+and ``health_*`` gauges to a JSONL sink while the command runs
+(``REPRO_OBS_SAMPLE=<period>`` throttles to wall-time sampling; the
+default is one row per hook in deterministic logical time).  Watch a sink
+with ``decor top sink.jsonl --follow``, serve any export as a Prometheus
+scrape endpoint with ``decor obs serve``, grammar-check an endpoint with
+``decor obs scrape URL``, and pretty-print exports offline with
+``decor obs summarize PATH``.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -71,13 +80,28 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         help="record a replayable causal protocol event log as JSON lines "
              "(verify it later with `decor replay PATH`)",
     )
+    parser.add_argument(
+        "--sample", metavar="PATH",
+        help="enable instrumentation; stream time-series health/metric "
+             "samples to a JSONL sink (watch it with `decor top PATH`; "
+             "REPRO_OBS_SAMPLE=<seconds> switches to wall-time throttling)",
+    )
 
 
 def _obs_begin(args: argparse.Namespace) -> bool:
     """Enable a fresh obs runtime when an export flag asks for one."""
-    wants = bool(getattr(args, "trace", None) or getattr(args, "metrics", None))
+    wants = bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "sample", None)
+    )
     if wants:
-        OBS.enable(fresh=True)
+        stream = None
+        sample_path = getattr(args, "sample", None)
+        if sample_path:
+            stream = open(sample_path, "w", encoding="utf-8")
+            args._sample_stream = stream
+        OBS.enable(fresh=True, sample_stream=stream)
     return wants
 
 
@@ -85,7 +109,8 @@ def _obs_begin(args: argparse.Namespace) -> bool:
 #: output/export paths and worker counts do not affect the event stream,
 #: and stripping ``--flight-record`` itself keeps replay from recursing.
 _NON_REPLAY_FLAGS = (
-    "--flight-record", "--trace", "--metrics", "--json", "--csv", "--workers"
+    "--flight-record", "--trace", "--metrics", "--sample", "--json", "--csv",
+    "--workers",
 )
 
 
@@ -117,6 +142,12 @@ def _obs_finish(args: argparse.Namespace) -> None:
     if getattr(args, "metrics", None):
         n = OBS.metrics.write_json(args.metrics)
         print(f"wrote {args.metrics} ({n} metric series)")
+    if getattr(args, "sample", None):
+        stream = getattr(args, "_sample_stream", None)
+        if stream is not None:
+            stream.close()
+        n = OBS.sampler.seq if OBS.sampler is not None else 0
+        print(f"wrote {args.sample} ({n} sample rows)")
     print(summarize_trace(OBS.tracer).format())
 
 
@@ -201,6 +232,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_life.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("gallery", help="print paper Figures 4-6 as ASCII art")
+
+    p_obs = sub.add_parser(
+        "obs", help="telemetry tooling: serve, scrape, summarize exports"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_serve = obs_sub.add_parser(
+        "serve",
+        help="serve a metrics/sample export as a Prometheus scrape endpoint",
+    )
+    p_serve.add_argument(
+        "source", metavar="PATH",
+        help="a --metrics JSON or --sample JSONL export (re-read per scrape)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=9464)
+    p_serve.add_argument(
+        "--once", action="store_true",
+        help="print the exposition once and exit instead of serving",
+    )
+    p_scrape = obs_sub.add_parser(
+        "scrape", help="fetch an exposition endpoint and validate its grammar"
+    )
+    p_scrape.add_argument("url", metavar="URL")
+    p_sumz = obs_sub.add_parser(
+        "summarize",
+        help="pretty-print an exported metrics JSON / trace or sample JSONL",
+    )
+    p_sumz.add_argument("source", metavar="PATH")
+
+    p_top = sub.add_parser(
+        "top", help="terminal dashboard over a --sample JSONL sink"
+    )
+    p_top.add_argument("source", metavar="PATH")
+    p_top.add_argument(
+        "--follow", action="store_true",
+        help="keep re-reading the sink (attach to a running sweep)",
+    )
+    p_top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                       help="refresh period with --follow (default 2s)")
+    p_top.add_argument("--frames", type=int, default=None, metavar="N",
+                       help="stop after N frames (default: 1, endless with "
+                            "--follow)")
+    p_top.add_argument("--width", type=int, default=48,
+                       help="sparkline width (default 48)")
+    p_top.add_argument("--limit", type=int, default=24,
+                       help="max series shown (default 24)")
+    p_top.add_argument("--prefix", default="", metavar="P",
+                       help="only series starting with P (try health_)")
 
     p_rep = sub.add_parser(
         "replay", help="validate and re-verify a flight recording"
@@ -406,6 +485,145 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.export import (
+        ExpositionServer,
+        load_registry,
+        parse_exposition,
+        prometheus_exposition,
+    )
+
+    if args.obs_command == "serve":
+        if args.once:
+            print(prometheus_exposition(load_registry(args.source)), end="")
+            return 0
+        server = ExpositionServer(
+            lambda: load_registry(args.source),
+            host=args.host, port=args.port,
+        ).start()
+        print(f"serving {args.source} at {server.url} (ctrl-c to stop)")
+        try:
+            server.wait()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            server.stop()
+        return 0
+    if args.obs_command == "scrape":
+        import urllib.request
+
+        with urllib.request.urlopen(args.url) as resp:  # noqa: S310
+            text = resp.read().decode("utf-8")
+        parsed = parse_exposition(text)
+        print(
+            f"{args.url}: valid exposition — {len(parsed['samples'])} "
+            f"samples across {len(parsed['families'])} metric families"
+        )
+        return 0
+    if args.obs_command == "summarize":
+        print(_summarize_export(args.source), end="")
+        return 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _summarize_export(source: str) -> str:
+    """Pretty-print any export the CLI writes (metrics/trace/samples)."""
+    import json as _json
+
+    from repro.experiments.summary import summarize_trace
+    from repro.obs.top import load_rows, series_table
+
+    text = open(source, encoding="utf-8").read()
+    doc: dict | None = None
+    first: dict | None = None
+    try:
+        whole = _json.loads(text) if text.strip() else None
+        if isinstance(whole, dict):
+            doc = whole
+    except _json.JSONDecodeError:
+        pass
+    if doc is None:
+        first_line = text.lstrip().splitlines()[0] if text.strip() else ""
+        try:
+            obj = _json.loads(first_line) if first_line else None
+            if isinstance(obj, dict):
+                first = obj
+        except _json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{source}: not a JSON/JSONL export: {exc}"
+            )
+    lines: list[str] = []
+    if doc is not None and doc.get("type") in ("header", "sample") or (
+        first is not None and first.get("type") in ("header", "sample")
+    ):
+        rows = load_rows(source)
+        table = series_table(rows)
+        lines.append(f"{source}: {len(rows)} sample rows, "
+                     f"{len(table)} series")
+        for key in sorted(
+            table, key=lambda k: (not k.startswith("health_"), k)
+        ):
+            pts = table[key]
+            lines.append(
+                f"  {key}: {len(pts)} points, "
+                f"first {pts[0][1]:g} -> last {pts[-1][1]:g}"
+            )
+    elif doc is not None and "type" not in doc:
+        lines.append(f"{source}: metrics dump, {len(doc)} metrics")
+        lines.extend(_summarize_metrics_doc(doc))
+    else:
+        summary = summarize_trace(source)
+        lines.append(f"{source}: trace export")
+        lines.append(summary.format())
+    return "\n".join(lines) + "\n"
+
+
+def _summarize_metrics_doc(doc: dict) -> list[str]:
+    """Top counters and histogram quantiles from an as_dict metrics dump."""
+    from repro.obs.export import registry_from_metrics_json
+    from repro.obs.metrics import Histogram
+
+    registry = registry_from_metrics_json(doc)
+    counters: list[tuple[float, str]] = []
+    hists: list[tuple[str, Histogram]] = []
+    for name, labels, kind, payload in registry.dump_state():
+        key = name + (
+            "{" + ",".join(f"{k}={v}" for k, v in labels) + "}" if labels
+            else ""
+        )
+        if kind == "counter":
+            counters.append((float(payload["value"]), key))
+        elif kind == "histogram":
+            hists.append((key, registry.histogram(name, **dict(labels))))
+    out: list[str] = []
+    if counters:
+        out.append("  top counters:")
+        for value, key in sorted(counters, reverse=True)[:10]:
+            out.append(f"    {key}: {value:g}")
+    if hists:
+        out.append("  histograms (p50/p95/p99):")
+        for key, hist in hists:
+            out.append(
+                f"    {key}: n={hist.count} mean={hist.mean:g} "
+                f"p50={hist.quantile(0.5):g} p95={hist.quantile(0.95):g} "
+                f"p99={hist.quantile(0.99):g}"
+            )
+    return out
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    run_top(
+        args.source,
+        follow=args.follow,
+        interval=args.interval,
+        frames=args.frames,
+        width=args.width,
+        limit=args.limit,
+        prefix=args.prefix,
+    )
+    return 0
+
+
 def _cmd_gallery(_: argparse.Namespace) -> int:
     region = Rect.square(100.0)
     spec = SensorSpec(4.0, 8.0)
@@ -439,6 +657,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_lifetime(args)
     if args.command == "gallery":
         return _cmd_gallery(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "replay":
         return _cmd_replay(args)
     raise AssertionError("unreachable")  # pragma: no cover

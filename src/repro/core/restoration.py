@@ -47,7 +47,7 @@ from repro.network.coverage import CoverageState
 from repro.network.deployment import Deployment
 from repro.network.failures import FailureEvent
 from repro.network.spec import SensorSpec
-from repro.obs import FREC
+from repro.obs import FREC, OBS, record_coverage_health
 
 __all__ = [
     "RestorationReport",
@@ -440,5 +440,23 @@ class RestorationSession:
             int(nid): row
             for row, nid in enumerate(self._deployment.alive_ids())
         }
+        if OBS.enabled:
+            # two health samples per epoch boundary: the damaged network,
+            # then the repaired one (coverage/deficiency/holes re-measured)
+            OBS.gauge("health_coverage_fraction").set(
+                report.covered_after_failure
+            )
+            OBS.gauge("health_failed_nodes").set(float(failed_ids.size))
+            OBS.sample(
+                "epoch-failure", epoch=self._epoch, method=self._method
+            )
+            record_coverage_health(report.repair.coverage, self._k)
+            OBS.gauge("health_alive_nodes").set(
+                float(self._deployment.n_alive)
+            )
+            OBS.sample(
+                "epoch-repair", epoch=self._epoch, method=self._method,
+                extra_nodes=report.extra_nodes,
+            )
         self._epoch += 1
         return report

@@ -35,10 +35,17 @@ from repro.field import as_field_model
 from repro.geometry.points import as_points
 from repro.geometry.region import Rect
 from repro.network.spec import SensorSpec
-from repro.obs import FREC, OBS, bridge_radio_stats
+from repro.obs import (
+    FREC,
+    OBS,
+    bridge_radio_stats,
+    record_energy_health,
+    record_protocol_health,
+)
 from repro.sim.engine import Simulator
 from repro.sim.heartbeat import HeartbeatConfig, HeartbeatNode
 from repro.sim.radio import Radio
+from repro.sim.stats import EnergyModel
 
 __all__ = ["RestorationProtocolReport", "run_restoration_protocol"]
 
@@ -385,6 +392,11 @@ def run_restoration_protocol(
                  restored=harness.restored_time is not None)
         if OBS.enabled:
             bridge_radio_stats(radio.stats, protocol="restoration")
+            record_protocol_health(
+                heartbeats=[n for n in harness.nodes if n.alive]
+            )
+            record_energy_health(EnergyModel(), radio.stats)
+            OBS.sample("protocol", kind="restoration")
 
     return RestorationProtocolReport(
         crash_time=crash_time,

@@ -28,7 +28,7 @@ from repro.discrepancy.randomization import cranley_patterson_rotation
 from repro.discrepancy.sequences import unit_points
 from repro.experiments.setup import ExperimentSetup, Series, series_by_name
 from repro.field import FieldModel
-from repro.obs import OBS, bridge_field_stats
+from repro.obs import OBS, bridge_field_stats, record_coverage_health
 
 __all__ = [
     "field_for_seed",
@@ -124,6 +124,9 @@ def run_series(
             k_span.set(added=int(result.added_ids.size))
     if snap is not None:
         bridge_field_stats(pts.stats, since=snap)
+    if OBS.enabled:
+        record_coverage_health(result.coverage, k)
+        OBS.sample("cell", series=series.name, k=k, seed=seed)
     return result
 
 

@@ -9,6 +9,16 @@ Three pillars behind one opt-in switch:
 * :mod:`repro.obs.profile` — the ``@profiled(site)`` decorator feeding a
   ``profile_seconds`` histogram.
 
+The live-telemetry layer builds on the metrics pillar:
+
+* :mod:`repro.obs.sampler` — a bounded ring of timestamped registry deltas
+  (``REPRO_OBS_SAMPLE=<period>`` or the CLI's ``--sample``);
+* :mod:`repro.obs.health` — ``health_*`` gauges distilled from live
+  coverage/energy/protocol state;
+* :mod:`repro.obs.export` — Prometheus text exposition, its parser, and
+  the ``decor obs serve`` scrape endpoint;
+* :mod:`repro.obs.top` — the ``decor top`` terminal dashboard.
+
 A fourth pillar has its own switch: :mod:`repro.obs.flightrec`'s
 :data:`FREC` records causal per-node protocol event logs (enable with
 ``REPRO_FLIGHTREC=1``, the CLI's ``--flight-record``, or a runner's
@@ -31,10 +41,21 @@ from repro.obs.bridge import (
     capture_worker_obs,
     merge_worker_obs,
 )
+from repro.obs.export import (
+    ExpositionServer,
+    parse_exposition,
+    prometheus_exposition,
+)
 from repro.obs.flightrec import FREC, FlightRecorder
+from repro.obs.health import (
+    record_coverage_health,
+    record_energy_health,
+    record_protocol_health,
+)
 from repro.obs.metrics import Gauge, Histogram, MCounter, MetricsRegistry
 from repro.obs.profile import profiled
 from repro.obs.runtime import NULL_SPAN, OBS, ObsRuntime
+from repro.obs.sampler import MetricsSampler
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
@@ -50,6 +71,13 @@ __all__ = [
     "Gauge",
     "Histogram",
     "profiled",
+    "MetricsSampler",
+    "ExpositionServer",
+    "prometheus_exposition",
+    "parse_exposition",
+    "record_coverage_health",
+    "record_energy_health",
+    "record_protocol_health",
     "bridge_field_stats",
     "bridge_radio_stats",
     "capture_worker_obs",

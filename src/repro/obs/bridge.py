@@ -110,6 +110,12 @@ class capture_worker_obs:
     and :func:`merge_worker_obs` folds them into the parent's stream via
     :meth:`~repro.obs.flightrec.FlightRecorder.absorb`.
 
+    ``sample`` (a period in seconds, ``0`` for logical time) attaches a
+    :class:`~repro.obs.sampler.MetricsSampler` to the worker's fresh
+    runtime; its rows ship back under ``"samples"`` and the parent's
+    sampler renumbers them into its own timeline on merge.  ``None``
+    leaves sampling to the worker's ``REPRO_OBS_SAMPLE`` environment.
+
     >>> with capture_worker_obs(True) as cap:
     ...     OBS.counter("demo_total").inc(2)
     >>> OBS.enabled
@@ -122,16 +128,18 @@ class capture_worker_obs:
     True
     """
 
-    __slots__ = ("_enabled", "_flightrec", "_payload")
+    __slots__ = ("_enabled", "_flightrec", "_sample", "_payload")
 
-    def __init__(self, enabled: bool, flightrec: bool = False) -> None:
+    def __init__(self, enabled: bool, flightrec: bool = False,
+                 sample: float | None = None) -> None:
         self._enabled = bool(enabled)
         self._flightrec = bool(flightrec)
+        self._sample = sample
         self._payload: dict[str, Any] | None = None
 
     def __enter__(self) -> "capture_worker_obs":
         if self._enabled:
-            OBS.enable(fresh=True)
+            OBS.enable(fresh=True, sample=self._sample)
         if self._flightrec:
             FREC.enable(fresh=True)
         return self
@@ -150,6 +158,8 @@ class capture_worker_obs:
                 trace=OBS.tracer.records(),
                 dropped=OBS.tracer.dropped,
             )
+            if OBS.sampler is not None:
+                self._payload["samples"] = OBS.sampler.rows()
             OBS.disable()
         if self._flightrec:
             self._payload["records"] = FREC.records()
@@ -173,9 +183,14 @@ def merge_worker_obs(
     Metrics add into the registry; trace records graft under the currently
     open span (see :meth:`~repro.obs.trace.Tracer.absorb`); flight records
     append as renumbered run blocks (see
-    :meth:`~repro.obs.flightrec.FlightRecorder.absorb`).  ``None`` payloads
-    (capture disabled, or a worker that recorded nothing) are ignored.
-    Defaults to the global runtime's registry/tracer/recorder.
+    :meth:`~repro.obs.flightrec.FlightRecorder.absorb`).  Sample rows are
+    renumbered into the parent sampler's timeline
+    (:meth:`~repro.obs.sampler.MetricsSampler.absorb`), which then
+    re-baselines itself against the registry so the absorbed metric deltas
+    — already reported by the worker's own rows — are not sampled again by
+    the parent.  ``None`` payloads (capture disabled, or a worker that
+    recorded nothing) are ignored.  Defaults to the global runtime's
+    registry/tracer/recorder/sampler.
     """
     if payload is None:
         return
@@ -184,5 +199,9 @@ def merge_worker_obs(
         target = OBS.tracer if tracer is None else tracer
         registry.absorb(payload["metrics"])
         target.absorb(payload["trace"], dropped=int(payload.get("dropped", 0)))
+        sampler = OBS.sampler if metrics is None else None
+        if sampler is not None and sampler.registry is registry:
+            sampler.absorb(payload.get("samples", []))
+            sampler.resync()
     if "records" in payload:
         (FREC if flightrec is None else flightrec).absorb(payload["records"])

@@ -17,6 +17,15 @@ Three instrument types:
 Registering the same name with two different instrument types raises
 :class:`~repro.errors.ObservabilityError` — a silent counter/gauge mixup
 would corrupt every downstream report.
+
+Label cardinality is bounded: each metric name may hold at most
+``max_label_sets`` distinct label combinations (default
+:data:`DEFAULT_MAX_LABEL_SETS`).  Once a name is full, lookups with *new*
+label sets return a shared no-op instrument and increment the
+``obs_labels_dropped_total{metric=...}`` overflow counter instead of
+growing the registry — a long-lived process (the planned restoration
+daemon) cannot be grown without bound by unbounded label values.
+Existing series keep working at the cap.
 """
 
 from __future__ import annotations
@@ -28,11 +37,24 @@ from typing import TypeVar, Union, cast
 
 from repro.errors import ObservabilityError
 
-__all__ = ["MCounter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "DEFAULT_MAX_LABEL_SETS",
+    "LABELS_DROPPED_METRIC",
+    "MCounter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
 
 #: Upper edges of the histogram's power-of-two buckets; the last bucket is
 #: open-ended.  2**-4 .. 2**20 covers microsecond timings through node counts.
 _BUCKET_EDGES = tuple(2.0 ** e for e in range(-4, 21))
+
+#: Per-metric cap on distinct label combinations (see module docstring).
+DEFAULT_MAX_LABEL_SETS = 512
+
+#: Overflow counter incremented when a new label set is dropped at the cap.
+LABELS_DROPPED_METRIC = "obs_labels_dropped_total"
 
 
 class MCounter:
@@ -124,6 +146,36 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q`` quantile from the buckets.
+
+        Returns the upper edge of the bucket containing the ``q``-th
+        observation (the usual bucketed-histogram estimate, biased high by
+        at most one power of two).  ``0.0`` when empty; the top bucket is
+        open-ended and reports the observed ``max``.
+
+        >>> h = Histogram()
+        >>> for v in (0.5, 1.0, 3.0, 100.0):
+        ...     h.observe(v)
+        >>> h.quantile(0.5)
+        1.0
+        >>> h.quantile(1.0)
+        100.0
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank and n:
+                if i == len(_BUCKET_EDGES):
+                    return self.max
+                return min(_BUCKET_EDGES[i], self.max)
+        return self.max
+
     def state(self) -> dict:
         """Raw mergeable state (for cross-process aggregation)."""
         return {
@@ -162,6 +214,42 @@ class Histogram:
         return out
 
 
+class _DroppedCounter(MCounter):
+    """Shared no-op counter handed out past the label-cardinality cap."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _DroppedGauge(Gauge):
+    """Shared no-op gauge handed out past the label-cardinality cap."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _DroppedHistogram(Histogram):
+    """Shared no-op histogram handed out past the label-cardinality cap."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_DROPPED: dict[str, Union[MCounter, Gauge, Histogram]] = {
+    "counter": _DroppedCounter(),
+    "gauge": _DroppedGauge(),
+    "histogram": _DroppedHistogram(),
+}
+
 #: Any concrete instrument; :meth:`MetricsRegistry._get` is generic over it.
 _Instrument = Union[MCounter, Gauge, Histogram]
 _I = TypeVar("_I", MCounter, Gauge, Histogram)
@@ -184,11 +272,30 @@ class MetricsRegistry:
     >>> reg.gauge("decor_messages_total")   # doctest: +IGNORE_EXCEPTION_DETAIL
     Traceback (most recent call last):
     repro.errors.ObservabilityError: metric 'decor_messages_total' ...
+
+    Past the per-metric cap, new label sets are dropped, not stored:
+
+    >>> reg = MetricsRegistry(max_label_sets=2)
+    >>> for node in range(4):
+    ...     reg.counter("beacons_total", node=node).inc()
+    >>> len(reg)            # 2 kept series + the overflow counter
+    3
+    >>> reg.value("obs_labels_dropped_total", metric="beacons_total")
+    2
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_label_sets: int = DEFAULT_MAX_LABEL_SETS) -> None:
+        if max_label_sets < 1:
+            raise ObservabilityError(
+                f"max_label_sets must be >= 1, got {max_label_sets}"
+            )
+        self.max_label_sets = max_label_sets
         self._instruments: dict[tuple, _Instrument] = {}
         self._types: dict[str, str] = {}
+        self._series_count: dict[str, int] = {}
+        #: Keys touched (created or looked up) since the last
+        #: :meth:`clear_touched`; the sampler's delta source.
+        self._touched: set[tuple] = set()
         #: Total instrument operations (lookups); the overhead benchmark uses
         #: this to bound enabled-mode cost per touchpoint.
         self.ops = 0
@@ -205,10 +312,29 @@ class MetricsRegistry:
         key = (name, tuple(sorted(labels.items())))
         inst = self._instruments.get(key)
         if inst is None:
+            if self._series_count.get(name, 0) >= self.max_label_sets:
+                self._note_dropped(name)
+                return cast("_I", _DROPPED[want])
             inst = factory()
             self._instruments[key] = inst
             self._types[name] = want
+            self._series_count[name] = self._series_count.get(name, 0) + 1
+        self._touched.add(key)
         return cast("_I", inst)
+
+    def _note_dropped(self, name: str) -> None:
+        """Count one dropped label set without re-entering :meth:`_get`."""
+        key = (LABELS_DROPPED_METRIC, (("metric", name),))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = MCounter()
+            self._instruments[key] = inst
+            self._types[LABELS_DROPPED_METRIC] = "counter"
+            self._series_count[LABELS_DROPPED_METRIC] = (
+                self._series_count.get(LABELS_DROPPED_METRIC, 0) + 1
+            )
+        cast(MCounter, inst).inc()
+        self._touched.add(key)
 
     def counter(self, name: str, **labels: object) -> MCounter:
         return self._get(MCounter, name, labels)
@@ -234,7 +360,29 @@ class MetricsRegistry:
     def reset(self) -> None:
         self._instruments.clear()
         self._types.clear()
+        self._series_count.clear()
+        self._touched.clear()
         self.ops = 0
+
+    # ------------------------------------------------------------------
+    # touched-key tracking (the sampler's delta source)
+    # ------------------------------------------------------------------
+    def touched(self) -> list[tuple[str, tuple, _Instrument]]:
+        """Series touched since the last :meth:`clear_touched`, key-sorted.
+
+        Every :meth:`counter`/:meth:`gauge`/:meth:`histogram` lookup marks
+        its series touched; the sampler reads this to emit only the series
+        that moved since the previous sample and then clears the set.
+        """
+        out: list[tuple[str, tuple, _Instrument]] = []
+        for key in sorted(self._touched):
+            inst = self._instruments.get(key)
+            if inst is not None:
+                out.append((key[0], key[1], inst))
+        return out
+
+    def clear_touched(self) -> None:
+        self._touched.clear()
 
     # ------------------------------------------------------------------
     # cross-process aggregation

@@ -24,7 +24,10 @@ from __future__ import annotations
 import os
 from types import TracebackType
 
+from typing import IO, Any
+
 from repro.obs.metrics import Gauge, Histogram, MCounter, MetricsRegistry
+from repro.obs.sampler import MetricsSampler
 from repro.obs.trace import DEFAULT_CAPACITY, Span, Tracer
 
 __all__ = ["ObsRuntime", "OBS", "NULL_SPAN"]
@@ -99,20 +102,40 @@ class ObsRuntime:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        #: Attached time-series sampler, or ``None`` (sampling off).
+        self.sampler: MetricsSampler | None = None
 
     # ------------------------------------------------------------------
     def enable(self, *, trace_capacity: int = DEFAULT_CAPACITY,
-               fresh: bool = False) -> None:
+               fresh: bool = False, sample: float | None = None,
+               sample_stream: IO[str] | None = None) -> None:
         """Turn recording on.
 
         ``fresh=True`` (what the CLI uses per invocation) replaces the tracer
         and registry so the export covers exactly this run; the default keeps
         whatever has accumulated.
+
+        ``sample`` attaches a :class:`~repro.obs.sampler.MetricsSampler`
+        with that period (``0`` = logical time, one row per hook).  ``None``
+        defers to the ``REPRO_OBS_SAMPLE`` environment variable; when that
+        is unset too, no sampler is attached and :meth:`sample` is a no-op.
+        ``sample_stream`` additionally mirrors every row to an open text
+        stream (the JSONL sink) as it is recorded.
         """
         if fresh or self.tracer.capacity != trace_capacity:
             self.tracer = Tracer(trace_capacity)
         if fresh:
             self.metrics = MetricsRegistry()
+            self.sampler = None
+        env = os.environ.get("REPRO_OBS_SAMPLE", "")
+        env_period = float(env) if env != "" else None
+        if sample is not None or sample_stream is not None:
+            period = sample if sample is not None else (env_period or 0.0)
+            self.sampler = MetricsSampler(
+                self.metrics, period=period, stream=sample_stream
+            )
+        elif env_period is not None and self.sampler is None:
+            self.sampler = MetricsSampler(self.metrics, period=env_period)
         self.enabled = True
 
     def disable(self) -> None:
@@ -124,6 +147,7 @@ class ObsRuntime:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.sampler = None
 
     # ------------------------------------------------------------------
     # delegating facade — each call is one attribute check when disabled
@@ -152,6 +176,14 @@ class ObsRuntime:
         if not self.enabled:
             return _NULL_INSTRUMENT
         return self.metrics.histogram(name, **labels)
+
+    def sample(self, tag: str, **ctx: object) -> dict[str, Any] | None:
+        """Record one time-series row if a sampler is attached (else no-op)."""
+        if not self.enabled:
+            return None
+        if self.sampler is None:
+            return None
+        return self.sampler.sample(tag, **ctx)
 
 
 #: The process-wide runtime all instrumented repro code records into.

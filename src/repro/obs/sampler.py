@@ -1,0 +1,255 @@
+"""Time-series sampling of the metrics registry (the live-telemetry core).
+
+A :class:`MetricsSampler` turns the cumulative :class:`~repro.obs.metrics.
+MetricsRegistry` into a bounded ring of timestamped *rows*: each row captures
+the series that moved since the previous sample — counters and histograms as
+deltas, gauges as their current reading — so a consumer (`decor top`, the
+JSONL sink, the planned restoration daemon) sees a trajectory instead of one
+end-of-run total.
+
+Two clocks, selected by the sample period:
+
+* ``period == 0`` — **logical time**: every :meth:`sample` call emits a row
+  and the timestamp is the row's sequence number.  Deterministic by
+  construction, which is what makes the serial-vs-workers byte-identity
+  guarantee of :mod:`repro.obs.bridge` extend to sampled series.
+* ``period > 0`` — **wall time**: rows are throttled to at most one per
+  ``period`` seconds and stamped with ``time.monotonic`` offsets from the
+  sampler's creation.  For real long-running processes; not byte-stable.
+
+Sim-time hooks record their own clock in the row *context*
+(``sample("sim", sim_t=engine.now)``), so simulated seconds survive into
+the exported series regardless of mode while the ``t`` field stays the
+sampler's own (merge-stable) clock.
+
+Determinism caveat: a few registry series are inherently process-local —
+FieldModel build/hit counters depend on which worker first touched a seed,
+and ``profile_seconds`` buckets wall-clock timings.  Those are excluded
+from rows by default (:data:`EXCLUDED_PREFIXES`); they remain in the full
+registry dump, just not in the sampled trajectory.
+
+This module is wall-clock-exempt like the rest of :mod:`repro.obs`
+(DET002 carve-out): time here feeds telemetry, never results.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import IO, Any, Iterable
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import Gauge, Histogram, MCounter, MetricsRegistry
+
+__all__ = [
+    "DEFAULT_SAMPLE_CAPACITY",
+    "EXCLUDED_PREFIXES",
+    "MetricsSampler",
+    "series_key",
+]
+
+#: Ring capacity: plenty for a smoke sweep, bounded for a daemon.
+DEFAULT_SAMPLE_CAPACITY = 4096
+
+#: Metric-name prefixes excluded from sample rows (see module docstring).
+EXCLUDED_PREFIXES: tuple[str, ...] = ("field_model_", "profile_seconds")
+
+#: Schema version stamped into the sink header row.
+SINK_VERSION = 1
+
+
+def series_key(name: str, labels: Iterable[tuple[str, object]]) -> str:
+    """Canonical flat key for one series: ``name{a=b,c=d}`` or ``name``.
+
+    >>> series_key("radio_messages_sent_total", (("protocol", "grid"),))
+    'radio_messages_sent_total{protocol=grid}'
+    >>> series_key("health_coverage_fraction", ())
+    'health_coverage_fraction'
+    """
+    pairs = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{pairs}}}" if pairs else name
+
+
+def _scalarize(inst: MCounter | Gauge | Histogram) -> Any:
+    """The comparable per-series state a delta is computed against."""
+    if isinstance(inst, Histogram):
+        return (inst.count, inst.sum)
+    return inst.value
+
+
+class MetricsSampler:
+    """Bounded ring of timestamped registry deltas.
+
+    >>> reg = MetricsRegistry()
+    >>> s = MetricsSampler(reg)
+    >>> reg.counter("beacons_total").inc(3)
+    >>> _ = s.sample("cell", seed=0)
+    >>> reg.counter("beacons_total").inc(2)
+    >>> reg.gauge("health_coverage_fraction").set(0.75)
+    >>> _ = s.sample("cell", seed=1)
+    >>> [r["series"]["beacons_total"]["v"] for r in s.rows()]
+    [3, 2]
+    >>> s.rows()[1]["series"]["health_coverage_fraction"]
+    {'k': 'gauge', 'v': 0.75}
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        period: float = 0.0,
+        capacity: int = DEFAULT_SAMPLE_CAPACITY,
+        exclude: tuple[str, ...] = EXCLUDED_PREFIXES,
+        stream: IO[str] | None = None,
+    ) -> None:
+        if period < 0:
+            raise ObservabilityError(f"sample period must be >= 0, got {period}")
+        if capacity < 1:
+            raise ObservabilityError(f"sample capacity must be >= 1, got {capacity}")
+        self.registry = registry
+        self.period = float(period)
+        self.exclude = tuple(exclude)
+        self._rows: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.seq = 0
+        self._last: dict[tuple, Any] = {}
+        self._t0 = time.monotonic()
+        self._last_wall = -float("inf")
+        self._stream = stream
+        if stream is not None:
+            stream.write(json.dumps(self.header(), sort_keys=True) + "\n")
+            stream.flush()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self._rows)
+
+    def header(self) -> dict[str, Any]:
+        """The sink's self-describing first row."""
+        return {
+            "type": "header",
+            "version": SINK_VERSION,
+            "kind": "samples",
+            "period": self.period,
+            "clock": "wall" if self.period > 0 else "logical",
+            "exclude": list(self.exclude),
+        }
+
+    def rows(self) -> list[dict[str, Any]]:
+        return list(self._rows)
+
+    # ------------------------------------------------------------------
+    def sample(self, tag: str, **ctx: object) -> dict[str, Any] | None:
+        """Record one row of deltas since the previous sample.
+
+        ``tag`` names the hook ("cell", "epoch", "sim", ...); extra keyword
+        context (series name, epoch index, sim time) rides along under
+        ``ctx``.  In wall mode a call inside the throttle window records
+        nothing and returns ``None`` — the touched set keeps accumulating,
+        so the next recorded row still covers every change.
+        """
+        if self.period > 0:
+            now = time.monotonic() - self._t0
+            if now - self._last_wall < self.period:
+                return None
+            self._last_wall = now
+            stamp = now
+        else:
+            stamp = float(self.seq)
+        series: dict[str, Any] = {}
+        for name, labels, inst in self.registry.touched():
+            if name.startswith(self.exclude):
+                continue
+            key = (name, labels)
+            cur = _scalarize(inst)
+            prev = self._last.get(key)
+            self._last[key] = cur
+            flat = series_key(name, labels)
+            if isinstance(inst, Histogram):
+                pc, ps = prev if prev is not None else (0, 0.0)
+                series[flat] = {
+                    "k": "histogram", "count": cur[0] - pc, "sum": cur[1] - ps,
+                }
+            elif isinstance(inst, Gauge):
+                series[flat] = {"k": "gauge", "v": cur}
+            else:
+                series[flat] = {
+                    "k": "counter", "v": cur - (prev if prev is not None else 0),
+                }
+        self.registry.clear_touched()
+        row: dict[str, Any] = {
+            "type": "sample",
+            "seq": self.seq,
+            "t": stamp,
+            "tag": tag,
+            "ctx": {k: v for k, v in sorted(ctx.items())},
+            "series": series,
+        }
+        self.seq += 1
+        self._push(row)
+        return row
+
+    def _push(self, row: dict[str, Any]) -> None:
+        if len(self._rows) == self._rows.maxlen:
+            self.dropped += 1
+        self._rows.append(row)
+        if self._stream is not None:
+            self._stream.write(json.dumps(row, sort_keys=True) + "\n")
+            self._stream.flush()
+
+    # ------------------------------------------------------------------
+    # cross-process merge (the bridge seam)
+    # ------------------------------------------------------------------
+    def absorb(self, rows: Iterable[dict[str, Any]]) -> int:
+        """Append a worker's rows, renumbering into this sampler's timeline.
+
+        Sequence numbers continue this sampler's; in logical mode the
+        timestamp is rewritten to the new sequence number so a merged sink
+        is indistinguishable from a serial one.  Header rows are skipped.
+        Returns the number of rows absorbed.
+        """
+        n = 0
+        for row in rows:
+            if row.get("type") != "sample":
+                continue
+            merged = dict(row)
+            merged["seq"] = self.seq
+            if self.period <= 0:
+                merged["t"] = float(self.seq)
+            self.seq += 1
+            self._push(merged)
+            n += 1
+        return n
+
+    def resync(self) -> None:
+        """Re-baseline deltas against the registry's full current state.
+
+        Called after the parent absorbs worker metrics
+        (:func:`~repro.obs.bridge.merge_worker_obs`): the absorbed amounts
+        are already accounted for by the worker's own rows, so the parent's
+        next sample must not re-report them.
+        """
+        for name, labels, kind, payload in self.registry.dump_state():
+            key = (name, labels)
+            if kind == "histogram":
+                self._last[key] = (int(payload["count"]), float(payload["sum"]))
+            else:
+                self._last[key] = payload["value"]
+        self.registry.clear_touched()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Header plus every ring row, one JSON object per line."""
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(json.dumps(r, sort_keys=True) for r in self._rows)
+        return "\n".join(lines) + "\n"
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the ring to ``path``; returns the row count (no header)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+        return len(self._rows)

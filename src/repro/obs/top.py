@@ -1,0 +1,171 @@
+"""The live terminal dashboard behind ``decor top``.
+
+Reads a sampler sink (the JSONL file ``--sample`` streams to, or a
+finished export) and renders each series as a sparkline trajectory with
+its latest value — so a long sweep or epoch run stops being a black box.
+``decor top --follow`` re-reads the file on an interval, which is enough
+to "attach" to a running run: the sampler streams rows as they happen,
+and the dashboard tails them.
+
+Counters are plotted cumulatively (their rows carry deltas), gauges as
+their readings.  Health gauges (the ``health_*`` family of
+:mod:`repro.obs.health`) sort first; histograms contribute their
+per-sample mean.  Pure functions over parsed rows — the CLI owns the
+screen-clearing loop.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import IO, Any, Iterable
+
+from repro.viz.sparkline import sparkline
+
+__all__ = ["load_rows", "series_table", "render_top", "run_top"]
+
+
+def load_rows(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a sampler sink: JSONL sample rows (header and blanks skipped).
+
+    Tolerates a truncated final line — the writer may be mid-append when a
+    follower reads the file.
+    """
+    rows: list[dict[str, Any]] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return rows
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(obj, dict) and obj.get("type") == "sample":
+            rows.append(obj)
+    return rows
+
+
+def series_table(
+    rows: Iterable[dict[str, Any]]
+) -> dict[str, list[tuple[float, float]]]:
+    """``{series key: [(t, value), ...]}`` with counters accumulated.
+
+    Counter series integrate their deltas into running totals, gauges keep
+    their readings, histograms plot the mean of each sample's delta (sum
+    over count, skipping empty deltas).
+    """
+    out: dict[str, list[tuple[float, float]]] = {}
+    totals: dict[str, float] = {}
+    for row in rows:
+        t = float(row.get("t", 0.0))
+        for key, entry in row.get("series", {}).items():
+            kind = entry.get("k")
+            if kind == "counter":
+                totals[key] = totals.get(key, 0.0) + float(entry["v"])
+                out.setdefault(key, []).append((t, totals[key]))
+            elif kind == "gauge":
+                out.setdefault(key, []).append((t, float(entry["v"])))
+            elif kind == "histogram":
+                count = int(entry.get("count", 0))
+                if count:
+                    out.setdefault(key, []).append(
+                        (t, float(entry["sum"]) / count)
+                    )
+    return out
+
+
+def _fmt_value(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+def _sort_rank(key: str) -> tuple[int, str]:
+    return (0 if key.startswith("health_") else 1, key)
+
+
+def render_top(
+    rows: list[dict[str, Any]],
+    *,
+    width: int = 48,
+    limit: int = 24,
+    prefix: str = "",
+) -> str:
+    """One dashboard frame: header line plus a sparkline per series.
+
+    ``prefix`` filters series keys (``health_`` shows only the health
+    gauges); ``limit`` caps the series count, health gauges first.
+    """
+    lines: list[str] = []
+    if not rows:
+        return "no samples yet\n"
+    tags: dict[str, int] = {}
+    for row in rows:
+        tags[str(row.get("tag", "?"))] = tags.get(str(row.get("tag", "?")), 0) + 1
+    t_lo, t_hi = float(rows[0].get("t", 0.0)), float(rows[-1].get("t", 0.0))
+    tag_text = " ".join(f"{k}:{n}" for k, n in sorted(tags.items()))
+    lines.append(
+        f"{len(rows)} samples  t {_fmt_value(t_lo)}..{_fmt_value(t_hi)}"
+        f"  [{tag_text}]"
+    )
+    table = series_table(rows)
+    keys = sorted(
+        (k for k in table if k.startswith(prefix)), key=_sort_rank
+    )
+    shown = keys[:limit]
+    name_w = max((len(k) for k in shown), default=0)
+    for key in shown:
+        values = [v for _, v in table[key]]
+        spark = sparkline(values, width=width)
+        lines.append(
+            f"{key:<{name_w}}  {spark:<{width}}  "
+            f"{_fmt_value(min(values))} .. {_fmt_value(values[-1])}"
+            f" (last) .. {_fmt_value(max(values))}"
+        )
+    if len(keys) > limit:
+        lines.append(f"... {len(keys) - limit} more series (raise --limit)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    path: str | Path,
+    *,
+    follow: bool = False,
+    interval: float = 2.0,
+    frames: int | None = None,
+    width: int = 48,
+    limit: int = 24,
+    prefix: str = "",
+    out: IO[str] | None = None,
+) -> int:
+    """The ``decor top`` loop: render frames, return how many were drawn.
+
+    One frame by default; ``follow=True`` re-reads the sink every
+    ``interval`` seconds until interrupted (or ``frames`` is reached),
+    clearing the screen between frames when writing to a terminal.
+    """
+    stream = out if out is not None else sys.stdout
+    total = frames if frames is not None else (None if follow else 1)
+    drawn = 0
+    is_tty = bool(getattr(stream, "isatty", lambda: False)())
+    while True:
+        frame = render_top(
+            load_rows(path), width=width, limit=limit, prefix=prefix
+        )
+        if follow and is_tty:
+            stream.write("\x1b[2J\x1b[H")
+        stream.write(frame)
+        stream.flush()
+        drawn += 1
+        if total is not None and drawn >= total:
+            return drawn
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return drawn

@@ -77,6 +77,7 @@ def _worker_init(
     obs_enabled: bool,
     checks_enabled: bool,
     frec_enabled: bool = False,
+    obs_sample: float | None = None,
 ) -> None:
     """Build this worker's private cache; runs once per worker process."""
     from repro.experiments.runner import DeploymentCache
@@ -88,6 +89,7 @@ def _worker_init(
     )
     _WORKER["obs"] = bool(obs_enabled)
     _WORKER["frec"] = bool(frec_enabled)
+    _WORKER["sample"] = obs_sample
 
 
 def _worker_run_cell(
@@ -95,7 +97,9 @@ def _worker_run_cell(
 ) -> tuple[Cell, "DeploymentResult", dict[str, Any] | None]:
     """Run one cell in the worker; ship the result plus captured telemetry."""
     cache: "DeploymentCache" = _WORKER["cache"]
-    with capture_worker_obs(_WORKER["obs"], _WORKER["frec"]) as cap:
+    with capture_worker_obs(
+        _WORKER["obs"], _WORKER["frec"], sample=_WORKER["sample"]
+    ) as cap:
         result = cache.get(*cell)
     return cell, result, cap.payload()
 
@@ -131,6 +135,11 @@ def prefill_cache(
 
     obs_enabled = OBS.enabled
     frec_enabled = FREC.enabled
+    # the parent's sampling period rides along so worker rows merge into
+    # the same timeline; the sampler itself is only touched via the bridge
+    obs_sample = (
+        OBS.sampler.period if obs_enabled and OBS.sampler is not None else None
+    )
     with OBS.span("prefill", cells=len(todo), workers=n_workers):
         with ProcessPoolExecutor(
             max_workers=min(n_workers, len(todo)),
@@ -142,6 +151,7 @@ def prefill_cache(
                 obs_enabled,
                 CHECKS.enabled,
                 frec_enabled,
+                obs_sample,
             ),
         ) as pool:
             futures: list[Future[Any]] = [

@@ -137,3 +137,6 @@ class Simulator:
         finally:
             if OBS.enabled and executed:
                 OBS.counter("sim_events_total").inc(executed)
+                # sim-time hook: one row per run() slice, stamped with the
+                # engine clock so trajectories plot against simulated seconds
+                OBS.sample("sim", sim_t=self._now, events=executed)

@@ -1,0 +1,64 @@
+"""Unicode sparklines: a numeric series as one line of block characters.
+
+The rendering primitive behind ``decor top``: each value maps to one of
+eight block glyphs scaled between the series minimum and maximum, so a
+health trajectory reads at a glance in any terminal.  Pure string
+formatting — no terminal control, no dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["BLOCKS", "sparkline"]
+
+#: The eight block glyphs, lowest to highest.
+BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def _resample(values: Sequence[float], width: int) -> list[float]:
+    """Reduce ``values`` to at most ``width`` points (last value per bin)."""
+    n = len(values)
+    if n <= width:
+        return list(values)
+    out: list[float] = []
+    for i in range(width):
+        hi = ((i + 1) * n) // width
+        out.append(values[hi - 1])
+    return out
+
+
+def sparkline(values: Sequence[float], *, width: int = 60) -> str:
+    """Render a series as block characters.
+
+    Values are scaled between the series min and max; flat series render
+    mid-height, non-finite values as spaces.  Series longer than ``width``
+    are resampled (keeping each bin's last value) so recent structure
+    survives.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    >>> sparkline([5, 5, 5])
+    '▄▄▄'
+    >>> sparkline([])
+    ''
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    pts = [float(v) for v in _resample(values, width)]
+    finite = [v for v in pts if math.isfinite(v)]
+    if not finite:
+        return " " * len(pts)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars: list[str] = []
+    for v in pts:
+        if not math.isfinite(v):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(BLOCKS[3])
+        else:
+            idx = int((v - lo) / span * (len(BLOCKS) - 1) + 0.5)
+            chars.append(BLOCKS[idx])
+    return "".join(chars)

@@ -340,6 +340,95 @@ class TestObs001:
 
 
 # ----------------------------------------------------------------------
+# OBS004 - guarded telemetry touchpoints
+# ----------------------------------------------------------------------
+class TestObs004:
+    def test_unguarded_sample_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+
+            def f():
+                OBS.sample("cell", seed=0)
+            """,
+        )
+        assert _codes(findings) == ["OBS004"]
+
+    def test_unguarded_health_helper_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import record_coverage_health
+
+            def f(coverage, k):
+                record_coverage_health(coverage, k)
+            """,
+        )
+        assert _codes(findings) == ["OBS004"]
+
+    def test_guarded_telemetry_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import (
+                OBS,
+                record_coverage_health,
+                record_energy_health,
+                record_protocol_health,
+            )
+
+            def f(coverage, k, energy, stats, nodes):
+                if OBS.enabled:
+                    record_coverage_health(coverage, k)
+                    record_energy_health(energy, stats)
+                    record_protocol_health(heartbeats=nodes)
+                    OBS.sample("cell", k=k)
+            """,
+        )
+        assert findings == []
+
+    def test_early_exit_guard_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+
+            def f():
+                if not OBS.enabled:
+                    return
+                OBS.sample("epoch")
+            """,
+        )
+        assert findings == []
+
+    def test_unrelated_bare_call_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            def record_coverage(x):
+                return x
+
+            def f(x):
+                record_coverage(x)
+            """,
+        )
+        assert findings == []
+
+    def test_non_library_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import OBS
+            OBS.sample("t")
+            """,
+            library=False,
+            name="test_sample_usage.py",
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # OBS002 - unique @profiled sites
 # ----------------------------------------------------------------------
 class TestObs002:

@@ -14,6 +14,11 @@ full-field rescans:
    restoration across small-disc failure epochs at the paper's fig08
    field scale (the PR 6 warm-start gate; epoch 0 is the warm-up and is
    excluded, see ``benchmarks/test_bench_warm_restore.py``).
+3. **telemetry** — sample rows and series the live-telemetry sampler
+   emits on the smoke fig08 sweep (the PR 7 pipeline): the row count is
+   deterministic (one per cell, logical clock), so it ratchets like any
+   other counter; wall medians with the sampler off vs on ride along
+   under the wall-clock bound.
 
 Both counters are deterministic (seeded fields, integer work counts), so
 the gate is tight: the measured value may not exceed the recorded one by
@@ -138,10 +143,54 @@ def measure_epoch_sweep(root: Path, *, epochs: int = 6) -> dict:
     return out
 
 
+def measure_telemetry(root: Path, *, rounds: int = 3) -> dict:
+    """Sample-row volume and wall medians of the sampled fig08 sweep."""
+    _import_repro(root)
+    import statistics
+
+    from repro.experiments import ExperimentSetup
+    from repro.experiments.figures import cells_for_figure
+    from repro.experiments.runner import DeploymentCache
+    from repro.obs import OBS
+    from repro.parallel import prefill_cache
+
+    setup = ExperimentSetup.smoke()
+    cells = cells_for_figure(setup, 8)
+    sample_rows = 0
+    series_count = 0
+    walls: dict[str, list[float]] = {"off": [], "on": []}
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        prefill_cache(DeploymentCache(setup), cells)
+        walls["off"].append(time.perf_counter() - t0)
+
+        OBS.enable(fresh=True, sample=0.0)
+        t0 = time.perf_counter()
+        try:
+            prefill_cache(DeploymentCache(setup), cells)
+        finally:
+            walls["on"].append(time.perf_counter() - t0)
+            OBS.disable()
+        sample_rows = OBS.sampler.seq
+        series_count = len({
+            key for row in OBS.sampler.rows() for key in row["series"]
+        })
+        OBS.reset()
+    return {
+        "sample_rows": sample_rows,
+        "distinct_series": series_count,
+        "wall_seconds": {
+            mode: round(statistics.median(vals), 4)
+            for mode, vals in walls.items()
+        },
+    }
+
+
 def measure(root: Path) -> dict:
     return {
         "fig08_sweep": measure_fig08_sweep(root),
         "epoch_sweep": measure_epoch_sweep(root),
+        "telemetry": measure_telemetry(root),
     }
 
 
