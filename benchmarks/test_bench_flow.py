@@ -1,0 +1,59 @@
+"""Wall-clock bound for the interprocedural effect analyzer.
+
+``decor check`` runs the flow gate in-process on every invocation, and
+CI runs it on every push, so the whole-program analysis of ``src/repro``
+must stay interactive: parse, index, call-graph construction, SCC
+condensation and fixpoint propagation together in a few seconds, cold.
+
+The gate takes the best of three cold runs (each run re-parses every
+file — nothing is cached between :func:`analyze_paths` calls) and writes
+the measured numbers to ``results/`` alongside the graph's size, so a
+slow regression shows up with the scale that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.checks.flow import analyze_paths, flow_findings
+
+from conftest import RESULTS_DIR
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: Hard bound on one cold end-to-end analysis of src/repro, in seconds.
+#: Generous against the measured time (well under a second on the dev
+#: host) so only an asymptotic regression — not host noise — trips it.
+MAX_SECONDS = 5.0
+ROUNDS = 3
+
+
+def test_flow_analysis_wall_clock_bound():
+    best = float("inf")
+    analysis = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        analysis = analyze_paths([SRC])
+        findings = flow_findings(analysis)
+        best = min(best, time.perf_counter() - t0)
+
+    assert analysis is not None
+    assert analysis.is_post_fixpoint()
+    record = {
+        "best_seconds": round(best, 4),
+        "bound_seconds": MAX_SECONDS,
+        "functions": analysis.n_functions,
+        "edges": analysis.n_edges,
+        "sccs": analysis.n_sccs,
+        "findings": len(findings),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "flow_analysis.json").write_text(
+        json.dumps(record, indent=2) + "\n", encoding="utf-8"
+    )
+    assert best < MAX_SECONDS, (
+        f"effect analysis took {best:.2f}s for {analysis.n_functions} "
+        f"functions (bound {MAX_SECONDS}s)"
+    )

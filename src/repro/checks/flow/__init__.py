@@ -1,0 +1,93 @@
+"""Whole-program effect analysis: interprocedural purity and guard checking.
+
+The per-file linter (:mod:`repro.checks.lint`) sees one call site at a
+time; this package sees the whole call graph.  It parses every module
+under the given paths, builds a module-level call graph (import-map name
+resolution, a lightweight class/attribute index for method dispatch,
+reference edges for callbacks and decorators), assigns each function a
+*base* effect set from a small lattice —
+
+========================  ==============================================
+``PURE``                  no observable effect (the empty set)
+``SEEDED_RNG``            constructs an explicitly seeded generator
+``UNSEEDED_RNG``          constructs a generator from OS entropy
+``WALL_CLOCK``            reads the clock or OS entropy sources
+``ENV_READ``              reads ``os.environ``
+``IO``                    opens files / writes to stdio
+``GLOBAL_MUTATION``       mutates module-global or singleton state
+``OBS_WRITE``             unguarded OBS/FREC telemetry touchpoint
+========================  ==============================================
+
+— and propagates effects to a fixpoint over the SCC-condensed graph
+(one exact bottom-up pass; cycles share one summary).  On top of the
+summaries it enforces the *transitive* contracts the local rules only
+approximate:
+
+========  ============================================================
+FLOW001   nothing in ``repro.core``/``repro.sim``/``repro.field`` may
+          transitively reach wall-clock/entropy (closure of DET002)
+FLOW002   functions shipped to ``repro.parallel`` workers are
+          worker-pure all the way down (closure of PAR001)
+FLOW003   calls into functions that perform unguarded OBS/FREC writes
+          must themselves sit under an enabled guard on every path
+          (closure of OBS001-OBS004)
+DET003    no unsorted ``set`` iteration in effect-pure library code
+PAR001    un-seeded RNG / OBS-singleton mutation inside
+          ``repro.parallel`` itself (re-homed from the per-file rule)
+========  ============================================================
+
+Findings reuse the lint framework's :class:`~repro.checks.lint.framework.
+Finding` type and ``# checks: ignore[CODE]`` suppressions; surviving
+findings are gated by the grow-only baseline ``tools/flow_baseline.json``
+(:mod:`repro.checks.flow.baseline`).  Run as ``python -m repro.checks.flow
+src`` or through the ``decor check`` aggregate.  See
+``docs/static_analysis.md``.
+"""
+
+from repro.checks.flow.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    build_call_graph,
+)
+from repro.checks.flow.effects import (
+    EFFECT_ORDER,
+    ENV_READ,
+    GLOBAL_MUTATION,
+    IO,
+    OBS_WRITE,
+    PURE,
+    SEEDED_RNG,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    EffectSite,
+    FlowAnalysis,
+    analyze_paths,
+)
+from repro.checks.flow.rules import FLOW_RULE_SUMMARIES, FlowFinding, flow_findings
+from repro.checks.flow.baseline import BaselineReport, check_baseline, write_baseline
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "build_call_graph",
+    "EFFECT_ORDER",
+    "PURE",
+    "SEEDED_RNG",
+    "UNSEEDED_RNG",
+    "WALL_CLOCK",
+    "ENV_READ",
+    "IO",
+    "GLOBAL_MUTATION",
+    "OBS_WRITE",
+    "EffectSite",
+    "FlowAnalysis",
+    "analyze_paths",
+    "FLOW_RULE_SUMMARIES",
+    "FlowFinding",
+    "flow_findings",
+    "BaselineReport",
+    "check_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,133 @@
+"""CLI: ``python -m repro.checks.flow [paths...]``.
+
+Runs the whole-program effect analysis, applies ``# checks:
+ignore[CODE]`` suppressions, gates the surviving findings against the
+grow-only baseline, and exits non-zero on any new finding or stale
+baseline entry.  ``--summaries``/``--stats`` expose the computed
+summaries for humans; ``--update-baseline`` recaptures the baseline
+after deliberate triage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.checks.flow.baseline import (
+    DEFAULT_BASELINE,
+    check_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.flow.effects import analyze_paths, render_effects
+from repro.checks.flow.rules import apply_suppressions, flow_findings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks.flow",
+        description=(
+            "Interprocedural effect analysis: FLOW001-FLOW003, DET003, "
+            "PAR001 over the whole call graph."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding; do not consult the baseline",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--summaries",
+        metavar="PREFIX",
+        nargs="?",
+        const="",
+        default=None,
+        help=(
+            "print per-function effect summaries (optionally only "
+            "qualnames starting with PREFIX)"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print graph/analysis statistics",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    analysis = analyze_paths(args.paths)
+    findings = apply_suppressions(flow_findings(analysis))
+
+    if args.stats:
+        print(
+            f"functions={analysis.n_functions} edges={analysis.n_edges} "
+            f"sccs={analysis.n_sccs} "
+            f"fixpoint={'yes' if analysis.is_post_fixpoint() else 'NO'}"
+        )
+    if args.summaries is not None:
+        for qual in sorted(analysis.summaries):
+            if qual.startswith(args.summaries):
+                print(f"{qual}: {render_effects(analysis.summaries[qual])}")
+
+    if args.update_baseline:
+        write_baseline(findings, args.baseline)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline: dict[str, int] = (
+        {} if args.no_baseline else load_baseline(args.baseline)
+    )
+    report = check_baseline(findings, baseline)
+    for ff in report.new:
+        print(ff.finding.render())
+    for key in report.stale:
+        print(
+            f"{args.baseline}: stale baseline entry `{key}` — the "
+            "finding is gone; remove the entry (the baseline may only "
+            "shrink)"
+        )
+    if not report.ok:
+        n = len(report.new)
+        print(
+            f"flow: {n} new finding(s), {len(report.stale)} stale "
+            "baseline entr(ies)",
+            file=sys.stderr,
+        )
+        return 1
+    suffix = (
+        f" ({len(report.matched)} baselined)" if report.matched else ""
+    )
+    print(
+        f"flow: clean — {analysis.n_functions} functions, "
+        f"{analysis.n_edges} edges, {analysis.n_sccs} SCCs{suffix}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Grow-only baseline for flow findings: new ones fail, old ones shrink.
+
+The analyzer launched against a tree that already contained a handful of
+sanctioned-but-flagged patterns (CHA over-approximation noise, seams the
+rules cannot see are safe).  Those live in ``tools/flow_baseline.json``
+as a **multiset of line-stable keys** (``rule|path|qualname|detail``) —
+no line numbers, so pure code motion does not churn the file.  The
+contract is a ratchet:
+
+* a finding whose key is *not* covered by the baseline is an error —
+  the debt may not grow;
+* a baseline entry with no matching finding is *also* an error — the
+  fix landed, so the entry must be deleted (the baseline may only
+  shrink, it cannot silently hoard headroom).
+
+``python -m repro.checks.flow --update-baseline`` regenerates the file
+from the current findings (for the initial capture or after deliberate
+triage); code review owns judging whether an ``--update-baseline`` diff
+is a legitimate shrink or an attempted grow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.checks.flow.rules import FlowFinding
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "BaselineReport",
+    "check_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Repo-root-relative home of the checked-in baseline.
+DEFAULT_BASELINE = Path("tools") / "flow_baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineReport:
+    """Outcome of matching findings against the baseline multiset."""
+
+    #: Findings not covered by the baseline — errors (debt may not grow).
+    new: list[FlowFinding]
+    #: Findings absorbed by a baseline entry — tolerated, not reported.
+    matched: list[FlowFinding]
+    #: Baseline keys (with multiplicity suffix) no finding matched —
+    #: errors (the baseline may only shrink).
+    stale: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Key -> multiplicity; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = data.get("entries", {})
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def write_baseline(findings: list[FlowFinding], path: Path) -> None:
+    """Serialize the current findings as the new baseline multiset."""
+    counts: dict[str, int] = {}
+    for ff in findings:
+        counts[ff.key] = counts.get(ff.key, 0) + 1
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Grow-only flow-analysis baseline: new findings fail, entries "
+            "whose finding disappeared must be removed.  Regenerate with "
+            "`python -m repro.checks.flow --update-baseline`."
+        ),
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def check_baseline(
+    findings: list[FlowFinding], baseline: dict[str, int]
+) -> BaselineReport:
+    """Match findings against the multiset; leftovers on either side err.
+
+    >>> from repro.checks.lint.framework import Finding
+    >>> ff = FlowFinding(
+    ...     finding=Finding("a.py", 3, 1, "FLOW001", "msg"),
+    ...     key="FLOW001|a.py|a.f|WALL_CLOCK",
+    ... )
+    >>> check_baseline([ff], {}).ok
+    False
+    >>> report = check_baseline([ff], {"FLOW001|a.py|a.f|WALL_CLOCK": 1})
+    >>> report.ok, len(report.matched)
+    (True, 1)
+    >>> check_baseline([], {"FLOW001|a.py|a.f|WALL_CLOCK": 1}).stale
+    ['FLOW001|a.py|a.f|WALL_CLOCK']
+    """
+    remaining = dict(baseline)
+    new: list[FlowFinding] = []
+    matched: list[FlowFinding] = []
+    for ff in findings:
+        left = remaining.get(ff.key, 0)
+        if left > 0:
+            remaining[ff.key] = left - 1
+            matched.append(ff)
+        else:
+            new.append(ff)
+    stale: list[str] = []
+    for key in sorted(remaining):
+        count = remaining[key]
+        if count > 0:
+            stale.extend([key] * count)
+    return BaselineReport(new=new, matched=matched, stale=stale)

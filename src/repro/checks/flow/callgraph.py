@@ -1,0 +1,879 @@
+"""Module-level call graph with lightweight name and method resolution.
+
+One pass over every ``*.py`` file builds three indexes:
+
+* **functions** — every ``def`` (module-level, method, nested) keyed by
+  dotted qualname (``repro.parallel._worker_init``,
+  ``repro.experiments.runner.DeploymentCache.get``);
+* **classes** — every class with its method table and raw base names, so
+  method calls dispatch through the index;
+* **modules** — each module's :class:`~repro.checks.lint.framework.
+  ImportMap` plus its module-level names (singletons like ``OBS =
+  ObsRuntime()``, mutable globals like ``_WORKER``), so re-export chains
+  (``repro.obs.OBS`` -> ``repro.obs.runtime.OBS`` -> ``ObsRuntime``)
+  resolve across files.
+
+Call sites are resolved with, in order: local variable types (parameter
+annotations, ``x = ClassName(...)`` constructor assignments, ``self``/
+``cls``), import-map resolution, and — for otherwise-unknown receivers —
+a class-hierarchy fallback over the method-name index (union of every
+class defining that method, a sound over-approximation).  Ubiquitous
+builtin-collection method names (``get``, ``items``, ``append``, ...)
+are excluded from the fallback: they overwhelmingly hit builtin
+receivers, and resolving them through the index would drown the summaries
+in false edges.
+
+Besides plain calls the walker records **reference edges**: a function
+name passed as an argument (``pool.submit(_worker_run_cell, cell)``,
+``initializer=_worker_init``, a ``key=`` callback) or used as a
+decorator.  References propagate effects exactly like calls — whoever
+holds the reference may invoke it — and carry the receiving callable's
+name (``via``) so rules can recognise worker-submission seams.
+
+Each call/reference site also records whether it sits under an
+``if OBS.enabled:`` / ``if FREC.enabled:`` guard (including the
+``if not X.enabled: return`` early-exit shape); guarded edges mask the
+``OBS_WRITE`` effect during propagation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.checks.lint.framework import ImportMap, iter_python_files, module_name_for
+
+__all__ = [
+    "CallSite",
+    "MutationSite",
+    "FunctionNode",
+    "ClassNode",
+    "ModuleNode",
+    "CallGraph",
+    "build_call_graph",
+    "strongly_connected_components",
+]
+
+#: Singleton names whose ``.enabled`` read forms a recognised guard.
+GUARD_SINGLETONS = ("FREC", "OBS")
+
+#: Method names never resolved through the class-hierarchy fallback —
+#: overwhelmingly builtin dict/list/set/str/file receivers.
+CHA_STOPLIST = frozenset(
+    {
+        "add", "append", "clear", "close", "copy", "count", "discard",
+        "extend", "flush", "format", "get", "index", "insert", "items",
+        "join", "keys", "pop", "popitem", "read", "readline", "remove",
+        "reverse", "setdefault", "sort", "split", "strip", "update",
+        "values", "write", "writelines",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call or reference inside a function body."""
+
+    #: Internal targets (function qualnames in the graph); empty when the
+    #: call goes to an external/builtin callable.
+    targets: tuple[str, ...]
+    #: Import-map qualified external path (``time.time``) when resolvable.
+    external: str | None
+    #: Attribute name for method calls (``submit`` in ``pool.submit``).
+    attr: str | None
+    #: Bare callable name for ``Name(...)`` calls (``open``, ``print``).
+    name: str | None
+    #: Qualified owner of a method call when resolvable (``repro.obs.OBS``).
+    owner: str | None
+    lineno: int
+    col: int
+    #: True when the site sits under an OBS/FREC enabled guard.
+    guarded: bool
+    #: ``"call"``, ``"ref"`` (callback/nested-def reference) or
+    #: ``"decorator"``.
+    kind: str
+    #: For references: the callable receiving the reference (``submit``)
+    #: or the keyword name it was passed as (``initializer``).
+    via: str | None = None
+    #: True when the call carries any argument (seeded-RNG detection).
+    has_args: bool = False
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """A write to module-global or singleton state."""
+
+    #: Qualified target when resolvable (``repro.obs.runtime.OBS``),
+    #: else the raw global name (``_WORKER``).
+    target: str
+    #: ``"call"`` (``OBS.enable()``), ``"attr"`` (``OBS.enabled = ...``),
+    #: ``"global"`` (``global X`` + store) or ``"store"`` (subscript or
+    #: attribute store through a module-global name).
+    kind: str
+    lineno: int
+    col: int
+
+
+@dataclass
+class FunctionNode:
+    """One function/method definition in the graph."""
+
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    name: str
+    #: Owning class qualname for methods, else None.
+    cls: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: list[CallSite] = field(default_factory=list)
+    mutations: list[MutationSite] = field(default_factory=list)
+
+
+@dataclass
+class ClassNode:
+    """One class definition: method table plus raw base names."""
+
+    qualname: str
+    module: str
+    bases: tuple[str, ...]
+    methods: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleNode:
+    """Per-module resolution context."""
+
+    name: str
+    path: str
+    imports: ImportMap
+    #: Module-level names bound to constructor calls: name -> raw class
+    #: dotted path (``OBS`` -> ``ObsRuntime``).
+    singletons: dict[str, str] = field(default_factory=dict)
+    #: All module-level assigned names (mutation tracking).
+    globals: set[str] = field(default_factory=set)
+    #: Qualnames of this module's top-level functions and methods, in
+    #: definition order — the pass-2 walk starts from exactly these.
+    roots: list[str] = field(default_factory=list)
+
+
+class CallGraph:
+    """The whole-program index: functions, classes, modules, edges."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.modules: dict[str, ModuleNode] = {}
+        #: method name -> class qualnames defining it (CHA fallback).
+        self.method_index: dict[str, list[str]] = {}
+
+    # -- resolution --------------------------------------------------
+
+    def resolve(self, qual: str) -> tuple[str, str] | None:
+        """Resolve a dotted path to ``(kind, qualname)`` in the index.
+
+        Kinds: ``"func"``, ``"class"`` or ``"singleton"`` (a module-level
+        name bound to a constructor call; the qualname is its *class*).
+        Follows re-export chains across modules; returns None for
+        external names.
+        """
+        return self._resolve(qual, set())
+
+    def _resolve(self, qual: str, seen: set[str]) -> tuple[str, str] | None:
+        if qual in seen:
+            return None
+        seen.add(qual)
+        if qual in self.functions:
+            return ("func", qual)
+        if qual in self.classes:
+            return ("class", qual)
+        # split into the longest module prefix we know + the remainder
+        parts = qual.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            head, rest = parts[cut], parts[cut + 1 :]
+            # a re-export: follow the imported name's own qualified path
+            target = module.imports.aliases.get(head)
+            if target is not None:
+                return self._resolve(".".join([target, *rest]), seen)
+            # a module-level singleton: resolve through its class
+            raw_cls = module.singletons.get(head)
+            if raw_cls is not None:
+                resolved = self._resolve_raw(module, raw_cls, seen)
+                if resolved is not None and resolved[0] == "class":
+                    if rest:  # a method of the singleton's class
+                        return self._method_of(resolved[1], rest[0])
+                    return ("singleton", resolved[1])
+            # a class defined in that module with a method tail
+            cls_qual = f"{prefix}.{head}"
+            if cls_qual in self.classes and rest:
+                return self._method_of(cls_qual, rest[0])
+            break
+        return None
+
+    def _resolve_raw(
+        self, module: ModuleNode, raw: str, seen: set[str]
+    ) -> tuple[str, str] | None:
+        """Resolve a name as written inside ``module`` (local or import)."""
+        local = f"{module.name}.{raw}"
+        if local in self.classes or local in self.functions:
+            return self._resolve(local, seen)
+        mapped = module.imports.aliases.get(raw.split(".")[0])
+        if mapped is not None:
+            tail = raw.split(".")[1:]
+            return self._resolve(".".join([mapped, *tail]), seen)
+        return self._resolve(raw, seen)
+
+    def _method_of(self, cls_qual: str, method: str) -> tuple[str, str] | None:
+        """Look up ``method`` on a class, walking raw base names."""
+        todo, visited = [cls_qual], set()
+        while todo:
+            current = todo.pop(0)
+            if current in visited:
+                continue
+            visited.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return ("func", cls.methods[method])
+            module = self.modules.get(cls.module)
+            for base in cls.bases:
+                resolved = (
+                    self._resolve_raw(module, base, set())
+                    if module is not None
+                    else None
+                )
+                if resolved is not None and resolved[0] == "class":
+                    todo.append(resolved[1])
+        return None
+
+    def cha_targets(self, method: str) -> tuple[str, ...]:
+        """Class-hierarchy fallback: every indexed ``method`` definition."""
+        if method in CHA_STOPLIST:
+            return ()
+        return tuple(
+            self.classes[cls].methods[method]
+            for cls in self.method_index.get(method, ())
+        )
+
+    # -- derived views ----------------------------------------------
+
+    def edges(self) -> dict[str, tuple[str, ...]]:
+        """Adjacency over internal functions (all site kinds, sorted)."""
+        out: dict[str, tuple[str, ...]] = {}
+        for qual in sorted(self.functions):
+            seen: set[str] = set()
+            for site in self.functions[qual].calls:
+                seen.update(t for t in site.targets if t in self.functions)
+            out[qual] = tuple(sorted(seen))
+        return out
+
+    def worker_roots(self) -> list[str]:
+        """Functions shipped to ``repro.parallel`` worker processes.
+
+        A reference passed positionally to a ``.submit(...)`` call or as
+        an ``initializer=`` keyword, inside the ``repro.parallel``
+        package, names a function that will run in a worker.
+        """
+        roots: set[str] = set()
+        for qual in sorted(self.functions):
+            fn = self.functions[qual]
+            if not _in_package(fn.module, "repro.parallel"):
+                continue
+            for site in fn.calls:
+                if site.kind == "ref" and site.via in ("submit", "initializer"):
+                    roots.update(
+                        t for t in site.targets if t in self.functions
+                    )
+        return sorted(roots)
+
+
+def _in_package(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+# ---------------------------------------------------------------------------
+# builder
+# ---------------------------------------------------------------------------
+
+
+def build_call_graph(paths: Iterable[str | Path]) -> CallGraph:
+    """Parse every ``*.py`` under ``paths`` into a :class:`CallGraph`.
+
+    Files that do not parse are skipped (the linter's PARSE rule owns
+    reporting those); files outside a ``src/`` tree get a module name of
+    their file stem so fixtures still resolve locally.
+    """
+    graph = CallGraph()
+    parsed: list[tuple[Path, str, ast.Module]] = []
+    for path in iter_python_files(paths):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            continue
+        module = module_name_for(path) or path.stem
+        parsed.append((path, module, tree))
+
+    # pass 1: index every module's defs so cross-module calls resolve
+    for path, module, tree in parsed:
+        _index_module(graph, str(path), module, tree)
+    # pass 2: resolve call sites with the full index available
+    for path, module, tree in parsed:
+        _walk_module(graph, str(path), module, tree)
+    return graph
+
+
+def _index_module(
+    graph: CallGraph, path: str, module: str, tree: ast.Module
+) -> None:
+    node = ModuleNode(name=module, path=path, imports=ImportMap.of(tree))
+    graph.modules[module] = node
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _index_function(graph, path, module, stmt, cls=None)
+            node.roots.append(fn.qualname)
+        elif isinstance(stmt, ast.ClassDef):
+            _index_class(graph, path, module, stmt)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                node.globals.add(target.id)
+                value = stmt.value
+                if (
+                    value is not None
+                    and isinstance(value, ast.Call)
+                    and isinstance(value.func, (ast.Name, ast.Attribute))
+                ):
+                    raw = _raw_dotted(value.func)
+                    if raw is not None:
+                        node.singletons[target.id] = raw
+
+
+def _index_function(
+    graph: CallGraph,
+    path: str,
+    module: str,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: str | None,
+    prefix: str | None = None,
+) -> FunctionNode:
+    qual = f"{prefix or cls or module}.{node.name}"
+    fn = FunctionNode(
+        qualname=qual,
+        module=module,
+        path=path,
+        lineno=node.lineno,
+        name=node.name,
+        cls=cls,
+        node=node,
+    )
+    graph.functions[qual] = fn
+    return fn
+
+
+def _index_class(
+    graph: CallGraph, path: str, module: str, node: ast.ClassDef
+) -> None:
+    qual = f"{module}.{node.name}"
+    bases = tuple(
+        raw for raw in (_raw_dotted(b) for b in node.bases) if raw is not None
+    )
+    cls = ClassNode(qualname=qual, module=module, bases=bases)
+    graph.classes[qual] = cls
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _index_function(graph, path, module, stmt, cls=qual)
+            cls.methods[stmt.name] = fn.qualname
+            graph.method_index.setdefault(stmt.name, []).append(qual)
+            graph.modules[module].roots.append(fn.qualname)
+    for methods in graph.method_index.values():
+        methods.sort()
+
+
+def _raw_dotted(node: ast.AST) -> str | None:
+    """The dotted source text of a Name/Attribute chain, unresolved."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# function-body walker
+# ---------------------------------------------------------------------------
+
+
+class _FunctionWalker:
+    """Collects call/reference/mutation sites for one function body."""
+
+    def __init__(
+        self, graph: CallGraph, fn: FunctionNode, module: ModuleNode
+    ) -> None:
+        self.graph = graph
+        self.fn = fn
+        self.module = module
+        #: local variable name -> class qualname (light type inference)
+        self.var_types: dict[str, str] = {}
+        #: names bound locally (parameters, assignments, loop targets)
+        self.local_names: set[str] = set()
+        #: names declared ``global`` in this function
+        self.global_decls: set[str] = set()
+
+    # -- entry -------------------------------------------------------
+
+    def walk(self) -> None:
+        node = self.fn.node
+        self._bind_params(node)
+        self._scan_decorators(node)
+        self._prescan_locals(node)
+        self._walk_body(node.body, guarded=False)
+
+    def _bind_params(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        args = node.args
+        for arg in [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *filter(None, [args.vararg, args.kwarg]),
+        ]:
+            self.local_names.add(arg.arg)
+            cls = self._annotation_class(arg.annotation)
+            if cls is not None:
+                self.var_types[arg.arg] = cls
+        if self.fn.cls is not None and (args.posonlyargs or args.args):
+            first = (args.posonlyargs or args.args)[0].arg
+            if first in ("self", "cls"):
+                self.var_types[first] = self.fn.cls
+
+    def _scan_decorators(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for dec in node.decorator_list:
+            expr = dec.func if isinstance(dec, ast.Call) else dec
+            targets = self._callable_targets(expr)
+            if targets:
+                self.fn.calls.append(
+                    CallSite(
+                        targets=targets, external=None,
+                        attr=None, name=_raw_dotted(expr), owner=None,
+                        lineno=dec.lineno, col=dec.col_offset,
+                        guarded=False, kind="decorator",
+                    )
+                )
+            if isinstance(dec, ast.Call):
+                self._visit_expr(dec, guarded=False)
+
+    def _prescan_locals(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """Record every locally bound name (shadow check for globals)."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                self.local_names.add(sub.id)
+            elif isinstance(sub, ast.Global):
+                self.global_decls.update(sub.names)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.local_names.add(sub.name)
+
+    # -- statement walk with guard tracking --------------------------
+
+    def _walk_body(self, body: list[ast.stmt], guarded: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                if _is_enabled_guard(stmt.test):
+                    self._visit_expr(stmt.test, guarded)
+                    self._walk_body(stmt.body, guarded=True)
+                    self._walk_body(stmt.orelse, guarded)
+                elif _is_negated_guard(stmt.test) and _terminates(stmt.body):
+                    self._visit_expr(stmt.test, guarded)
+                    self._walk_body(stmt.body, guarded)
+                    self._walk_body(stmt.orelse, guarded=True)
+                    guarded = True
+                else:
+                    self._visit_expr(stmt.test, guarded)
+                    self._walk_body(stmt.body, guarded)
+                    self._walk_body(stmt.orelse, guarded)
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = _index_function(
+                    self.graph, self.fn.path, self.fn.module, stmt,
+                    cls=None, prefix=self.fn.qualname,
+                )
+                _walk_function(self.graph, inner, self.module)
+                self.fn.calls.append(
+                    CallSite(
+                        targets=(inner.qualname,), external=None,
+                        attr=None, name=stmt.name, owner=None,
+                        lineno=stmt.lineno, col=stmt.col_offset,
+                        guarded=guarded, kind="ref",
+                    )
+                )
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                continue  # nested classes are out of scope
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._visit_assign(stmt, guarded)
+                continue
+            compound = False
+            for attr in ("body", "orelse", "finalbody"):
+                block = getattr(stmt, attr, None)
+                if isinstance(block, list) and block:
+                    if not compound:
+                        for expr_field in self._header_exprs(stmt):
+                            self._visit_expr(expr_field, guarded)
+                        compound = True
+                    self._walk_body(block, guarded)
+            if compound:
+                for handler in getattr(stmt, "handlers", []):
+                    self._walk_body(handler.body, guarded)
+            else:
+                self._visit_expr(stmt, guarded)
+
+    @staticmethod
+    def _header_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        exprs: list[ast.expr] = []
+        for attr in ("test", "iter"):
+            value = getattr(stmt, attr, None)
+            if isinstance(value, ast.expr):
+                exprs.append(value)
+        for item in getattr(stmt, "items", []):
+            exprs.append(item.context_expr)
+        return exprs
+
+    # -- assignments: type inference + global-mutation detection -----
+
+    def _visit_assign(self, stmt: ast.stmt, guarded: bool) -> None:
+        value = getattr(stmt, "value", None)
+        if isinstance(value, ast.expr):
+            self._visit_expr(value, guarded)
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        else:
+            target_expr = getattr(stmt, "target", None)
+            targets = [target_expr] if isinstance(target_expr, ast.expr) else []
+        for target in targets:
+            self._record_store(stmt, target)
+            if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                cls = self._constructed_class(value)
+                if cls is not None:
+                    self.var_types[target.id] = cls
+            if isinstance(stmt, ast.AnnAssign) and isinstance(target, ast.Name):
+                cls = self._annotation_class(stmt.annotation)
+                if cls is not None:
+                    self.var_types[target.id] = cls
+            if not isinstance(target, ast.Name):
+                self._visit_expr(target, guarded)
+
+    def _record_store(self, stmt: ast.stmt, target: ast.expr) -> None:
+        """Classify stores that mutate global or singleton state."""
+        root = target
+        through = False  # store goes *through* a subscript/attribute
+        while isinstance(root, (ast.Subscript, ast.Attribute)):
+            through = True
+            root = root.value
+        if not isinstance(root, ast.Name):
+            return
+        name = root.id
+        # singleton state attribute: OBS.enabled = ...
+        if isinstance(target, ast.Attribute):
+            owner = self.module.imports.resolve(target.value)
+            if owner is not None:
+                self.fn.mutations.append(
+                    MutationSite(
+                        target=f"{owner}.{target.attr}", kind="attr",
+                        lineno=stmt.lineno, col=stmt.col_offset,
+                    )
+                )
+                return
+        if name in self.global_decls:
+            self.fn.mutations.append(
+                MutationSite(
+                    target=f"{self.fn.module}.{name}", kind="global",
+                    lineno=stmt.lineno, col=stmt.col_offset,
+                )
+            )
+            return
+        if through and name not in self.local_names:
+            if name in self.module.globals:
+                self.fn.mutations.append(
+                    MutationSite(
+                        target=f"{self.fn.module}.{name}", kind="store",
+                        lineno=stmt.lineno, col=stmt.col_offset,
+                    )
+                )
+            else:
+                imported = self.module.imports.aliases.get(name)
+                if imported is not None:
+                    self.fn.mutations.append(
+                        MutationSite(
+                            target=imported, kind="store",
+                            lineno=stmt.lineno, col=stmt.col_offset,
+                        )
+                    )
+
+    # -- expressions: call + reference collection --------------------
+
+    def _visit_expr(self, root: ast.AST, guarded: bool) -> None:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                self._record_call(node, guarded)
+            elif isinstance(node, (ast.Lambda,)):
+                continue
+
+    def _record_call(self, node: ast.Call, guarded: bool) -> None:
+        func = node.func
+        external = self.module.imports.resolve(func)
+        targets: tuple[str, ...] = ()
+        attr: str | None = None
+        name: str | None = None
+        owner: str | None = None
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            targets = self._callable_targets(func)
+        elif isinstance(func, ast.Attribute):
+            attr = func.attr
+            targets, owner = self._method_targets(func)
+
+        has_args = bool(node.args or node.keywords)
+        self.fn.calls.append(
+            CallSite(
+                targets=targets, external=external, attr=attr, name=name,
+                owner=owner, lineno=node.lineno, col=node.col_offset,
+                guarded=guarded, kind="call", has_args=has_args,
+            )
+        )
+        # reference edges: function names passed as arguments
+        via_name = attr or name or (external.split(".")[-1] if external else None)
+        for arg in node.args:
+            self._record_ref(arg, via_name, guarded)
+        for kw in node.keywords:
+            self._record_ref(kw.value, kw.arg or via_name, guarded)
+
+    def _record_ref(
+        self, expr: ast.expr, via: str | None, guarded: bool
+    ) -> None:
+        if not isinstance(expr, (ast.Name, ast.Attribute)):
+            return
+        targets = self._callable_targets(expr)
+        if targets:
+            self.fn.calls.append(
+                CallSite(
+                    targets=targets, external=None, attr=None,
+                    name=_raw_dotted(expr), owner=None,
+                    lineno=expr.lineno, col=expr.col_offset,
+                    guarded=guarded, kind="ref", via=via,
+                )
+            )
+
+    # -- resolution helpers ------------------------------------------
+
+    def _callable_targets(self, expr: ast.expr) -> tuple[str, ...]:
+        """Function qualnames an expression may refer to (refs + calls)."""
+        if isinstance(expr, ast.Name):
+            if expr.id in self.local_names and expr.id not in self.var_types:
+                # a local binding; nested defs were given ref edges already
+                local = f"{self.fn.qualname}.{expr.id}"
+                return (local,) if local in self.graph.functions else ()
+            resolved = self.graph._resolve_raw(self.module, expr.id, set())
+            if resolved is not None and resolved[0] == "func":
+                return (resolved[1],)
+            if resolved is not None and resolved[0] == "class":
+                init = self.graph._method_of(resolved[1], "__init__")
+                return (init[1],) if init is not None else ()
+            return ()
+        if isinstance(expr, ast.Attribute):
+            targets, _ = self._method_targets(expr)
+            return targets
+        return ()
+
+    def _method_targets(
+        self, func: ast.Attribute
+    ) -> tuple[tuple[str, ...], str | None]:
+        """Resolve ``recv.method`` to function targets plus owner qual."""
+        method = func.attr
+        recv = func.value
+        # typed local receiver (self, annotated param, constructor assign)
+        if isinstance(recv, ast.Name) and recv.id in self.var_types:
+            found = self.graph._method_of(self.var_types[recv.id], method)
+            owner = self.var_types[recv.id]
+            if found is not None:
+                return (found[1],), owner
+            return (), owner
+        # import-map resolvable owner (module function / singleton / class)
+        qual = self.module.imports.resolve(func)
+        if qual is not None:
+            resolved = self.graph.resolve(qual)
+            owner = self.module.imports.resolve(recv)
+            if resolved is not None and resolved[0] == "func":
+                return (resolved[1],), owner
+            if resolved is not None:
+                return (), owner
+        owner = (
+            self.module.imports.resolve(recv)
+            if isinstance(recv, (ast.Name, ast.Attribute))
+            else None
+        )
+        # local dotted chain: Class.method inside this module
+        raw = _raw_dotted(func)
+        if raw is not None:
+            resolved = self.graph._resolve_raw(self.module, raw, set())
+            if resolved is not None and resolved[0] == "func":
+                return (resolved[1],), owner
+        # class-hierarchy fallback over the method-name index
+        return self.graph.cha_targets(method), owner
+
+    def _annotation_class(self, annotation: ast.expr | None) -> str | None:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return None
+        raw = _raw_dotted(annotation)
+        if raw is None:
+            return None
+        resolved = self.graph._resolve_raw(self.module, raw, set())
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+    def _constructed_class(self, call: ast.Call) -> str | None:
+        raw = _raw_dotted(call.func)
+        if raw is None:
+            return None
+        resolved = self.graph._resolve_raw(self.module, raw, set())
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+
+def _is_enabled_guard(test: ast.AST) -> bool:
+    """Does this test read ``OBS.enabled`` / ``FREC.enabled`` positively?"""
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return False
+    for sub in ast.walk(test):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "enabled"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id in GUARD_SINGLETONS
+        ):
+            return True
+    return False
+
+
+def _is_negated_guard(test: ast.AST) -> bool:
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and _is_enabled_guard(test.operand)
+    )
+
+
+def _terminates(block: list[ast.stmt]) -> bool:
+    return bool(block) and isinstance(
+        block[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _walk_module(
+    graph: CallGraph, path: str, module: str, tree: ast.Module
+) -> None:
+    mod = graph.modules[module]
+    for qual in list(mod.roots):
+        _walk_function(graph, graph.functions[qual], mod)
+
+
+def _walk_function(
+    graph: CallGraph, fn: FunctionNode, module: ModuleNode
+) -> None:
+    _FunctionWalker(graph, fn, module).walk()
+
+
+# ---------------------------------------------------------------------------
+# SCC condensation (iterative Tarjan)
+# ---------------------------------------------------------------------------
+
+
+def strongly_connected_components(
+    graph: dict[str, tuple[str, ...]],
+) -> list[list[str]]:
+    """Tarjan's SCCs, iteratively (no recursion-limit hazard).
+
+    Components are emitted in reverse topological order — every SCC
+    appears after all SCCs it has edges into — which is exactly the
+    bottom-up order effect propagation needs for a one-pass fixpoint.
+
+    >>> sccs = strongly_connected_components(
+    ...     {"a": ("b",), "b": ("c",), "c": ("b",), "d": ()}
+    ... )
+    >>> [sorted(c) for c in sccs]
+    [['b', 'c'], ['a'], ['d']]
+    """
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_i = work.pop()
+            if child_i == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recurse = False
+            children = graph.get(node, ())
+            for i in range(child_i, len(children)):
+                child = children[i]
+                if child not in graph:
+                    continue
+                if child not in index:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recurse:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                out.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return out

@@ -1,0 +1,468 @@
+"""Transitive contract rules over the computed effect summaries.
+
+Each rule closes an existing local rule over the call graph:
+
+* **FLOW001** (closure of DET002) — no function in ``repro.core``,
+  ``repro.sim`` or ``repro.field`` may *transitively* reach a
+  wall-clock/entropy read or un-seeded RNG construction.  Findings are
+  reported at the **frontier**: the protected function whose own body
+  has the effect, or whose call edge leaves the protected packages
+  carrying it — deeper protected ancestors are not re-flagged, so one
+  leak produces one finding, not a cascade.
+* **FLOW002** (closure of PAR001) — every function shipped to a
+  ``repro.parallel`` worker (``pool.submit(f, ...)``,
+  ``initializer=``) must be worker-pure all the way down: no wall
+  clock, no un-seeded RNG, no mutation of the OBS/FREC observability
+  singletons anywhere in its transitive call tree.  Worker-local state
+  (the per-process cache, ``CHECKS.enable()`` in the initializer) is
+  sanctioned and exempt.
+* **FLOW003** (closure of OBS001–OBS004) — an *unguarded* call edge
+  into a function whose summary carries ``OBS_WRITE`` re-opens the
+  guard hole the local rules closed at the touchpoint itself; the edge
+  is flagged at the call site, one finding per caller/callee pair.
+* **DET003** — iteration over a ``set`` (literal, ``set()``/
+  ``frozenset()`` call, set comprehension, or a local assigned from
+  one) in effect-``PURE``/``SEEDED_RNG`` library code.  Set order
+  varies across processes (hash randomisation), so pure compute code
+  iterating one un-``sorted()`` is exactly where silent tie-break
+  drift enters.  ``dict`` iteration is exempt: dicts preserve
+  insertion order.
+* **PAR001** (re-homed from the per-file linter) — un-seeded explicit
+  RNG construction or OBS/FREC singleton mutation *inside* function
+  bodies of ``repro.parallel`` itself, now detected from the effect
+  sites instead of per-file heuristics.
+
+Witness chains come from :meth:`~repro.checks.flow.effects.
+FlowAnalysis.witness` (shortest path, deterministic), so a FLOW002
+message names the frames between the submitted function and the
+offending call.  Every finding carries a line-number-free ``key``
+(``rule|path|qualname|detail``) used by the grow-only baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.checks.flow.callgraph import FunctionNode
+from repro.checks.flow.effects import (
+    GLOBAL_MUTATION,
+    OBS_SINGLETON_QUALS,
+    OBS_WRITE,
+    SEEDED_RNG,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    EffectSite,
+    FlowAnalysis,
+    _edge_contribution,
+    _SEEDED_CONSTRUCTORS,
+)
+from repro.checks.lint.framework import Finding, parse_suppressions
+
+__all__ = [
+    "FLOW_RULE_SUMMARIES",
+    "PROTECTED_PACKAGES",
+    "FlowFinding",
+    "flow_findings",
+    "apply_suppressions",
+]
+
+#: Packages whose result-producing code must stay deterministic (FLOW001).
+PROTECTED_PACKAGES: tuple[str, ...] = ("repro.core", "repro.sim", "repro.field")
+
+#: Effects FLOW001/FLOW002 forbid outright.
+_FORBIDDEN_DETERMINISM = (WALL_CLOCK, UNSEEDED_RNG)
+
+FLOW_RULE_SUMMARIES: dict[str, str] = {
+    "FLOW001": (
+        "repro.core/sim/field must not transitively reach wall-clock or "
+        "entropy reads (interprocedural closure of DET002)"
+    ),
+    "FLOW002": (
+        "functions submitted to repro.parallel workers must be "
+        "worker-pure all the way down: no wall clock, no un-seeded RNG, "
+        "no OBS/FREC singleton mutation (closure of PAR001)"
+    ),
+    "FLOW003": (
+        "unguarded calls into functions that perform unguarded OBS/FREC "
+        "telemetry writes re-open the guard hole (closure of OBS001-OBS004)"
+    ),
+    "DET003": (
+        "no un-sorted() set iteration in effect-PURE/SEEDED_RNG library "
+        "code; set order varies across processes"
+    ),
+    "PAR001": (
+        "repro.parallel must not construct un-seeded RNGs or mutate the "
+        "global OBS runtime (computed from flow effect sites)"
+    ),
+}
+
+
+@dataclass(frozen=True, order=True)
+class FlowFinding:
+    """A framework :class:`Finding` plus its line-stable baseline key."""
+
+    finding: Finding
+    key: str
+
+
+def _in_any_package(module: str, packages: tuple[str, ...]) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in packages
+    )
+
+
+def _targets_obs_singleton(site: EffectSite) -> bool:
+    """Does a GLOBAL_MUTATION site hit the OBS/FREC singletons?"""
+    if site.target is None:
+        return False
+    return site.target in OBS_SINGLETON_QUALS or any(
+        site.target.startswith(qual + ".")
+        for qual in sorted(OBS_SINGLETON_QUALS)
+    )
+
+
+def _chain_text(chain: list[str], site: EffectSite) -> str:
+    """Render a witness chain plus the terminal site location."""
+    arrow = " -> ".join(chain)
+    return f"{arrow}; {site.detail} at {site.path}:{site.lineno}"
+
+
+def _finding(
+    fn: FunctionNode, lineno: int, col: int, rule: str, message: str
+) -> Finding:
+    return Finding(
+        path=fn.path, line=lineno, col=col, rule=rule, message=message
+    )
+
+
+# ---------------------------------------------------------------------------
+# FLOW001 — protected packages stay clock/entropy free
+# ---------------------------------------------------------------------------
+
+
+def _flow001(analysis: FlowAnalysis) -> Iterator[FlowFinding]:
+    graph = analysis.graph
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if not _in_any_package(fn.module, PROTECTED_PACKAGES):
+            continue
+        for effect in _FORBIDDEN_DETERMINISM:
+            if effect not in analysis.summaries[qual]:
+                continue
+            if not _is_frontier(analysis, qual, effect):
+                continue
+            witness = analysis.witness(qual, effect)
+            if witness is not None:
+                chain, site = witness
+                detail = f"{effect} via `{site.target or site.detail}`"
+                message = (
+                    f"`{qual}` in protected package reaches {effect}: "
+                    f"{_chain_text(chain, site)}; runs must be "
+                    "bit-reproducible from their seed (FLOW001 is the "
+                    "interprocedural closure of DET002)"
+                )
+            else:
+                detail = effect
+                message = (
+                    f"`{qual}` in protected package carries {effect} in "
+                    "its transitive effect summary (FLOW001)"
+                )
+            yield FlowFinding(
+                finding=_finding(fn, fn.lineno, 1, "FLOW001", message),
+                key=f"FLOW001|{fn.path}|{qual}|{detail}",
+            )
+
+
+def _is_frontier(analysis: FlowAnalysis, qual: str, effect: str) -> bool:
+    """Is ``qual`` where ``effect`` enters the protected packages?"""
+    if effect in analysis.base[qual]:
+        return True
+    graph = analysis.graph
+    for site in graph.functions[qual].calls:
+        for target in site.targets:
+            callee = graph.functions.get(target)
+            if callee is None:
+                continue
+            if _in_any_package(callee.module, PROTECTED_PACKAGES):
+                continue
+            if effect in _edge_contribution(
+                site, callee, analysis.summaries[target]
+            ):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# FLOW002 — worker-submitted functions are worker-pure all the way down
+# ---------------------------------------------------------------------------
+
+
+def _flow002(analysis: FlowAnalysis) -> Iterator[FlowFinding]:
+    graph = analysis.graph
+    for root in graph.worker_roots():
+        fn = graph.functions[root]
+        summary = analysis.summaries[root]
+        for effect in _FORBIDDEN_DETERMINISM:
+            if effect not in summary:
+                continue
+            witness = analysis.witness(root, effect)
+            chain_part = (
+                _chain_text(*witness)
+                if witness is not None
+                else f"{effect} (witness path masked)"
+            )
+            detail = (
+                f"{effect} via `{witness[1].target or witness[1].detail}`"
+                if witness is not None
+                else effect
+            )
+            yield FlowFinding(
+                finding=_finding(
+                    fn, fn.lineno, 1, "FLOW002",
+                    f"worker-submitted `{root}` is not worker-pure: "
+                    f"{chain_part}; two workers (or two runs) would "
+                    "diverge (FLOW002 is the interprocedural closure of "
+                    "PAR001)",
+                ),
+                key=f"FLOW002|{fn.path}|{root}|{detail}",
+            )
+        if GLOBAL_MUTATION in summary:
+            witness = analysis.witness(
+                root, GLOBAL_MUTATION, accept=_targets_obs_singleton
+            )
+            if witness is not None:
+                chain, site = witness
+                yield FlowFinding(
+                    finding=_finding(
+                        fn, fn.lineno, 1, "FLOW002",
+                        f"worker-submitted `{root}` mutates the global "
+                        f"observability runtime: {_chain_text(chain, site)}; "
+                        "worker state may only flow through the "
+                        "repro.obs.bridge capture/merge seam (FLOW002)",
+                    ),
+                    key=(
+                        f"FLOW002|{fn.path}|{root}|GLOBAL_MUTATION via "
+                        f"`{site.target}`"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# FLOW003 — unguarded edges into OBS-writing functions
+# ---------------------------------------------------------------------------
+
+
+def _flow003(analysis: FlowAnalysis) -> Iterator[FlowFinding]:
+    graph = analysis.graph
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if not fn.module.startswith("repro"):
+            continue
+        if _in_any_package(fn.module, ("repro.obs",)):
+            continue
+        flagged: set[str] = set()
+        for site in fn.calls:
+            if site.guarded:
+                continue
+            for target in sorted(site.targets):
+                callee = graph.functions.get(target)
+                if callee is None or target in flagged:
+                    continue
+                if _in_any_package(callee.module, ("repro.obs",)):
+                    continue
+                if OBS_WRITE not in analysis.summaries[target]:
+                    continue
+                flagged.add(target)
+                yield FlowFinding(
+                    finding=_finding(
+                        fn, site.lineno, site.col + 1, "FLOW003",
+                        f"unguarded call to `{target}`, which performs "
+                        "unguarded OBS/FREC telemetry writes; either "
+                        "guard this call with `if OBS.enabled:` or fix "
+                        "the guard at the touchpoint (FLOW003 is the "
+                        "interprocedural closure of OBS001-OBS004)",
+                    ),
+                    key=f"FLOW003|{fn.path}|{qual}|calls {target}",
+                )
+
+
+# ---------------------------------------------------------------------------
+# DET003 — un-sorted set iteration in effect-pure library code
+# ---------------------------------------------------------------------------
+
+_PURE_OR_SEEDED = frozenset({SEEDED_RNG})
+
+
+def _det003(analysis: FlowAnalysis) -> Iterator[FlowFinding]:
+    graph = analysis.graph
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if not fn.module.startswith("repro"):
+            continue
+        if not analysis.summaries[qual] <= _PURE_OR_SEEDED:
+            continue
+        set_vars = _set_typed_locals(fn.node)
+        for node, what in _set_iterations(fn.node, set_vars):
+            yield FlowFinding(
+                finding=_finding(
+                    fn, node.lineno, node.col_offset + 1, "DET003",
+                    f"iteration over {what} in effect-pure `{qual}`; set "
+                    "order varies across processes — wrap the iterable "
+                    "in `sorted(...)` (DET003)",
+                ),
+                key=f"DET003|{fn.path}|{qual}|{what}",
+            )
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested ``def``s."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(expr: ast.AST) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("set", "frozenset")
+    )
+
+
+def _set_typed_locals(root: ast.AST) -> set[str]:
+    """Local names assigned from a set literal/constructor/comprehension."""
+    names: set[str] = set()
+    for node in _own_nodes(root):
+        value: ast.AST | None = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is not None and _is_set_expr(value):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _set_iterations(
+    root: ast.AST, set_vars: set[str]
+) -> list[tuple[ast.expr, str]]:
+    """(node, description) for every set-typed iteration point."""
+
+    def describe(expr: ast.expr) -> str | None:
+        if _is_set_expr(expr):
+            return "a `set` expression"
+        if isinstance(expr, ast.Name) and expr.id in set_vars:
+            return f"the `set` local `{expr.id}`"
+        return None
+
+    out: list[tuple[ast.expr, str]] = []
+    for node in _own_nodes(root):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            what = describe(node.iter)
+            if what is not None:
+                out.append((node.iter, what))
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            for gen in node.generators:
+                what = describe(gen.iter)
+                if what is not None:
+                    out.append((gen.iter, what))
+    return sorted(
+        out, key=lambda pair: (pair[0].lineno, pair[0].col_offset)
+    )
+
+
+# ---------------------------------------------------------------------------
+# PAR001 — re-homed worker-discipline rule over effect sites
+# ---------------------------------------------------------------------------
+
+
+def _par001(analysis: FlowAnalysis) -> Iterator[FlowFinding]:
+    graph = analysis.graph
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if not _in_any_package(fn.module, ("repro.parallel",)):
+            continue
+        for site in analysis.sites.get(qual, ()):
+            if (
+                site.effect == UNSEEDED_RNG
+                and site.target in _SEEDED_CONSTRUCTORS
+            ):
+                yield FlowFinding(
+                    finding=_finding(
+                        fn, site.lineno, site.col + 1, "PAR001",
+                        f"un-seeded `{site.target}()` in repro.parallel; "
+                        "workers must derive all randomness from their "
+                        "cell's seed or two runs of the same sweep will "
+                        "disagree",
+                    ),
+                    key=f"PAR001|{fn.path}|{qual}|unseeded {site.target}",
+                )
+            elif site.effect == GLOBAL_MUTATION and _targets_obs_singleton(
+                site
+            ):
+                yield FlowFinding(
+                    finding=_finding(
+                        fn, site.lineno, site.col + 1, "PAR001",
+                        f"mutation of `{site.target}` in repro.parallel; "
+                        "global OBS state may only be switched through "
+                        "the repro.obs.bridge capture/merge seam",
+                    ),
+                    key=f"PAR001|{fn.path}|{qual}|mutates {site.target}",
+                )
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+_ALL_RULES: tuple[Callable[[FlowAnalysis], Iterator[FlowFinding]], ...] = (
+    _flow001,
+    _flow002,
+    _flow003,
+    _det003,
+    _par001,
+)
+
+
+def flow_findings(analysis: FlowAnalysis) -> list[FlowFinding]:
+    """Run every flow rule; findings sorted by location, de-duplicated."""
+    out: set[FlowFinding] = set()
+    for rule in _ALL_RULES:
+        out.update(rule(analysis))
+    return sorted(out)
+
+
+def apply_suppressions(findings: list[FlowFinding]) -> list[FlowFinding]:
+    """Drop findings silenced by ``# checks: ignore[CODE]`` on their line.
+
+    Unlike the linter, unused suppressions are *not* re-reported here —
+    the per-file linter already owns SUP001 for the same files.
+    """
+    cache: dict[str, dict[int, set[str]]] = {}
+    kept: list[FlowFinding] = []
+    for ff in findings:
+        path = ff.finding.path
+        if path not in cache:
+            try:
+                source = Path(path).read_text(encoding="utf-8")
+            except OSError:
+                source = ""
+            cache[path] = parse_suppressions(source)
+        codes = cache[path].get(ff.finding.line, set())
+        if ff.finding.rule not in codes:
+            kept.append(ff)
+    return kept

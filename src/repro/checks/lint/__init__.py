@@ -1,6 +1,6 @@
 """Project-specific AST lints for the DECOR reproduction.
 
-Run as ``python -m repro.checks.lint src/ tests/`` (CI does) or call
+Run as ``python -m repro.checks.lint`` (CI does) or call
 :func:`lint_paths` programmatically.  The rule catalogue, rationale and the
 ``# checks: ignore[CODE]`` suppression syntax are documented in
 ``docs/static_analysis.md``.
@@ -16,9 +16,18 @@ OBS002    ``@profiled`` site names unique across the library
 OBS003    flight-recorder touchpoints guarded by ``if FREC.enabled:``
 OBS004    telemetry touchpoints (OBS.sample, record_*_health) guarded
 API001    no exact float ==/!= on coordinates or benefits
-PAR001    repro.parallel: no un-seeded RNG, no global OBS mutation
 SUP001    every ``# checks: ignore`` suppression must match a finding
 ========  ==========================================================
+
+PAR001 (worker discipline in ``repro.parallel``) moved to the
+interprocedural analyzer: :mod:`repro.checks.flow` computes it from
+effect summaries instead of per-file heuristics, alongside the
+transitive FLOW001–FLOW003/DET003 rules.
+
+Two rule sets are registered: :data:`ALL_RULES` (library and test code)
+and :data:`RELAXED_RULES` (``benchmarks/`` and ``tools/`` — scripts that
+legitimately read ``time.perf_counter`` and print, but must still avoid
+legacy RNG and cached-view mutation).
 """
 
 from repro.checks.lint.framework import (
@@ -40,10 +49,10 @@ from repro.checks.lint.rules_obs import (
     ProfiledSitesUnique,
     TelemetryTouchpointsGuarded,
 )
-from repro.checks.lint.rules_par import ParallelWorkerDiscipline
 
 __all__ = [
     "ALL_RULES",
+    "RELAXED_RULES",
     "Finding",
     "FileContext",
     "ImportMap",
@@ -60,7 +69,6 @@ __all__ = [
     "FlightRecorderGuarded",
     "TelemetryTouchpointsGuarded",
     "NoFloatEqualityOnCoordinates",
-    "ParallelWorkerDiscipline",
 ]
 
 #: The registered rule set, in reporting order.
@@ -73,5 +81,12 @@ ALL_RULES: tuple[type[Rule], ...] = (
     FlightRecorderGuarded,
     TelemetryTouchpointsGuarded,
     NoFloatEqualityOnCoordinates,
-    ParallelWorkerDiscipline,
+)
+
+#: Subset applied to ``benchmarks/`` and ``tools/``: determinism of the
+#: RNG discipline and aliasing safety still bind there, but wall-clock
+#: reads and unguarded prints are the whole point of a benchmark script.
+RELAXED_RULES: tuple[type[Rule], ...] = (
+    NoLegacyGlobalRng,
+    NoInPlaceOnCachedViews,
 )

@@ -1,16 +1,44 @@
 """CLI entry point: ``python -m repro.checks.lint [paths...]``.
 
-Exit status 0 when the tree is clean, 1 when any finding survives
-suppression filtering (CI fails the build on that), 2 for usage errors.
+Paths under ``benchmarks/`` or ``tools/`` are linted with the relaxed
+rule subset (:data:`~repro.checks.lint.RELAXED_RULES` — DET001/ALIAS001
+plus the always-on SUP001 suppression hygiene); everything else gets the
+full registered set.  Exit status 0 when the tree is clean, 1 when any
+finding survives suppression filtering (CI fails the build on that),
+2 for usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from repro.checks.lint import ALL_RULES, lint_paths
+from repro.checks.lint import ALL_RULES, RELAXED_RULES, lint_paths
+
+#: Top-level directories linted with the relaxed subset.
+RELAXED_DIRS = frozenset({"benchmarks", "tools"})
+
+#: What ``python -m repro.checks.lint`` with no arguments covers.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+
+
+def split_paths(paths: Sequence[str]) -> tuple[list[str], list[str]]:
+    """(strict, relaxed) partition of the requested paths.
+
+    >>> split_paths(["src", "tools", "benchmarks/x.py"])
+    (['src'], ['tools', 'benchmarks/x.py'])
+    """
+    strict: list[str] = []
+    relaxed: list[str] = []
+    for raw in paths:
+        parts = Path(raw).parts
+        if parts and parts[0] in RELAXED_DIRS:
+            relaxed.append(raw)
+        else:
+            strict.append(raw)
+    return strict, relaxed
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -21,8 +49,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to lint (default: src)",
+        default=list(DEFAULT_PATHS),
+        help=(
+            "files or directories to lint (default: "
+            f"{' '.join(DEFAULT_PATHS)}; benchmarks/ and tools/ get the "
+            "relaxed rule subset)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -32,12 +64,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
+        relaxed_codes = {rule.code for rule in RELAXED_RULES}
         for rule in ALL_RULES:
-            print(f"{rule.code}  {rule.summary}")
+            scope = "" if rule.code not in relaxed_codes else "  [relaxed set]"
+            print(f"{rule.code}  {rule.summary}{scope}")
         print("SUP001  unused `# checks: ignore[...]` suppressions are errors")
         return 0
 
-    findings = lint_paths(args.paths)
+    strict, relaxed = split_paths(args.paths)
+    findings = []
+    if strict:
+        findings.extend(lint_paths(strict))
+    if relaxed:
+        findings.extend(lint_paths(relaxed, RELAXED_RULES))
+    findings.sort()
     for finding in findings:
         print(finding.render())
     if findings:

@@ -85,6 +85,16 @@ class ImportMap:
     def __init__(self, aliases: dict[str, str]) -> None:
         self._aliases = aliases
 
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> qualified dotted path, as imported by this module.
+
+        The flow analyzer (:mod:`repro.checks.flow`) walks these maps to
+        chase re-export chains (``repro.obs.OBS`` ->
+        ``repro.obs.runtime.OBS``) across module boundaries.
+        """
+        return dict(self._aliases)
+
     @classmethod
     def of(cls, tree: ast.AST) -> "ImportMap":
         aliases: dict[str, str] = {}

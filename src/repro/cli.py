@@ -281,6 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_top.add_argument("--prefix", default="", metavar="P",
                        help="only series starting with P (try health_)")
 
+    p_chk = sub.add_parser(
+        "check",
+        help="run every static gate: flow, lint, typing, mypy, bench",
+    )
+    p_chk.add_argument(
+        "--output", choices=["text", "json", "sarif"], default="text",
+        help="report format (sarif feeds GitHub code scanning)",
+    )
+    p_chk.add_argument(
+        "--skip", action="append", default=[], metavar="GATE",
+        choices=["flow", "lint", "typing", "mypy", "bench"],
+        help="skip a gate (repeatable; e.g. --skip bench for pre-commit)",
+    )
+
     p_rep = sub.add_parser(
         "replay", help="validate and re-verify a flight recording"
     )
@@ -644,6 +658,25 @@ def _cmd_gallery(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.checks.aggregate import (
+        overall_ok,
+        render_json,
+        render_sarif,
+        render_text,
+        run_gates,
+    )
+
+    results = run_gates(skip=args.skip)
+    if args.output == "json":
+        print(render_json(results))
+    elif args.output == "sarif":
+        print(render_sarif(results))
+    else:
+        print(render_text(results))
+    return 0 if overall_ok(results) else 1
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figure":
         return _cmd_figure(args)
@@ -663,6 +696,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_top(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "check":
+        return _cmd_check(args)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -18,8 +18,10 @@ Design rules, each load-bearing for reproducibility:
   (hence its own per-seed :class:`~repro.field.FieldModel`) in
   :func:`_worker_init`; nothing mutable is shared.
 * **No hidden randomness.**  Workers derive every stochastic choice from
-  the cell's seed, exactly as the serial path does.  The PAR001 lint rule
-  forbids un-seeded RNG construction anywhere in this module.
+  the cell's seed, exactly as the serial path does.  The PAR001 flow
+  check forbids un-seeded RNG construction anywhere in this module, and
+  FLOW002 (:mod:`repro.checks.flow`) extends the ban down the whole call
+  tree of every worker-submitted function.
 * **OBS by seam only.**  Workers capture their telemetry through
   :class:`~repro.obs.bridge.capture_worker_obs` and the parent folds it in
   with :func:`~repro.obs.bridge.merge_worker_obs`; this module never

@@ -1,0 +1,991 @@
+"""Tests for the interprocedural effect analyzer (repro.checks.flow).
+
+Fixture trees are written into a ``src/repro/...`` layout under
+``tmp_path`` so module resolution works exactly as on the real tree:
+call graphs with cycles, method dispatch, decorators and higher-order
+callbacks; golden effect summaries; the FLOW001/FLOW002/FLOW003/DET003
+and re-homed PAR001 rules; the grow-only baseline; and the CLI.
+
+The acceptance regression lives in ``TestFlow002``: a ``time.time()``
+call three frames below a worker-submitted function must surface as a
+FLOW002 finding naming the full chain.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.checks.flow import (
+    GLOBAL_MUTATION,
+    IO,
+    OBS_WRITE,
+    PURE,
+    SEEDED_RNG,
+    UNSEEDED_RNG,
+    WALL_CLOCK,
+    analyze_paths,
+    build_call_graph,
+    check_baseline,
+    flow_findings,
+    write_baseline,
+)
+from repro.checks.flow.baseline import load_baseline
+from repro.checks.flow.callgraph import strongly_connected_components
+from repro.checks.flow.effects import render_effects
+from repro.checks.flow.rules import apply_suppressions
+from repro.checks.flow.__main__ import main as flow_main
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _write_tree(tmp_path, files):
+    """Materialise {relpath: code} under tmp_path/src/repro/."""
+    for rel, code in files.items():
+        path = tmp_path / "src" / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return tmp_path / "src"
+
+
+def _analyze(tmp_path, files):
+    return analyze_paths([_write_tree(tmp_path, files)])
+
+
+def _codes(findings):
+    return [ff.finding.rule for ff in findings]
+
+
+# ----------------------------------------------------------------------
+# call graph construction
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_cross_module_call_resolves(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "a.py": """
+                from repro.b import helper
+
+                def top():
+                    return helper()
+                """,
+                "b.py": """
+                def helper():
+                    return 1
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        edges = graph.edges()
+        assert edges["repro.a.top"] == ("repro.b.helper",)
+
+    def test_method_dispatch_via_constructor_assignment(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "m.py": """
+                class Engine:
+                    def step(self):
+                        return self._inner()
+
+                    def _inner(self):
+                        return 1
+
+                def run():
+                    eng = Engine()
+                    return eng.step()
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        edges = graph.edges()
+        assert edges["repro.m.run"] == (
+            "repro.m.Engine.__init__",
+            "repro.m.Engine.step",
+        ) or edges["repro.m.run"] == ("repro.m.Engine.step",)
+        assert edges["repro.m.Engine.step"] == ("repro.m.Engine._inner",)
+
+    def test_method_dispatch_via_annotation(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "cache.py": """
+                class Cache:
+                    def lookup(self, key):
+                        return key
+                """,
+                "use.py": """
+                from repro.cache import Cache
+
+                def hit(cache: Cache, key):
+                    return cache.lookup(key)
+
+                def hit_str(cache: "Cache", key):
+                    return cache.lookup(key)
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        edges = graph.edges()
+        assert edges["repro.use.hit"] == ("repro.cache.Cache.lookup",)
+        assert edges["repro.use.hit_str"] == ("repro.cache.Cache.lookup",)
+
+    def test_singleton_reexport_chain_resolves(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "obs/__init__.py": """
+                from repro.obs.runtime import OBS
+                """,
+                "obs/runtime.py": """
+                class ObsRuntime:
+                    def event(self, name):
+                        return name
+
+                OBS = ObsRuntime()
+                """,
+                "use.py": """
+                from repro.obs import OBS
+
+                def touch():
+                    OBS.event("x")
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        edges = graph.edges()
+        assert edges["repro.use.touch"] == (
+            "repro.obs.runtime.ObsRuntime.event",
+        )
+
+    def test_worker_roots_from_submit_and_initializer(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "parallel/__init__.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def _init():
+                    pass
+
+                def _run(cell):
+                    return cell
+
+                def sweep(cells):
+                    with ProcessPoolExecutor(initializer=_init) as pool:
+                        futs = [pool.submit(_run, c) for c in cells]
+                    return [f.result() for f in futs]
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        assert graph.worker_roots() == [
+            "repro.parallel._init",
+            "repro.parallel._run",
+        ]
+
+    def test_scc_cycle_tolerated(self):
+        sccs = strongly_connected_components(
+            {"a": ("b",), "b": ("a", "c"), "c": ()}
+        )
+        assert sorted(map(sorted, sccs)) == [["a", "b"], ["c"]]
+
+    def test_nested_function_edges(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "n.py": """
+                import time
+
+                def outer():
+                    def inner():
+                        return time.time()
+                    return inner
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        assert "repro.n.outer.inner" in graph.functions
+        assert graph.edges()["repro.n.outer"] == ("repro.n.outer.inner",)
+
+
+# ----------------------------------------------------------------------
+# effect summaries (golden)
+# ----------------------------------------------------------------------
+class TestEffects:
+    def test_golden_summaries(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "g.py": """
+                import time
+                import numpy as np
+
+                def pure(x):
+                    return x + 1
+
+                def clock():
+                    return time.time()
+
+                def seeded(seed):
+                    return np.random.default_rng(seed).random()
+
+                def unseeded():
+                    return np.random.default_rng().random()
+
+                def writes():
+                    print("hi")
+
+                def chain():
+                    return pure(clock())
+                """,
+            },
+        )
+        expect = {
+            "repro.g.pure": PURE,
+            "repro.g.clock": frozenset({WALL_CLOCK}),
+            "repro.g.seeded": frozenset({SEEDED_RNG}),
+            "repro.g.unseeded": frozenset({UNSEEDED_RNG}),
+            "repro.g.writes": frozenset({IO}),
+            "repro.g.chain": frozenset({WALL_CLOCK}),
+        }
+        for qual, effects in expect.items():
+            assert analysis.summaries[qual] == effects, qual
+
+    def test_cycle_members_share_summary(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "cyc.py": """
+                import time
+
+                def ping(n):
+                    return pong(n - 1) if n else time.time()
+
+                def pong(n):
+                    return ping(n - 1) if n else 0.0
+                """,
+            },
+        )
+        assert analysis.summaries["repro.cyc.ping"] == frozenset({WALL_CLOCK})
+        assert analysis.summaries["repro.cyc.pong"] == frozenset({WALL_CLOCK})
+        assert analysis.is_post_fixpoint()
+
+    def test_decorator_propagates_effects(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "deco.py": """
+                import time
+
+                def timed(fn):
+                    start = time.time()
+                    return fn
+
+                @timed
+                def work(x):
+                    return x
+                """,
+            },
+        )
+        assert WALL_CLOCK in analysis.summaries["repro.deco.work"]
+
+    def test_callback_reference_propagates_effects(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "hof.py": """
+                import time
+
+                def stamp(x):
+                    return (time.time(), x)
+
+                def apply_all(xs, fn):
+                    return [fn(x) for x in xs]
+
+                def caller(xs):
+                    return apply_all(xs, stamp)
+                """,
+            },
+        )
+        assert WALL_CLOCK in analysis.summaries["repro.hof.caller"]
+
+    def test_obs_package_edges_masked(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "obs/__init__.py": """
+                import time
+
+                def now():
+                    return time.time()
+                """,
+                "use.py": """
+                from repro.obs import now
+
+                def stamped():
+                    return now()
+                """,
+            },
+        )
+        assert WALL_CLOCK in analysis.summaries["repro.obs.now"]
+        assert analysis.summaries["repro.use.stamped"] == PURE
+
+    def test_guarded_edge_masks_obs_write(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "obs/__init__.py": """
+                from repro.obs.runtime import OBS
+                """,
+                "obs/runtime.py": """
+                class ObsRuntime:
+                    enabled = False
+
+                    def event(self, name):
+                        return name
+
+                OBS = ObsRuntime()
+                """,
+                "lib.py": """
+                from repro.obs import OBS
+
+                def emit_hit():
+                    OBS.event("hit")
+
+                def guarded_caller():
+                    if OBS.enabled:
+                        emit_hit()
+
+                def unguarded_caller():
+                    emit_hit()
+                """,
+            },
+        )
+        assert OBS_WRITE in analysis.summaries["repro.lib.emit_hit"]
+        assert OBS_WRITE not in analysis.summaries["repro.lib.guarded_caller"]
+        assert OBS_WRITE in analysis.summaries["repro.lib.unguarded_caller"]
+
+    def test_render_effects_order(self):
+        assert render_effects(PURE) == "PURE"
+        assert render_effects(frozenset({IO, WALL_CLOCK})) == "WALL_CLOCK+IO"
+
+    def test_real_tree_reaches_fixpoint(self):
+        analysis = analyze_paths([REPO / "src"])
+        assert analysis.n_functions > 500
+        assert analysis.is_post_fixpoint()
+
+
+# ----------------------------------------------------------------------
+# FLOW001 — protected packages
+# ----------------------------------------------------------------------
+class TestFlow001:
+    def test_transitive_clock_read_flagged_at_frontier(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "util.py": """
+                import time
+
+                def now():
+                    return time.time()
+                """,
+                "core/__init__.py": """
+                from repro.util import now
+
+                def select(xs):
+                    return now() + len(xs)
+
+                def wrapper(xs):
+                    return select(xs)
+                """,
+            },
+        )
+        findings = [
+            ff for ff in flow_findings(analysis)
+            if ff.finding.rule == "FLOW001"
+        ]
+        # frontier only: `select` is flagged, its protected caller is not
+        assert len(findings) == 1
+        assert "repro.core.select" in findings[0].finding.message
+        assert "time.time" in findings[0].finding.message
+
+    def test_clean_protected_package(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "core/__init__.py": """
+                def select(xs):
+                    return sorted(xs)[0]
+                """,
+            },
+        )
+        assert _codes(flow_findings(analysis)) == []
+
+
+# ----------------------------------------------------------------------
+# FLOW002 — worker purity (the acceptance regression)
+# ----------------------------------------------------------------------
+class TestFlow002:
+    def test_clock_three_frames_below_submit_caught(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "util.py": """
+                import time
+
+                def level3():
+                    return time.time()
+
+                def level2():
+                    return level3() + 1.0
+
+                def level1():
+                    return level2() * 2.0
+                """,
+                "parallel/__init__.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                from repro.util import level1
+
+                def _worker(cell):
+                    return level1() + cell
+
+                def sweep(cells):
+                    with ProcessPoolExecutor() as pool:
+                        futs = [pool.submit(_worker, c) for c in cells]
+                    return [f.result() for f in futs]
+                """,
+            },
+        )
+        findings = [
+            ff for ff in flow_findings(analysis)
+            if ff.finding.rule == "FLOW002"
+        ]
+        assert len(findings) == 1
+        message = findings[0].finding.message
+        # the witness chain names every frame down to the clock read
+        assert "repro.parallel._worker" in message
+        assert "repro.util.level1" in message
+        assert "repro.util.level2" in message
+        assert "repro.util.level3" in message
+        assert "time.time" in message
+
+    def test_obs_mutation_below_worker_flagged(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "obs/__init__.py": """
+                from repro.obs.runtime import OBS
+                """,
+                "obs/runtime.py": """
+                class ObsRuntime:
+                    enabled = False
+
+                    def enable(self):
+                        self.enabled = True
+
+                OBS = ObsRuntime()
+                """,
+                "helpers.py": """
+                from repro.obs import OBS
+
+                def switch_on():
+                    OBS.enable()
+                """,
+                "parallel/__init__.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                from repro.helpers import switch_on
+
+                def _worker(cell):
+                    switch_on()
+                    return cell
+
+                def sweep(cells):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_worker, c) for c in cells]
+                """,
+            },
+        )
+        flow002 = [
+            ff for ff in flow_findings(analysis)
+            if ff.finding.rule == "FLOW002"
+        ]
+        assert len(flow002) == 1
+        assert "observability runtime" in flow002[0].finding.message
+
+    def test_seeded_worker_tree_clean(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "parallel/__init__.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                import numpy as np
+
+                def _worker(cell):
+                    rng = np.random.default_rng(cell)
+                    return rng.random()
+
+                def sweep(cells):
+                    with ProcessPoolExecutor() as pool:
+                        return [pool.submit(_worker, c) for c in cells]
+                """,
+            },
+        )
+        assert _codes(flow_findings(analysis)) == []
+
+    def test_real_parallel_workers_are_pure(self):
+        analysis = analyze_paths([REPO / "src"])
+        roots = analysis.graph.worker_roots()
+        assert roots, "worker submission seam not detected"
+        for root in roots:
+            assert WALL_CLOCK not in analysis.summaries[root], root
+            assert UNSEEDED_RNG not in analysis.summaries[root], root
+
+
+# ----------------------------------------------------------------------
+# FLOW003 — unguarded edges into OBS-writing helpers
+# ----------------------------------------------------------------------
+class TestFlow003:
+    FILES = {
+        "obs/__init__.py": """
+        from repro.obs.runtime import OBS
+        """,
+        "obs/runtime.py": """
+        class ObsRuntime:
+            enabled = False
+
+            def event(self, name):
+                return name
+
+        OBS = ObsRuntime()
+        """,
+        "lib.py": """
+        from repro.obs import OBS
+
+        def emit_hit():
+            OBS.event("hit")
+
+        def bad_caller():
+            emit_hit()
+
+        def good_caller():
+            if OBS.enabled:
+                emit_hit()
+        """,
+    }
+
+    def test_unguarded_edge_flagged_guarded_clean(self, tmp_path):
+        analysis = _analyze(tmp_path, dict(self.FILES))
+        flow003 = [
+            ff for ff in flow_findings(analysis)
+            if ff.finding.rule == "FLOW003"
+        ]
+        assert len(flow003) == 1
+        assert "bad_caller" in flow003[0].key
+        assert "emit_hit" in flow003[0].finding.message
+
+
+# ----------------------------------------------------------------------
+# DET003 — set iteration in effect-pure code
+# ----------------------------------------------------------------------
+class TestDet003:
+    def test_set_iteration_flagged(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(xs):
+                    seen = set(xs)
+                    total = 0
+                    for x in seen:
+                        total += x
+                    return total
+                """,
+            },
+        )
+        findings = flow_findings(analysis)
+        assert _codes(findings) == ["DET003"]
+        assert "seen" in findings[0].finding.message
+
+    def test_comprehension_over_set_literal_flagged(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "pure.py": """
+                def names():
+                    return [n for n in {"b", "a"}]
+                """,
+            },
+        )
+        assert _codes(flow_findings(analysis)) == ["DET003"]
+
+    def test_sorted_set_iteration_clean(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(xs):
+                    seen = set(xs)
+                    return [x for x in sorted(seen)]
+                """,
+            },
+        )
+        assert _codes(flow_findings(analysis)) == []
+
+    def test_effectful_function_out_of_scope(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "io_mod.py": """
+                def dump(xs):
+                    seen = set(xs)
+                    for x in seen:
+                        print(x)
+                """,
+            },
+        )
+        # IO in the summary takes the function out of DET003's scope
+        assert _codes(flow_findings(analysis)) == []
+
+    def test_dict_iteration_exempt(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(d):
+                    total = 0
+                    for k in d:
+                        total += d[k]
+                    return total
+                """,
+            },
+        )
+        assert _codes(flow_findings(analysis)) == []
+
+
+# ----------------------------------------------------------------------
+# PAR001 — re-homed worker discipline (ported from the per-file rule)
+# ----------------------------------------------------------------------
+class TestPar001:
+    def _findings(self, tmp_path, code):
+        analysis = _analyze(tmp_path, {"parallel/__init__.py": code})
+        return flow_findings(analysis)
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng().random()
+            """,
+        )
+        assert "PAR001" in _codes(findings)
+        par = [f for f in findings if f.finding.rule == "PAR001"]
+        assert "un-seeded" in par[0].finding.message
+
+    def test_unseeded_stdlib_random_flagged(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            """
+            from random import Random
+
+            def jitter():
+                return Random().random()
+            """,
+        )
+        assert "PAR001" in _codes(findings)
+
+    def test_seeded_rng_clean(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            """
+            import numpy as np
+
+            def sample(seed):
+                return np.random.default_rng(seed).random()
+
+            def sample_kw(seed):
+                return np.random.default_rng(seed=seed).random()
+            """,
+        )
+        assert _codes(findings) == []
+
+    def test_obs_mutator_calls_flagged(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "obs/__init__.py": """
+                from repro.obs.runtime import OBS
+                """,
+                "obs/runtime.py": """
+                class ObsRuntime:
+                    def enable(self):
+                        pass
+
+                    def disable(self):
+                        pass
+
+                    def reset(self):
+                        pass
+
+                OBS = ObsRuntime()
+                """,
+                "parallel/__init__.py": """
+                from repro.obs import OBS
+
+                def worker():
+                    OBS.disable()
+                    OBS.reset()
+                """,
+            },
+        )
+        par = [
+            ff for ff in flow_findings(analysis)
+            if ff.finding.rule == "PAR001"
+        ]
+        assert len(par) == 2
+        assert all("bridge" in f.finding.message for f in par)
+
+    def test_obs_attribute_store_flagged(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "obs/__init__.py": """
+                from repro.obs.runtime import OBS
+                """,
+                "obs/runtime.py": """
+                class ObsRuntime:
+                    enabled = False
+
+                OBS = ObsRuntime()
+                """,
+                "parallel/__init__.py": """
+                from repro.obs import OBS
+
+                def worker():
+                    OBS.enabled = True
+                """,
+            },
+        )
+        par = [
+            ff for ff in flow_findings(analysis)
+            if ff.finding.rule == "PAR001"
+        ]
+        assert len(par) == 1
+
+    def test_other_modules_out_of_scope(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "elsewhere.py": """
+                import numpy as np
+
+                def jitter():
+                    return np.random.default_rng().random()
+                """,
+            },
+        )
+        assert "PAR001" not in _codes(flow_findings(analysis))
+
+
+# ----------------------------------------------------------------------
+# suppressions + baseline
+# ----------------------------------------------------------------------
+class TestBaselineAndSuppressions:
+    def test_suppression_silences_finding(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(xs):
+                    seen = set(xs)
+                    return [x for x in seen]  # checks: ignore[DET003]
+                """,
+            },
+        )
+        analysis = analyze_paths([src])
+        findings = apply_suppressions(flow_findings(analysis))
+        assert findings == []
+
+    def test_new_finding_fails_against_empty_baseline(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(xs):
+                    seen = set(xs)
+                    return [x for x in seen]
+                """,
+            },
+        )
+        report = check_baseline(flow_findings(analysis), {})
+        assert not report.ok
+        assert len(report.new) == 1
+
+    def test_baselined_finding_tolerated_and_roundtrips(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(xs):
+                    seen = set(xs)
+                    return [x for x in seen]
+                """,
+            },
+        )
+        findings = flow_findings(analysis)
+        baseline_path = tmp_path / "flow_baseline.json"
+        write_baseline(findings, baseline_path)
+        report = check_baseline(findings, load_baseline(baseline_path))
+        assert report.ok
+        assert len(report.matched) == 1
+
+    def test_stale_entry_fails_shrink_only(self):
+        report = check_baseline(
+            [], {"DET003|src/repro/gone.py|repro.gone.f|x": 1}
+        )
+        assert not report.ok
+        assert report.stale == ["DET003|src/repro/gone.py|repro.gone.f|x"]
+
+    def test_baseline_is_multiset(self, tmp_path):
+        analysis = _analyze(
+            tmp_path,
+            {
+                "pure.py": """
+                def t1(xs):
+                    seen = set(xs)
+                    return [x for x in seen]
+                """,
+            },
+        )
+        findings = flow_findings(analysis)
+        assert len(findings) == 1
+        doubled = {findings[0].key: 2}
+        report = check_baseline(findings, doubled)
+        assert not report.ok  # one surplus entry is stale
+        assert len(report.stale) == 1
+
+
+# ----------------------------------------------------------------------
+# CLI + repo gate
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys, monkeypatch):
+        src = _write_tree(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(xs):
+                    seen = set(xs)
+                    return [x for x in seen]
+                """,
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        assert flow_main([str(src), "--no-baseline"]) == 1
+        assert "DET003" in capsys.readouterr().out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys, monkeypatch):
+        src = _write_tree(tmp_path, {"pure.py": "def f(x):\n    return x\n"})
+        monkeypatch.chdir(tmp_path)
+        assert flow_main([str(src), "--no-baseline", "--stats"]) == 0
+        assert "fixpoint=yes" in capsys.readouterr().out
+
+    def test_update_baseline_roundtrip(self, tmp_path, capsys, monkeypatch):
+        src = _write_tree(
+            tmp_path,
+            {
+                "pure.py": """
+                def tally(xs):
+                    seen = set(xs)
+                    return [x for x in seen]
+                """,
+            },
+        )
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "fb.json"
+        assert (
+            flow_main(
+                [str(src), "--baseline", str(baseline), "--update-baseline"]
+            )
+            == 0
+        )
+        assert baseline.is_file()
+        assert flow_main([str(src), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_repo_src_is_clean_against_baseline(self, monkeypatch, capsys):
+        """The acceptance gate: zero unbaselined findings on the tree."""
+        monkeypatch.chdir(REPO)
+        assert flow_main(["src"]) == 0
+        capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# decor check aggregate
+# ----------------------------------------------------------------------
+class TestAggregate:
+    def test_gate_rendering_and_skip(self):
+        from repro.checks.aggregate import (
+            GateResult,
+            overall_ok,
+            render_json,
+            render_sarif,
+            render_text,
+        )
+        from repro.checks.lint.framework import Finding
+
+        results = [
+            GateResult(name="flow", ok=True, skipped=False, detail="clean"),
+            GateResult(
+                name="lint",
+                ok=False,
+                skipped=False,
+                detail="1 finding(s)",
+                findings=[
+                    Finding(
+                        path="src/repro/x.py",
+                        line=3,
+                        col=1,
+                        rule="DET001",
+                        message="legacy RNG",
+                    )
+                ],
+            ),
+            GateResult(name="bench", ok=True, skipped=True, detail="skipped"),
+        ]
+        assert not overall_ok(results)
+        text = render_text(results)
+        assert "FAIL" in text and "DET001" in text
+        payload = json.loads(render_json(results))
+        assert payload["ok"] is False
+        assert payload["gates"][1]["findings"][0]["rule"] == "DET001"
+        sarif = json.loads(render_sarif(results))
+        assert sarif["version"] == "2.1.0"
+        result = sarif["runs"][0]["results"][0]
+        assert result["ruleId"] == "DET001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 3
+
+    def test_cli_check_command_wired(self, monkeypatch, capsys):
+        from repro.cli import main as cli_main
+
+        monkeypatch.chdir(REPO)
+        code = cli_main(
+            ["check", "--skip", "bench", "--skip", "mypy", "--skip",
+             "typing", "--output", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["ok"] is True
+        names = [g["name"] for g in payload["gates"]]
+        assert names == ["flow", "lint", "typing", "mypy", "bench"]

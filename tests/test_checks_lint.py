@@ -766,144 +766,3 @@ class TestFramework:
         repo = pathlib.Path(__file__).resolve().parent.parent
         findings = lint_paths([repo / "src"])
         assert findings == [], "\n".join(f.render() for f in findings)
-
-
-# ----------------------------------------------------------------------
-# PAR001 - parallel worker discipline
-# ----------------------------------------------------------------------
-class TestPar001:
-    def _write_parallel(self, tmp_path, code, name="parallel.py"):
-        path = tmp_path / "src" / "repro" / name
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(textwrap.dedent(code), encoding="utf-8")
-        return lint_paths([path])
-
-    def test_unseeded_default_rng_flagged(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            import numpy as np
-
-            def jitter():
-                return np.random.default_rng().random()
-            """,
-        )
-        assert _codes(findings) == ["PAR001"]
-        assert "un-seeded" in findings[0].message
-
-    def test_unseeded_stdlib_random_flagged(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            from random import Random
-
-            def jitter():
-                return Random().random()
-            """,
-        )
-        assert _codes(findings) == ["PAR001"]
-
-    def test_seeded_rng_clean(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            import numpy as np
-
-            def sample(seed):
-                return np.random.default_rng(seed).random()
-
-            def sample_kw(seed):
-                return np.random.default_rng(seed=seed).random()
-            """,
-        )
-        assert findings == []
-
-    def test_obs_enable_flagged(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            from repro.obs import OBS
-
-            def worker():
-                OBS.enable(fresh=True)
-            """,
-        )
-        assert _codes(findings) == ["PAR001"]
-        assert "bridge" in findings[0].message
-
-    def test_obs_disable_and_reset_flagged(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            from repro.obs.runtime import OBS
-
-            def worker():
-                OBS.disable()
-                OBS.reset()
-            """,
-        )
-        assert _codes(findings) == ["PAR001", "PAR001"]
-
-    def test_obs_enabled_assignment_flagged(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            from repro.obs import OBS
-
-            def worker():
-                OBS.enabled = True
-            """,
-        )
-        assert _codes(findings) == ["PAR001"]
-
-    def test_frec_mutation_flagged(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            from repro.obs import FREC
-
-            def worker():
-                FREC.enable(fresh=True)
-                FREC.enabled = False
-            """,
-        )
-        assert _codes(findings) == ["PAR001", "PAR001"]
-
-    def test_obs_read_and_sanctioned_seam_clean(self, tmp_path):
-        findings = self._write_parallel(
-            tmp_path,
-            """
-            from repro.obs import OBS, capture_worker_obs, merge_worker_obs
-
-            def worker(run):
-                with capture_worker_obs(OBS.enabled) as cap:
-                    result = run()
-                return result, cap.payload()
-
-            def merge(payload):
-                merge_worker_obs(payload)
-                if OBS.enabled:
-                    OBS.counter("parallel_cells_total").inc()
-            """,
-        )
-        assert findings == []
-
-    def test_submodules_of_parallel_in_scope(self, tmp_path):
-        path = tmp_path / "src" / "repro" / "parallel" / "pool.py"
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            "import numpy as np\nrng = np.random.default_rng()\n",
-            encoding="utf-8",
-        )
-        assert _codes(lint_paths([path])) == ["PAR001"]
-
-    def test_other_modules_out_of_scope(self, tmp_path):
-        # the same code outside repro.parallel is not PAR001's business
-        findings = lint_snippet(
-            tmp_path,
-            """
-            import numpy as np
-            rng = np.random.default_rng()
-            """,
-        )
-        assert "PAR001" not in _codes(findings)
