@@ -1,16 +1,25 @@
-"""PR4 acceptance numbers, persisted machine-readably.
+"""PR4 acceptance numbers, persisted machine-readably and *staged*.
 
-Writes ``benchmarks/results/BENCH_PR4.json`` with the two measurements the
+Writes ``benchmarks/results/BENCH_PR4.json`` with the measurements the
 lazy-selection + parallel-fan-out work is gated on:
 
 * ``selection`` — benefit entries scanned per argmax on the fig08
   deployment sweep, naive scan vs lazy heap, and their ratio (the >= 5x
   reduction gate, also asserted in ``test_micro_kernels.py``);
-* ``parallel`` — wall-clock of the fig08 sweep serial vs ``workers=4``,
-  with the figure JSON asserted byte-identical *always*.  The >= 2x
-  speedup is asserted only where ``os.cpu_count() >= 4`` (CI runners);
-  on smaller machines the actuals are still recorded, so the JSON shows
-  what this host measured either way.
+* ``parallel`` — the staged fig08 sweep: serial vs a persistent
+  4-worker :class:`~repro.parallel.WorkerPool`, broken down into pool
+  init (fork + worker spawn), pooled compute and per-cell medians, plus
+  the deterministic payload-bytes comparison (pickling a field per cell
+  vs posting shared-memory segments once per seed), so the next wall
+  regression is diagnosable from the JSON alone.  Figure JSON is
+  asserted byte-identical *always*; the >= 2x speedup is asserted where
+  ``os.cpu_count() >= 4`` or ``REPRO_REQUIRE_SPEEDUP=1`` (the
+  ``parallel-speedup`` CI job sets the latter so the gate cannot
+  silently skip); payload reduction >= 10x is host-independent and
+  asserted everywhere.
+
+``staged_fig08_measurements`` is also the feeder for the wall-clock
+section of ``tools/bench_ratchet.py`` (median-of-N, tight tolerance).
 """
 
 from __future__ import annotations
@@ -18,33 +27,129 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import pickle
+import statistics
 from time import perf_counter
 
 from repro.experiments import DeploymentCache, figure_to_json
-from repro.experiments.figures import run_figure
+from repro.experiments.figures import cells_for_figure, run_figure
+from repro.parallel import WorkerPool
 
 from test_micro_kernels import selection_scan_ratios
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR4.json"
 
 
-def _timed_fig08(setup, *, workers: int | None) -> tuple[str, float]:
-    start = perf_counter()
-    result = run_figure(setup, 8, DeploymentCache(setup), workers=workers)
-    elapsed = perf_counter() - start
-    return figure_to_json(result), elapsed
+def speedup_gate_active() -> bool:
+    """The >= 2x fan-out gate asserts on multi-core hosts and in the
+    dedicated CI job (``REPRO_REQUIRE_SPEEDUP=1``); elsewhere actuals
+    are recorded without asserting."""
+    return (os.cpu_count() or 1) >= 4 or (
+        os.environ.get("REPRO_REQUIRE_SPEEDUP") == "1"
+    )
+
+
+def payload_bytes(cache: DeploymentCache, pool: WorkerPool, cells) -> dict:
+    """Bytes shipped per cell: pickling path vs shared-memory manifests.
+
+    The pickling counterfactual serialises each cell's field arrays
+    (points + the ``rs`` CSR adjacency) the way a task argument would
+    travel through the executor pipe; the shared path posts segments
+    once per seed and ships only manifests.  Both sides are
+    deterministic byte counts — no timing involved.
+    """
+    seeds = sorted({seed for _, _, seed in cells})
+    pickled_per_seed = {}
+    for seed in seeds:
+        field = cache.field(seed)
+        csr = field.adjacency(cache.setup.rs)
+        pickled_per_seed[seed] = len(
+            pickle.dumps(
+                [field.points, csr.data, csr.indices, csr.indptr],
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        )
+    pickled_total = sum(pickled_per_seed[seed] for _, _, seed in cells)
+    shm_total = pool.store.shared_bytes
+    return {
+        "cells": len(cells),
+        "pickled_total": pickled_total,
+        "pickled_per_cell": pickled_total / len(cells),
+        "shm_total": shm_total,
+        "shm_per_cell": shm_total / len(cells),
+        "reduction_factor": pickled_total / shm_total,
+    }
+
+
+def staged_fig08_measurements(setup, *, workers: int = 4, rounds: int = 3):
+    """Median-of-``rounds`` staged wall clock of the fig08 sweep.
+
+    Stages: serial baseline, pool init (executor + worker spawn via
+    ``warm_up``), pooled sweep on warm workers, per-cell medians —
+    plus byte-identity of the figure JSON and the payload-bytes
+    comparison above.
+    """
+    cells = cells_for_figure(setup, 8)
+    walls: dict[str, list[float]] = {
+        "serial": [], "pool_init": [], "parallel": [],
+    }
+    payload = None
+    serial_json = parallel_json = None
+    for _ in range(rounds):
+        cache = DeploymentCache(setup)
+        t0 = perf_counter()
+        result = run_figure(setup, 8, cache)
+        walls["serial"].append(perf_counter() - t0)
+        serial_json = figure_to_json(result)
+
+        cache = DeploymentCache(setup)
+        t0 = perf_counter()
+        with WorkerPool.for_cache(cache, workers=workers) as pool:
+            pool.warm_up()
+            t1 = perf_counter()
+            result = run_figure(setup, 8, cache, pool=pool)
+            t2 = perf_counter()
+            if payload is None:
+                payload = payload_bytes(cache, pool, cells)
+        walls["pool_init"].append(t1 - t0)
+        walls["parallel"].append(t2 - t1)
+        parallel_json = figure_to_json(result)
+
+    medians = {k: statistics.median(v) for k, v in walls.items()}
+    mins = {k: min(v) for k, v in walls.items()}
+    return {
+        "figure": "fig08",
+        "workers": workers,
+        "rounds": rounds,
+        "cells": len(cells),
+        "median_seconds": {
+            "serial": medians["serial"],
+            "pool_init": medians["pool_init"],
+            "parallel": medians["parallel"],
+            "per_cell_serial": medians["serial"] / len(cells),
+            "per_cell_parallel": medians["parallel"] / len(cells),
+        },
+        # best-of-N: immune to transient host load, a true regression
+        # slows every round — this is what the wall ratchet gates
+        "min_seconds": {
+            "serial": mins["serial"],
+            "pool_init": mins["pool_init"],
+            "parallel": mins["parallel"],
+            "per_cell_serial": mins["serial"] / len(cells),
+            "per_cell_parallel": mins["parallel"] / len(cells),
+        },
+        "speedup": medians["serial"] / medians["parallel"],
+        "byte_identical": serial_json == parallel_json,
+        "payload_bytes": payload,
+    }
 
 
 def test_bench_pr4_acceptance(setup):
     cpu_count = os.cpu_count() or 1
     ratios = selection_scan_ratios(setup)
     reduction = ratios["scan"] / ratios["lazy"]
-
-    serial_json, serial_s = _timed_fig08(setup, workers=None)
-    parallel_json, parallel_s = _timed_fig08(setup, workers=4)
-    byte_identical = serial_json == parallel_json
-    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    speedup_asserted = cpu_count >= 4
+    staged = staged_fig08_measurements(setup)
+    speedup_asserted = speedup_gate_active()
 
     payload = {
         "scale": os.environ.get("REPRO_SCALE") or "smoke",
@@ -56,13 +161,13 @@ def test_bench_pr4_acceptance(setup):
             "gate": ">= 5x fewer entries scanned per argmax",
         },
         "parallel": {
-            "figure": "fig08",
-            "serial_seconds": serial_s,
-            "workers4_seconds": parallel_s,
-            "speedup": speedup,
-            "byte_identical": byte_identical,
+            **staged,
             "speedup_asserted": speedup_asserted,
-            "gate": ">= 2x wall-clock with 4 workers (asserted on >= 4 cores)",
+            "gate": (
+                ">= 2x wall-clock with 4 workers (asserted on >= 4 cores "
+                "or REPRO_REQUIRE_SPEEDUP=1); payload bytes per cell "
+                ">= 10x smaller than pickling (asserted everywhere)"
+            ),
         },
     }
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
@@ -70,7 +175,10 @@ def test_bench_pr4_acceptance(setup):
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
 
-    assert byte_identical, "parallel fig08 JSON differs from serial"
+    assert staged["byte_identical"], "parallel fig08 JSON differs from serial"
     assert reduction >= 5.0, payload["selection"]
+    assert staged["payload_bytes"]["reduction_factor"] >= 10.0, (
+        staged["payload_bytes"]
+    )
     if speedup_asserted:
-        assert speedup >= 2.0, payload["parallel"]
+        assert staged["speedup"] >= 2.0, payload["parallel"]

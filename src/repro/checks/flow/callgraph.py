@@ -277,9 +277,18 @@ class CallGraph:
     def worker_roots(self) -> list[str]:
         """Functions shipped to ``repro.parallel`` worker processes.
 
-        A reference passed positionally to a ``.submit(...)`` call or as
-        an ``initializer=`` keyword, inside the ``repro.parallel``
-        package, names a function that will run in a worker.
+        Two populations, each an entry point FLOW002 analyzes all the
+        way down:
+
+        * a reference passed positionally to a pool-submission call
+          (``.submit(...)``, ``.apply_async(...)``, ``.map(...)``) or
+          as an ``initializer=`` keyword, inside the ``repro.parallel``
+          package — that function will run in a worker;
+        * shared-memory attach/detach helpers: any ``repro.parallel``
+          function that opens a ``SharedMemory`` handle runs on one
+          side of the process boundary or the other (the parent
+          publishes segments, workers attach views), so it must be
+          worker-pure too.
         """
         roots: set[str] = set()
         for qual in sorted(self.functions):
@@ -287,11 +296,28 @@ class CallGraph:
             if not _in_package(fn.module, "repro.parallel"):
                 continue
             for site in fn.calls:
-                if site.kind == "ref" and site.via in ("submit", "initializer"):
+                if site.kind == "ref" and site.via in _SUBMISSION_VIAS:
                     roots.update(
                         t for t in site.targets if t in self.functions
                     )
+                elif _is_shared_memory_call(site):
+                    roots.add(qual)
         return sorted(roots)
+
+
+#: Receivers/keywords that ship a callable reference to another process:
+#: executor and multiprocessing.Pool submission APIs plus the pool
+#: initializer seam.
+_SUBMISSION_VIAS = ("submit", "apply_async", "map", "initializer")
+
+
+def _is_shared_memory_call(site: CallSite) -> bool:
+    """True when the site constructs a ``SharedMemory`` handle."""
+    if site.kind != "call":
+        return False
+    if (site.attr or site.name) == "SharedMemory":
+        return True
+    return bool(site.external) and site.external.endswith(".SharedMemory")
 
 
 def _in_package(module: str, package: str) -> bool:

@@ -323,7 +323,13 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     obs = _obs_begin(args)
     setup = _setup_from_args(args)
     cache = DeploymentCache(setup)
-    result = run_figure(setup, args.number, cache, workers=args.workers)
+    if args.workers is not None and args.workers > 1:
+        from repro.parallel import WorkerPool
+
+        with WorkerPool.for_cache(cache, workers=args.workers) as pool:
+            result = run_figure(setup, args.number, cache, pool=pool)
+    else:
+        result = run_figure(setup, args.number, cache)
     print(format_figure_table(result))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -375,11 +381,13 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     cache = DeploymentCache(setup)
     if args.workers is not None and args.workers > 1:
         from repro.experiments.setup import SERIES
+        from repro.parallel import WorkerPool
 
-        cache.prefill(
-            [(s.name, k, seed) for s in SERIES for seed in range(setup.n_seeds)],
-            workers=args.workers,
-        )
+        cells = [
+            (s.name, k, seed) for s in SERIES for seed in range(setup.n_seeds)
+        ]
+        with WorkerPool.for_cache(cache, workers=args.workers) as pool:
+            cache.prefill(cells, pool=pool)
     rows = method_summary(setup, k, cache)
     print(format_summary_table(rows))
     if obs:

@@ -1,0 +1,101 @@
+"""Numba JIT implementations of the benefit kernel primitives.
+
+Import-safe without numba: the module always imports (pytest's
+``--doctest-modules`` collection walks every module under ``src``), and
+:func:`build_kernel` raises ``ImportError`` when numba is absent so
+:func:`repro.core.kernels.get_kernel` can fall back to numpy.
+
+The loops mirror :mod:`repro.core.kernels`'s numpy reference exactly:
+
+* ``apply_delta`` walks changed rows in order and their CSR columns in
+  storage order, so the returned ``touched`` array is element-for-element
+  the numpy gather's output, and each benefit update is the same exact
+  ``+-1.0`` float64 add (integer-valued operands — order cannot matter).
+* Both argmax loops compare with strict ``>``, reproducing
+  ``np.argmax``'s lowest-index tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.kernels import BenefitKernel
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+except ImportError:
+    _njit = None
+
+
+def _define() -> tuple[Any, Any, Any]:  # pragma: no cover - needs numba
+    @_njit(cache=True)
+    def apply_delta_jit(indptr, indices, changed, benefit, delta):
+        total = 0
+        for i in range(changed.shape[0]):
+            c = changed[i]
+            total += indptr[c + 1] - indptr[c]
+        touched = np.empty(total, dtype=indices.dtype)
+        pos = 0
+        for i in range(changed.shape[0]):
+            c = changed[i]
+            for j in range(indptr[c], indptr[c + 1]):
+                t = indices[j]
+                touched[pos] = t
+                benefit[t] += delta
+                pos += 1
+        return touched
+
+    @_njit(cache=True)
+    def argmax_jit(benefit):
+        best = 0
+        best_value = benefit[0]
+        for i in range(1, benefit.shape[0]):
+            if benefit[i] > best_value:
+                best_value = benefit[i]
+                best = i
+        return best
+
+    @_njit(cache=True)
+    def argmax_slice_jit(benefit, candidates):
+        best = candidates[0]
+        best_value = benefit[best]
+        for i in range(1, candidates.shape[0]):
+            idx = candidates[i]
+            if benefit[idx] > best_value:
+                best_value = benefit[idx]
+                best = idx
+        return best
+
+    return apply_delta_jit, argmax_jit, argmax_slice_jit
+
+
+def build_kernel(kernel_cls: type["BenefitKernel"]) -> "BenefitKernel":
+    """Build the numba backend; raises ``ImportError`` without numba."""
+    if _njit is None:
+        raise ImportError("numba is not importable on this host")
+    apply_delta_jit, argmax_jit, argmax_slice_jit = _define()
+
+    def apply_delta(indptr, indices, changed, benefit, delta):
+        # JIT-friendly dtypes: changed arrives as intp or the CSR index
+        # dtype depending on the caller; normalise to int64 once here
+        return apply_delta_jit(
+            indptr, indices, np.asarray(changed, dtype=np.int64), benefit, delta
+        )
+
+    def argmax(benefit):
+        return int(argmax_jit(benefit))
+
+    def argmax_slice(benefit, candidates):
+        return int(
+            argmax_slice_jit(benefit, np.asarray(candidates, dtype=np.int64))
+        )
+
+    return kernel_cls(
+        name="numba",
+        apply_delta=apply_delta,
+        argmax=argmax,
+        argmax_slice=argmax_slice,
+    )

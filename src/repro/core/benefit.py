@@ -31,6 +31,7 @@ from typing import Hashable
 import numpy as np
 from scipy import sparse
 
+from repro.core.kernels import get_kernel
 from repro.core.selection import LazySelector, SelectionStats
 from repro.errors import CoverageError, PlacementError
 from repro.field import FieldModel, as_field_model
@@ -130,6 +131,12 @@ class BenefitEngine:
         ``REPRO_SELECTION`` (default ``"lazy"``).  Both strategies are
         bit-identical — see :mod:`repro.core.selection` and
         ``docs/performance.md``.
+    kernel:
+        Compute backend for the fused delta-gather and the scan argmax
+        primitives: ``"numpy"`` (the reference) or ``"numba"`` (JIT,
+        when importable); ``None`` reads ``REPRO_KERNEL`` (default
+        ``"numpy"``).  Backends are bit-identical — see
+        :mod:`repro.core.kernels`.
     track_rows:
         Record the covered-point row of every accounted sensor (in
         :meth:`place_at`/:meth:`add_sensor_at_position` call order) so a
@@ -164,6 +171,7 @@ class BenefitEngine:
         benefit_adjacency: sparse.csr_matrix | None = None,
         benefit_mode: str = "deficiency",
         selection: str | None = None,
+        kernel: str | None = None,
         track_rows: bool = False,
     ):
         if benefit_mode not in ("deficiency", "binary"):
@@ -179,6 +187,7 @@ class BenefitEngine:
             )
         self._mode = benefit_mode
         self._selection = selection
+        self._kernel = get_kernel(kernel)
         self._selectors: dict[Hashable, LazySelector] = {}
         self._epoch = 0  # bumped on every benefit *increase* (remove_covered)
         # dirty_log[e]: candidates whose benefit rose in the e -> e+1 bump
@@ -342,6 +351,11 @@ class BenefitEngine:
         """The active selection strategy (``"lazy"`` or ``"scan"``)."""
         return self._selection
 
+    @property
+    def kernel_name(self) -> str:
+        """The active compute backend for the hot-loop primitives."""
+        return self._kernel.name
+
     def _record_argmax(self, scanned_before: int) -> None:
         """Bridge one argmax's work counters into OBS (guarded, cheap)."""
         if OBS.enabled:
@@ -385,7 +399,7 @@ class BenefitEngine:
                 )
             else:
                 stats.entries_scanned += self._benefit.shape[0]
-                idx = int(np.argmax(self._benefit))
+                idx = self._kernel.argmax(self._benefit)
             self._record_argmax(scanned_before)
             return int(idx)
         cand = np.asarray(candidates, dtype=np.intp)
@@ -400,7 +414,7 @@ class BenefitEngine:
             )
         else:
             stats.entries_scanned += cand.size
-            idx = int(cand[np.argmax(self._benefit[cand])])
+            idx = self._kernel.argmax_slice(self._benefit, cand)
         self._record_argmax(scanned_before)
         return int(idx)
 
@@ -445,16 +459,16 @@ class BenefitEngine:
         else:  # pragma: no cover - internal misuse
             raise CoverageError(f"invalid sign {sign}")
         if changed.size:
-            # fused CSR row gather: the benefit rows of every changed point,
-            # concatenated in row order, without a Python-level per-row loop
-            indptr = self._ben.indptr
-            starts = indptr[changed]
-            lens = indptr[changed + 1] - starts
-            total = int(lens.sum())
-            pos = np.repeat(starts - (np.cumsum(lens) - lens), lens)
-            pos += np.arange(total, dtype=pos.dtype)
-            touched = self._ben.indices[pos]
-            np.add.at(self._benefit, touched, -1.0 if sign == +1 else +1.0)
+            # the fused CSR row gather + scattered add lives in the kernel
+            # backend (repro.core.kernels); every backend returns the same
+            # touched indices in row order and applies the same exact adds
+            touched = self._kernel.apply_delta(
+                self._ben.indptr,
+                self._ben.indices,
+                changed,
+                self._benefit,
+                -1.0 if sign == +1 else +1.0,
+            )
             if sign == -1:
                 # benefits increased: stale heap priorities are now
                 # under-estimates.  The epoch bump invalidates every lazy

@@ -1,0 +1,200 @@
+"""Pluggable compiled kernels for the benefit hot loop.
+
+Every coverage-greedy variant in the pipeline spends its time in the
+same three primitive operations inside
+:class:`~repro.core.benefit.BenefitEngine`:
+
+* ``apply_delta`` — the fused CSR row gather: for every *changed* point,
+  walk its benefit-adjacency row and add ``delta`` to the benefit of
+  each neighbour, returning the touched indices (row order) for the
+  dirty log and telemetry.
+* ``argmax`` — full-vector argmax with the lowest-index tie-break.
+* ``argmax_slice`` — argmax over a sorted candidate slice, same
+  tie-break.
+
+This module makes those three swappable behind a ``REPRO_KERNEL``
+selector that mirrors ``REPRO_FIELD_BACKEND``
+(:mod:`repro.field.backends`): ``numpy`` is the default reference
+implementation (byte-for-byte the code the engine always ran), and
+``numba`` JIT-compiles the same loops when the package is importable.
+Alternate backends are *optimisations, never approximations*: every
+update is an exact float64 add of ``+-1.0`` on integer-valued benefits,
+so scatter order cannot change results, and the comparison loops use
+strict ``>`` so ties resolve to the lowest index exactly like
+``np.argmax``.  ``tests/test_kernels.py`` drives twin engines through
+randomized op streams and requires bit-identical outcomes for every
+available backend.
+
+Selection precedence is argument > environment > default; an unknown
+name raises :class:`~repro.errors.ConfigurationError`, while a *known*
+backend whose import fails (numba not installed) falls back to
+``numpy`` gracefully so ``REPRO_KERNEL=numba`` is safe to export
+fleet-wide.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "BenefitKernel",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel_name",
+]
+
+#: Environment variable naming the default kernel backend.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: The always-available reference backend.
+_DEFAULT_KERNEL = "numpy"
+
+
+class _ApplyDelta(Protocol):
+    def __call__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        changed: np.ndarray,
+        benefit: np.ndarray,
+        delta: float,
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class BenefitKernel:
+    """One backend's implementations of the three hot-loop primitives.
+
+    ``apply_delta(indptr, indices, changed, benefit, delta)`` mutates
+    ``benefit`` in place and returns the touched column indices in row
+    order; ``argmax(benefit)`` and ``argmax_slice(benefit, candidates)``
+    return a field-point index with the lowest-index tie-break
+    (``candidates`` is sorted by the caller).
+    """
+
+    name: str
+    apply_delta: _ApplyDelta
+    argmax: Callable[[np.ndarray], int]
+    argmax_slice: Callable[[np.ndarray, np.ndarray], int]
+
+
+# ---------------------------------------------------------------------------
+# numpy reference backend
+# ---------------------------------------------------------------------------
+
+
+def _apply_delta_numpy(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    changed: np.ndarray,
+    benefit: np.ndarray,
+    delta: float,
+) -> np.ndarray:
+    # fused CSR row gather: the benefit rows of every changed point,
+    # concatenated in row order, without a Python-level per-row loop
+    starts = indptr[changed]
+    lens = indptr[changed + 1] - starts
+    total = int(lens.sum())
+    pos = np.repeat(starts - (np.cumsum(lens) - lens), lens)
+    pos += np.arange(total, dtype=pos.dtype)
+    touched = indices[pos]
+    np.add.at(benefit, touched, delta)
+    return touched
+
+
+def _argmax_numpy(benefit: np.ndarray) -> int:
+    return int(np.argmax(benefit))
+
+
+def _argmax_slice_numpy(benefit: np.ndarray, candidates: np.ndarray) -> int:
+    return int(candidates[np.argmax(benefit[candidates])])
+
+
+def _make_numpy_kernel() -> BenefitKernel:
+    return BenefitKernel(
+        name="numpy",
+        apply_delta=_apply_delta_numpy,
+        argmax=_argmax_numpy,
+        argmax_slice=_argmax_slice_numpy,
+    )
+
+
+def _make_numba_kernel() -> BenefitKernel:
+    from repro.core._kernels_numba import build_kernel
+
+    return build_kernel(BenefitKernel)
+
+
+#: Registered backend factories; a factory may raise ``ImportError``
+#: when its compiler/runtime is absent on this host.
+_KERNELS: dict[str, Callable[[], BenefitKernel]] = {
+    "numpy": _make_numpy_kernel,
+    "numba": _make_numba_kernel,
+}
+
+#: Built kernels, memoised per backend name (JIT warm-up happens once).
+_BUILT: dict[str, BenefitKernel] = {}
+
+
+def register_kernel(name: str, factory: Callable[[], BenefitKernel]) -> None:
+    """Register (or replace) a kernel backend factory under ``name``."""
+    _KERNELS[name] = factory
+    _BUILT.pop(name, None)
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Registered backend names whose factories build on this host."""
+    out = []
+    for name in _KERNELS:
+        try:
+            _built(name)
+        except ImportError:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def resolve_kernel_name(name: str | None = None) -> str:
+    """Apply the selection precedence: argument > environment > default.
+
+    >>> resolve_kernel_name("numpy")
+    'numpy'
+    """
+    resolved = name or os.environ.get(KERNEL_ENV_VAR) or _DEFAULT_KERNEL
+    if resolved not in _KERNELS:
+        raise ConfigurationError(
+            f"unknown benefit kernel {resolved!r}; expected one of "
+            f"{sorted(_KERNELS)} (see {KERNEL_ENV_VAR})"
+        )
+    return resolved
+
+
+def _built(name: str) -> BenefitKernel:
+    kernel = _BUILT.get(name)
+    if kernel is None:
+        kernel = _KERNELS[name]()
+        _BUILT[name] = kernel
+    return kernel
+
+
+def get_kernel(name: str | None = None) -> BenefitKernel:
+    """The kernel selected by ``name`` / ``REPRO_KERNEL`` / the default.
+
+    A known backend that fails to import (e.g. ``numba`` on a host
+    without it) degrades to the ``numpy`` reference implementation —
+    results are bit-identical either way, only speed differs.  Unknown
+    names raise :class:`~repro.errors.ConfigurationError`.
+    """
+    resolved = resolve_kernel_name(name)
+    try:
+        return _built(resolved)
+    except ImportError:
+        return _built(_DEFAULT_KERNEL)

@@ -469,18 +469,23 @@ def run_figure(
     cache: DeploymentCache | None = None,
     *,
     workers: int | None = None,
+    pool=None,
 ) -> FigureResult:
     """Generate one figure, optionally prefilling its cells in parallel.
 
-    With ``workers`` ``None``/``<= 1`` this is exactly
+    With ``workers`` ``None``/``<= 1`` and no ``pool`` this is exactly
     ``FIGURES[number](setup, cache)``; otherwise the figure's deployment
     cells are computed across worker processes first (deterministic merge,
     bit-identical results) and the serial figure code runs on the warm
-    cache.
+    cache.  A ``pool`` (:class:`repro.parallel.WorkerPool`) reuses its
+    persistent workers and shared-memory fields across figures — the CLI
+    creates one per invocation; longer-lived callers should too.
     """
     if number not in FIGURES:
         raise ExperimentError(f"unknown figure {number}; know {sorted(FIGURES)}")
     cache = cache if cache is not None else DeploymentCache(setup)
-    if workers is not None and workers > 1:
-        cache.prefill(cells_for_figure(setup, number), workers=workers)
+    if pool is not None or (workers is not None and workers > 1):
+        cache.prefill(
+            cells_for_figure(setup, number), workers=workers, pool=pool
+        )
     return FIGURES[number](setup, cache)

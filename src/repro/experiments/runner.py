@@ -166,6 +166,39 @@ class DeploymentCache:
             )
         return self._fields[key]
 
+    def has_field(self, seed: int) -> bool:
+        """Whether a model for ``seed`` exists without building one."""
+        return int(seed) in self._fields
+
+    def adopt_field(self, seed: int, model: FieldModel) -> None:
+        """Use a caller-built model as this cache's per-seed field.
+
+        The zero-copy seam for :mod:`repro.parallel` workers: a model
+        reconstructed over shared-memory views stands in for the one
+        :meth:`field` would have built (it must cover the same points
+        :func:`field_for_seed` produces — the caller guarantees that).
+        Re-adopting over an existing different model raises, for the
+        same reason :meth:`absorb` refuses overwrites.
+        """
+        key = int(seed)
+        existing = self._fields.get(key)
+        if existing is not None and existing is not model:
+            raise ExperimentError(
+                f"cache already holds a field model for seed {key}; "
+                "refusing to replace it"
+            )
+        self._fields[key] = model
+
+    def drop_results(self) -> None:
+        """Forget memoised results; per-seed field models are kept.
+
+        Pool workers call this after every chunk so each submitted cell
+        is computed fresh (a worker-side cache hit would skip the cell's
+        telemetry and diverge from the serial stream) and worker memory
+        stays bounded, while the expensive field artifacts persist.
+        """
+        self._store.clear()
+
     def get(self, series: Series | str, k: int, seed: int) -> DeploymentResult:
         name = series if isinstance(series, str) else series.name
         key = (name, int(k), int(seed))
@@ -196,16 +229,18 @@ class DeploymentCache:
             )
         self._store[key] = result
 
-    def prefill(self, cells, *, workers: int | None = None) -> int:
+    def prefill(self, cells, *, workers: int | None = None, pool=None) -> int:
         """Compute every ``(series, k, seed)`` cell, optionally in parallel.
 
         Delegates to :func:`repro.parallel.prefill_cache`; with the default
-        ``workers=None`` the cells run serially in-process.  Returns the
-        number of cells actually computed (already-cached cells are skipped).
+        ``workers=None`` the cells run serially in-process, and a ``pool``
+        (:class:`repro.parallel.WorkerPool`) reuses persistent workers
+        across batches.  Returns the number of cells actually computed
+        (already-cached cells are skipped).
         """
         from repro.parallel import prefill_cache
 
-        return prefill_cache(self, cells, workers=workers)
+        return prefill_cache(self, cells, workers=workers, pool=pool)
 
     def __contains__(self, key: tuple) -> bool:
         series, k, seed = key

@@ -179,8 +179,13 @@ class FieldModel:
     """
 
     def __init__(self, points: np.ndarray, *, backend: str | None = None) -> None:
-        self._points = np.array(as_points(points))
-        self._points.flags.writeable = False
+        pts = np.array(as_points(points))
+        pts.flags.writeable = False
+        self._init_state(pts, backend)
+
+    def _init_state(self, points: np.ndarray, backend: str | None) -> None:
+        """Shared constructor body; ``points`` is already validated/frozen."""
+        self._points = points
         self._backend_name = resolve_backend_name(backend)
         self._index: NeighborBackend | None = None
         self._adjacency: dict[float, sparse.csr_matrix] = {}
@@ -189,7 +194,60 @@ class FieldModel:
         self._points_by_cell: dict[tuple, list[np.ndarray]] = {}
         self._same_cell: dict[tuple, sparse.csr_matrix] = {}
         self._probe_grids: dict[tuple, np.ndarray] = {}
+        # artifacts adopted from elsewhere (shared-memory segments posted
+        # by repro.parallel.shm); consumed lazily so the build/hit counter
+        # stream stays identical to a from-scratch model
+        self._preloaded_adjacency: dict[float, sparse.csr_matrix] = {}
+        self._preloaded_cells: dict[tuple, np.ndarray] = {}
         self.stats = FieldModelStats()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        points: np.ndarray,
+        *,
+        backend: str | None = None,
+        adjacency: dict[float, sparse.csr_matrix] | None = None,
+        cells: dict[tuple, np.ndarray] | None = None,
+    ) -> "FieldModel":
+        """Wrap existing arrays as a model **without copying them**.
+
+        This is the zero-copy entry point for workers reconstructing a
+        model over :mod:`multiprocessing.shared_memory` views
+        (:mod:`repro.parallel.shm`): ``points`` is adopted as-is (only a
+        read-only view is taken), and pre-built artifacts — the ``rs``
+        adjacency CSRs keyed by radius, cell assignments keyed by
+        partition key — are stashed and consumed lazily on first request
+        instead of being rebuilt.  A consumed preloaded artifact still
+        counts as a *build* in :attr:`stats` (and still touches the
+        neighbour index exactly like a real build), so the telemetry a
+        worker emits is indistinguishable from a from-scratch model's.
+
+        ``points`` must already be a float64 ``(n, 2)`` array; unlike
+        ``__init__`` no coercion copy is made, so anything else raises
+        :class:`~repro.errors.GeometryError`.
+        """
+        if (
+            not isinstance(points, np.ndarray)
+            or points.ndim != 2
+            or points.shape[1] != 2
+            or points.dtype != np.float64
+        ):
+            raise GeometryError(
+                "from_arrays needs a float64 (n, 2) ndarray; use "
+                "FieldModel(...) for coercible inputs"
+            )
+        view = points.view()
+        view.flags.writeable = False
+        model = cls.__new__(cls)
+        model._init_state(view, backend)
+        if adjacency:
+            model._preloaded_adjacency.update(
+                (float(r), m.tocsr()) for r, m in adjacency.items()
+            )
+        if cells:
+            model._preloaded_cells.update(cells)
+        return model
 
     # ------------------------------------------------------------------
     # views
@@ -293,7 +351,14 @@ class FieldModel:
             raise GeometryError(f"negative radius {key}")
         if key not in self._adjacency:
             self.stats.builds["adjacency"] += 1
-            built = self.neighbor_index().adjacency(key)
+            if key in self._preloaded_adjacency:
+                # adopted segment satisfies the build; the index is still
+                # touched so the counter stream matches a real build, but
+                # the O(n * neighbours) ball-query work is skipped
+                self.neighbor_index()
+                built = self._preloaded_adjacency.pop(key)
+            else:
+                built = self.neighbor_index().adjacency(key)
             if CHECKS.enabled:
                 # sanitizer: consumers mutating the shared CSR payload
                 # fail at the mutation site instead of corrupting peers
@@ -328,7 +393,9 @@ class FieldModel:
         if key not in self._cells:
             self.stats.builds["cells"] += 1
             partition = self.grid_partition(region, cell_width, ch)
-            cells = partition.cell_of(self._points)
+            cells = self._preloaded_cells.pop(key, None)
+            if cells is None:
+                cells = partition.cell_of(self._points)
             cells.flags.writeable = False
             self._cells[key] = cells
         else:

@@ -188,6 +188,53 @@ class TestCallGraph:
             "repro.parallel._run",
         ]
 
+    def test_worker_roots_from_pool_submission_apis(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "parallel/__init__.py": """
+                import multiprocessing
+
+                def _run(cell):
+                    return cell
+
+                def sweep(cells):
+                    with multiprocessing.Pool() as pool:
+                        eager = pool.map(_run, cells)
+                        lazy = [pool.apply_async(_run, (c,)) for c in cells]
+                    return eager, [r.get() for r in lazy]
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        assert graph.worker_roots() == ["repro.parallel._run"]
+
+    def test_worker_roots_include_shared_memory_attach(self, tmp_path):
+        src = _write_tree(
+            tmp_path,
+            {
+                "parallel/shm.py": """
+                from multiprocessing.shared_memory import SharedMemory
+
+                def attach(name):
+                    return SharedMemory(name=name)
+
+                def unrelated(x):
+                    return x + 1
+                """,
+                "other.py": """
+                from multiprocessing.shared_memory import SharedMemory
+
+                def outside_parallel(name):
+                    return SharedMemory(name=name)
+                """,
+            },
+        )
+        graph = build_call_graph([src])
+        # attach/detach seams inside repro.parallel are analyzed worker
+        # roots; the same call outside the package is not.
+        assert graph.worker_roots() == ["repro.parallel.shm.attach"]
+
     def test_scc_cycle_tolerated(self):
         sccs = strongly_connected_components(
             {"a": ("b",), "b": ("a", "c"), "c": ()}
@@ -544,6 +591,11 @@ class TestFlow002:
         analysis = analyze_paths([REPO / "src"])
         roots = analysis.graph.worker_roots()
         assert roots, "worker submission seam not detected"
+        # the pool's submitted chunk runner and initializer, and the
+        # shared-memory attach side, are all analyzed entry points
+        assert "repro.parallel.pool._worker_run_chunk" in roots
+        assert "repro.parallel.pool._worker_init" in roots
+        assert "repro.parallel.shm.attach_array" in roots
         for root in roots:
             assert WALL_CLOCK not in analysis.summaries[root], root
             assert UNSEEDED_RNG not in analysis.summaries[root], root

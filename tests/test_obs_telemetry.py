@@ -617,6 +617,7 @@ class TestSampledSeriesMergeIdentity:
         # own rows; only the parent's own bookkeeping counters remain
         assert set(row["series"]) == {
             "parallel_batches_total", "parallel_cells_total",
+            "parallel_chunks_total", "parallel_shm_bytes_total",
         }
 
 
