@@ -1,0 +1,87 @@
+"""Feed bench acceptance payloads into the repo run ledger.
+
+The ``BENCH_PR*.json`` writers persist one *latest* snapshot each; the
+run ledger keeps the whole trajectory.  :func:`append_bench_row` splits
+a bench payload into the ledger's sections — timing leaves (anything
+under a ``*_seconds``/``*_ns`` key) become masked ``wall`` stages,
+deterministic numeric leaves become counters — so ``decor runs list
+--kind bench`` and the drift detectors work over bench history exactly
+like over figure runs.
+
+Rows land in the repository's own ``.decor/ledger`` regardless of the
+working directory, keyed by a config of ``{bench, scale, cpu_count}``:
+same scale + same host shape hash to the same fingerprint, which is what
+:func:`repro.obs.ledger.baseline_rows` groups baselines by.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Any
+
+from repro.obs.ledger import LedgerStore, build_row
+
+#: The repository's ledger root (benchmarks/ -> repo root -> .decor).
+LEDGER_ROOT = pathlib.Path(__file__).resolve().parent.parent / ".decor" / "ledger"
+
+#: Key substrings marking a timing-derived value: those numeric leaves
+#: are wall stages (masked, gated loosely), never counters (gated
+#: tightly).  Ratios of timings (speedups, overhead ratios) vary with
+#: the host the same way raw walls do, so they count as timing too.
+TIMING_MARKERS = ("seconds", "_ns", "wall", "speedup", "ratio")
+
+
+def split_payload(
+    payload: dict[str, Any], prefix: str = ""
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Flatten a bench payload into (counters, walls) by key path.
+
+    >>> split_payload({"a": {"n": 3, "wall_seconds": {"x": 0.5}}, "ok": True})
+    ({'a.n': 3.0, 'ok': 1.0}, {'a.wall_seconds.x': 0.5})
+    """
+    counters: dict[str, float] = {}
+    walls: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else key
+        timing = any(marker in key for marker in TIMING_MARKERS)
+        if isinstance(value, dict):
+            sub_c, sub_w = split_payload(value, path)
+            if timing:
+                walls.update(sub_w)
+                walls.update(sub_c)
+            else:
+                counters.update(sub_c)
+                walls.update(sub_w)
+        elif isinstance(value, bool):
+            counters[path] = float(value)
+        elif isinstance(value, (int, float)):
+            (walls if timing else counters)[path] = float(value)
+    return counters, walls
+
+
+def append_bench_row(
+    label: str,
+    payload: dict[str, Any],
+    *,
+    artifacts: dict[str, str] | None = None,
+    root: pathlib.Path | None = None,
+) -> dict[str, Any]:
+    """Append one ``kind="bench"`` row for a BENCH_PR* acceptance run."""
+    counters, walls = split_payload(payload)
+    config = {
+        "command": "bench",
+        "bench": label,
+        "scale": os.environ.get("REPRO_SCALE") or "smoke",
+        "cpu_count": os.cpu_count(),
+    }
+    row = build_row(
+        "bench",
+        label,
+        config,
+        metrics={"counters": counters, "gauges": {}, "histograms": {}},
+        wall=walls,
+        artifacts=artifacts,
+    )
+    LedgerStore(root if root is not None else LEDGER_ROOT).append(row)
+    return row

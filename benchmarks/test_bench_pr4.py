@@ -35,6 +35,7 @@ from repro.experiments import DeploymentCache, figure_to_json
 from repro.experiments.figures import cells_for_figure, run_figure
 from repro.parallel import WorkerPool
 
+from bench_ledger import append_bench_row
 from test_micro_kernels import selection_scan_ratios
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR4.json"
@@ -173,6 +174,9 @@ def test_bench_pr4_acceptance(setup):
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    append_bench_row(
+        "bench-pr4", payload, artifacts={"results": str(RESULTS_PATH)}
     )
 
     assert staged["byte_identical"], "parallel fig08 JSON differs from serial"

@@ -25,6 +25,8 @@ from repro.experiments import DeploymentCache, figure_to_json
 from repro.experiments.figures import run_figure
 from repro.obs import OBS
 
+from bench_ledger import append_bench_row
+
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_PR7.json"
 ROUNDS = 3
 
@@ -78,6 +80,9 @@ def test_bench_pr7_acceptance(setup):
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    append_bench_row(
+        "bench-pr7", payload, artifacts={"results": str(RESULTS_PATH)}
     )
 
     assert byte_identical, "fig08 JSON differs with sampling enabled"

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.kernels import available_kernels, get_kernel
 from repro.field import FieldModel
 
+from bench_ledger import append_bench_row
 from test_bench_pr4 import (
     payload_bytes,  # noqa: F401  (re-exported shape documented above)
     speedup_gate_active,
@@ -122,6 +123,9 @@ def test_bench_pr9_acceptance(setup):
     RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
     RESULTS_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    append_bench_row(
+        "bench-pr9", payload, artifacts={"results": str(RESULTS_PATH)}
     )
 
     assert staged["byte_identical"], "pooled fig08 JSON differs from serial"

@@ -15,6 +15,7 @@ OBS001    OBS metric/event touchpoints guarded by ``if OBS.enabled:``
 OBS002    ``@profiled`` site names unique across the library
 OBS003    flight-recorder touchpoints guarded by ``if FREC.enabled:``
 OBS004    telemetry touchpoints (OBS.sample, record_*_health) guarded
+OBS005    run-ledger recording guarded by ``if LEDGER.enabled:``
 API001    no exact float ==/!= on coordinates or benefits
 SUP001    every ``# checks: ignore`` suppression must match a finding
 ========  ==========================================================
@@ -45,6 +46,7 @@ from repro.checks.lint.rules_api import NoFloatEqualityOnCoordinates
 from repro.checks.lint.rules_det import NoLegacyGlobalRng, NoWallClockInLibrary
 from repro.checks.lint.rules_obs import (
     FlightRecorderGuarded,
+    LedgerTouchpointsGuarded,
     ObsTouchpointsGuarded,
     ProfiledSitesUnique,
     TelemetryTouchpointsGuarded,
@@ -68,6 +70,7 @@ __all__ = [
     "ProfiledSitesUnique",
     "FlightRecorderGuarded",
     "TelemetryTouchpointsGuarded",
+    "LedgerTouchpointsGuarded",
     "NoFloatEqualityOnCoordinates",
 ]
 
@@ -80,6 +83,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ProfiledSitesUnique,
     FlightRecorderGuarded,
     TelemetryTouchpointsGuarded,
+    LedgerTouchpointsGuarded,
     NoFloatEqualityOnCoordinates,
 )
 

@@ -20,6 +20,11 @@ evaluated and formatted — sit inside an enabled guard:
   ``if OBS.enabled:``.  The health helpers recompute domain gauges
   (holes, energy profiles) — real work, not just argument formatting —
   so an unguarded call would charge disabled runs for it.
+* OBS005 — the run ledger's recording touchpoint
+  (``LEDGER.record_run``) under ``if LEDGER.enabled:``: it harvests the
+  whole metrics registry and digests artifact files — heavyweight work
+  no disabled invocation may pay for.  ``LEDGER.stage`` is exempt for
+  the same reason ``OBS.span`` is (shared null context when disabled).
 
 ``@profiled(site)`` site names feed the ``profile_seconds{site=...}``
 histogram; two call sites sharing a name silently merge their timings, so
@@ -35,6 +40,7 @@ from repro.checks.lint.framework import FileContext, Finding, Rule
 
 __all__ = [
     "FlightRecorderGuarded",
+    "LedgerTouchpointsGuarded",
     "ObsTouchpointsGuarded",
     "ProfiledSitesUnique",
     "TelemetryTouchpointsGuarded",
@@ -236,6 +242,23 @@ class TelemetryTouchpointsGuarded(_TouchpointsGuarded):
     consequence = (
         "disabled runs would still recompute domain health (holes, "
         "energy profiles) or format the sample context"
+    )
+
+
+class LedgerTouchpointsGuarded(_TouchpointsGuarded):
+    """OBS005: LEDGER.record_run under ``if LEDGER.enabled:``."""
+
+    code = "OBS005"
+    summary = (
+        "run-ledger recording touchpoints must sit inside an "
+        "`if LEDGER.enabled:` guard so disabled runs never harvest the "
+        "registry or digest artifacts"
+    )
+    singleton = "LEDGER"
+    guarded_methods = frozenset({"record_run"})
+    consequence = (
+        "disabled runs would still harvest the metrics registry, hash "
+        "artifact files and build the row dict"
     )
 
 

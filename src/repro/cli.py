@@ -39,7 +39,16 @@ default is one row per hook in deterministic logical time).  Watch a sink
 with ``decor top sink.jsonl --follow``, serve any export as a Prometheus
 scrape endpoint with ``decor obs serve``, grammar-check an endpoint with
 ``decor obs scrape URL``, and pretty-print exports offline with
-``decor obs summarize PATH``.  See ``docs/observability.md``.
+``decor obs summarize PATH`` (``--diff A B`` compares two sample sinks).
+See ``docs/observability.md``.
+
+Run ledger: ``--ledger [PATH]`` (or ``REPRO_LEDGER=1``) appends one
+structured history row per figure/deploy/summary/restore invocation —
+config fingerprint, environment, staged wall timings, harvested
+counters/gauges, artifact digests — to an append-only JSONL store
+(default ``.decor/ledger``).  Query it with ``decor runs list|show|diff|
+regress``; ``diff --exit-code`` and ``regress`` return nonzero on
+semantic drift, which is the CI regression gate.
 """
 
 from __future__ import annotations
@@ -60,7 +69,7 @@ from repro.experiments.setup import ExperimentSetup
 from repro.geometry.region import Rect
 from repro.network.failures import area_failure
 from repro.network.spec import SensorSpec
-from repro.obs import FREC, OBS, bridge_field_stats
+from repro.obs import FREC, LEDGER, OBS, bridge_field_stats
 from repro.viz.ascii_field import render_coverage, render_deployment, render_points
 
 __all__ = ["main", "build_parser"]
@@ -86,14 +95,33 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
              "samples to a JSONL sink (watch it with `decor top PATH`; "
              "REPRO_OBS_SAMPLE=<seconds> switches to wall-time throttling)",
     )
+    parser.add_argument(
+        "--ledger", metavar="PATH", nargs="?", const="",
+        help="append a run-history row (config fingerprint, counters, "
+             "health gauges, staged walls, artifact digests) to the "
+             "ledger at PATH (default .decor/ledger; query it with "
+             "`decor runs`)",
+    )
 
 
 def _obs_begin(args: argparse.Namespace) -> bool:
-    """Enable a fresh obs runtime when an export flag asks for one."""
+    """Enable a fresh obs runtime when an export flag asks for one.
+
+    ``--ledger [PATH]`` (or a pre-set ``REPRO_LEDGER``) also counts: the
+    ledger harvests its counters from this invocation's obs runtime, and
+    attaches a logical-clock sampler when no other sampling is configured
+    so the harvest aggregates sample rows — which are byte-identical
+    between serial and ``--workers N`` runs — instead of the registry's
+    schedule-dependent terminal state.
+    """
+    ledger = getattr(args, "ledger", None)
+    if ledger is not None:
+        LEDGER.enable(ledger or None)
     wants = bool(
         getattr(args, "trace", None)
         or getattr(args, "metrics", None)
         or getattr(args, "sample", None)
+        or LEDGER.enabled
     )
     if wants:
         stream = None
@@ -101,7 +129,14 @@ def _obs_begin(args: argparse.Namespace) -> bool:
         if sample_path:
             stream = open(sample_path, "w", encoding="utf-8")
             args._sample_stream = stream
-        OBS.enable(fresh=True, sample_stream=stream)
+        period = None
+        if (
+            LEDGER.enabled
+            and stream is None
+            and not os.environ.get("REPRO_OBS_SAMPLE")
+        ):
+            period = 0.0
+        OBS.enable(fresh=True, sample=period, sample_stream=stream)
     return wants
 
 
@@ -110,7 +145,7 @@ def _obs_begin(args: argparse.Namespace) -> bool:
 #: and stripping ``--flight-record`` itself keeps replay from recursing.
 _NON_REPLAY_FLAGS = (
     "--flight-record", "--trace", "--metrics", "--sample", "--json", "--csv",
-    "--workers",
+    "--workers", "--ledger",
 )
 
 
@@ -149,6 +184,50 @@ def _obs_finish(args: argparse.Namespace) -> None:
         n = OBS.sampler.seq if OBS.sampler is not None else 0
         print(f"wrote {args.sample} ({n} sample rows)")
     print(summarize_trace(OBS.tracer).format())
+
+
+def _ledger_pend(
+    args: argparse.Namespace,
+    kind: str,
+    label: str,
+    config: dict,
+    **artifacts: str | None,
+) -> None:
+    """Stash the ledger row parts; ``main`` appends after artifacts close.
+
+    The flight-record stream is finalized by ``main`` *after* dispatch
+    returns, so artifact digests (and therefore the row) must wait until
+    then — commands only declare what the row should say.
+    """
+    if not LEDGER.enabled:
+        return
+    args._ledger_pend = {
+        "kind": kind,
+        "label": label,
+        "config": config,
+        "artifacts": {k: v for k, v in artifacts.items() if v},
+    }
+
+
+def _ledger_finish(args: argparse.Namespace) -> None:
+    """Append the pending row (harvest + digests) to the run ledger."""
+    if not LEDGER.enabled:
+        return
+    pend = getattr(args, "_ledger_pend", None)
+    if pend is None:
+        return
+    from repro.obs.ledger import capture_environment
+
+    workers = getattr(args, "workers", None)
+    row = LEDGER.record_run(
+        pend["kind"],
+        pend["label"],
+        pend["config"],
+        artifacts=pend["artifacts"],
+        env=capture_environment(workers=workers or 1),
+    )
+    if row is not None and LEDGER.store is not None:
+        print(f"ledger: recorded {row['run_id']} -> {LEDGER.store.root}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -259,7 +338,53 @@ def build_parser() -> argparse.ArgumentParser:
         "summarize",
         help="pretty-print an exported metrics JSON / trace or sample JSONL",
     )
-    p_sumz.add_argument("source", metavar="PATH")
+    p_sumz.add_argument("source", metavar="PATH", nargs="+")
+    p_sumz.add_argument(
+        "--diff", action="store_true",
+        help="compare two sample sinks (counter deltas, gauge "
+             "trajectories, histogram quantile shifts); takes exactly "
+             "two PATH arguments",
+    )
+
+    p_runs = sub.add_parser(
+        "runs", help="query the run ledger: list, show, diff, regress"
+    )
+    p_runs.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger root directory (default .decor/ledger)",
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_rls = runs_sub.add_parser("list", help="list recorded runs")
+    p_rls.add_argument("--kind", default=None, help="filter by row kind")
+    p_rls.add_argument("--label", default=None, help="filter by row label")
+    p_rls.add_argument("--limit", type=int, default=20, metavar="N",
+                       help="show at most N most recent rows (default 20)")
+    p_rsh = runs_sub.add_parser("show", help="print one run row as JSON")
+    p_rsh.add_argument("ref", metavar="REF",
+                       help="run-id prefix, 'latest', or 'latest~N'")
+    p_rdf = runs_sub.add_parser("diff", help="semantic diff of two runs")
+    p_rdf.add_argument("ref_a", metavar="A")
+    p_rdf.add_argument("ref_b", metavar="B")
+    p_rdf.add_argument(
+        "--exit-code", action="store_true",
+        help="exit 1 when the semantic sections differ (for CI gates)",
+    )
+    p_rgr = runs_sub.add_parser(
+        "regress", help="run regression detectors against the run's history"
+    )
+    p_rgr.add_argument("ref", metavar="REF", nargs="?", default="latest",
+                       help="run to check (default: latest)")
+    p_rgr.add_argument("--window", type=int, default=5, metavar="N",
+                       help="baseline window size (default 5)")
+    p_rgr.add_argument("--tolerance", type=float, default=0.1,
+                       help="relative drift tolerance for counters "
+                            "(default 0.1)")
+    p_rgr.add_argument("--wall-tolerance", type=float, default=0.5,
+                       help="relative wall slowdown tolerance (default 0.5)")
+    p_rgr.add_argument(
+        "--detector", action="append", default=None, metavar="NAME",
+        help="run only this detector (repeatable; default: all registered)",
+    )
 
     p_top = sub.add_parser(
         "top", help="terminal dashboard over a --sample JSONL sink"
@@ -323,13 +448,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     obs = _obs_begin(args)
     setup = _setup_from_args(args)
     cache = DeploymentCache(setup)
-    if args.workers is not None and args.workers > 1:
-        from repro.parallel import WorkerPool
+    with LEDGER.stage("figure"):
+        if args.workers is not None and args.workers > 1:
+            from repro.parallel import WorkerPool
 
-        with WorkerPool.for_cache(cache, workers=args.workers) as pool:
-            result = run_figure(setup, args.number, cache, pool=pool)
-    else:
-        result = run_figure(setup, args.number, cache)
+            with WorkerPool.for_cache(cache, workers=args.workers) as pool:
+                result = run_figure(setup, args.number, cache, pool=pool)
+        else:
+            result = run_figure(setup, args.number, cache)
     print(format_figure_table(result))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
@@ -341,7 +467,31 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(f"wrote {args.csv}")
     if obs:
         _obs_finish(args)
+    _ledger_pend(
+        args, "figure", f"fig{args.number:02d}",
+        {"command": "figure", "figure": args.number, **cache.describe()},
+        figure_json=args.json, figure_csv=args.csv,
+        sample_sink=getattr(args, "sample", None),
+        flight_record=getattr(args, "flight_record", None),
+    )
     return 0
+
+
+def _planner_config(args: argparse.Namespace, command: str) -> dict:
+    """The semantic config of a planner-shaped command (deploy/restore)."""
+    return {
+        "command": command,
+        "k": args.k,
+        "method": args.method,
+        "side": args.side,
+        "points": args.points,
+        "rs": args.rs,
+        "rc": args.rc,
+        "cell_size": args.cell_size,
+        "seed": args.seed,
+        "selection": os.environ.get("REPRO_SELECTION", "lazy"),
+        "kernel": os.environ.get("REPRO_KERNEL", "numpy"),
+    }
 
 
 def _cmd_deploy(args: argparse.Namespace) -> int:
@@ -352,7 +502,10 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
         n_points=args.points,
         seed=args.seed,
     )
-    result = planner.deploy(args.k, method=args.method, cell_size=args.cell_size)
+    with LEDGER.stage("deploy"):
+        result = planner.deploy(
+            args.k, method=args.method, cell_size=args.cell_size
+        )
     metrics = evaluate_deployment(result, area=planner.region.area)
     for key, value in metrics.as_row().items():
         print(f"{key:>18}: {value}")
@@ -368,6 +521,12 @@ def _cmd_deploy(args: argparse.Namespace) -> int:
     if obs:
         bridge_field_stats(planner.field)
         _obs_finish(args)
+    _ledger_pend(
+        args, "deploy", f"deploy-{args.method}-k{args.k}",
+        _planner_config(args, "deploy"),
+        sample_sink=getattr(args, "sample", None),
+        flight_record=getattr(args, "flight_record", None),
+    )
     return 0
 
 
@@ -379,19 +538,28 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     setup = _setup_from_args(args)
     k = min(args.k, max(setup.k_values))
     cache = DeploymentCache(setup)
-    if args.workers is not None and args.workers > 1:
-        from repro.experiments.setup import SERIES
-        from repro.parallel import WorkerPool
+    with LEDGER.stage("summary"):
+        if args.workers is not None and args.workers > 1:
+            from repro.experiments.setup import SERIES
+            from repro.parallel import WorkerPool
 
-        cells = [
-            (s.name, k, seed) for s in SERIES for seed in range(setup.n_seeds)
-        ]
-        with WorkerPool.for_cache(cache, workers=args.workers) as pool:
-            cache.prefill(cells, pool=pool)
-    rows = method_summary(setup, k, cache)
+            cells = [
+                (s.name, k, seed)
+                for s in SERIES
+                for seed in range(setup.n_seeds)
+            ]
+            with WorkerPool.for_cache(cache, workers=args.workers) as pool:
+                cache.prefill(cells, pool=pool)
+        rows = method_summary(setup, k, cache)
     print(format_summary_table(rows))
     if obs:
         _obs_finish(args)
+    _ledger_pend(
+        args, "summary", f"summary-k{k}",
+        {"command": "summary", "k": k, **cache.describe()},
+        sample_sink=getattr(args, "sample", None),
+        flight_record=getattr(args, "flight_record", None),
+    )
     return 0
 
 
@@ -405,16 +573,20 @@ def _cmd_restore(args: argparse.Namespace) -> int:
         n_points=args.points,
         seed=args.seed,
     )
-    result = planner.deploy(args.k, method=args.method, cell_size=args.cell_size)
+    with LEDGER.stage("deploy"):
+        result = planner.deploy(
+            args.k, method=args.method, cell_size=args.cell_size
+        )
     radius = args.disaster_radius or 0.24 * args.side
     print(f"deployed           : {result.total_alive} nodes (k={args.k}, "
           f"{args.method})")
     if args.epochs == 1 and args.warm is None:
         # the classic one-shot flow: one disaster disc, one repair
         event = area_failure(result.deployment, planner.region.center, radius)
-        report = planner.restore_after(
-            result, event, method=args.method, cell_size=args.cell_size
-        )
+        with LEDGER.stage("restore"):
+            report = planner.restore_after(
+                result, event, method=args.method, cell_size=args.cell_size
+            )
         print(f"disaster           : radius {radius:g}, "
               f"{event.n_failed} nodes lost")
         print(f"coverage after loss: {report.covered_after_failure:.1%}")
@@ -428,18 +600,19 @@ def _cmd_restore(args: argparse.Namespace) -> int:
             cell_size=args.cell_size,
         )
         total = 0
-        for epoch in range(args.epochs):
-            event = epoch_failure(
-                session.deployment, planner.region, epoch, args.seed,
-                radius=radius,
-            )
-            report = session.restore(event)
-            total += report.extra_nodes
-            print(f"epoch {epoch} ({event.kind:>10}): "
-                  f"{event.n_failed} lost, "
-                  f"{report.covered_after_failure:.1%} after loss, "
-                  f"repair +{report.extra_nodes} -> "
-                  f"{report.covered_after_repair:.0%} k-covered")
+        with LEDGER.stage("restore"):
+            for epoch in range(args.epochs):
+                event = epoch_failure(
+                    session.deployment, planner.region, epoch, args.seed,
+                    radius=radius,
+                )
+                report = session.restore(event)
+                total += report.extra_nodes
+                print(f"epoch {epoch} ({event.kind:>10}): "
+                      f"{event.n_failed} lost, "
+                      f"{report.covered_after_failure:.1%} after loss, "
+                      f"repair +{report.extra_nodes} -> "
+                      f"{report.covered_after_repair:.0%} k-covered")
         mode = "warm" if session.warm else "cold"
         print(f"survived           : {session.epoch} epochs ({mode}), "
               f"+{total} nodes total, "
@@ -447,6 +620,18 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     if obs:
         bridge_field_stats(planner.field)
         _obs_finish(args)
+    config = _planner_config(args, "restore")
+    config.update(
+        epochs=args.epochs,
+        warm=args.warm,
+        disaster_radius=radius,
+        restore_mode=os.environ.get("REPRO_RESTORE", "warm"),
+    )
+    _ledger_pend(
+        args, "restore", f"restore-{args.method}-k{args.k}", config,
+        sample_sink=getattr(args, "sample", None),
+        flight_record=getattr(args, "flight_record", None),
+    )
     return 0
 
 
@@ -541,7 +726,19 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         )
         return 0
     if args.obs_command == "summarize":
-        print(_summarize_export(args.source), end="")
+        if args.diff:
+            if len(args.source) != 2:
+                raise ConfigurationError(
+                    "summarize --diff takes exactly two PATH arguments, "
+                    f"got {len(args.source)}"
+                )
+            print(_summarize_sink_diff(*args.source), end="")
+            return 0
+        if len(args.source) != 1:
+            raise ConfigurationError(
+                "summarize takes one PATH (use --diff to compare two)"
+            )
+        print(_summarize_export(args.source[0]), end="")
         return 0
     raise AssertionError("unreachable")  # pragma: no cover
 
@@ -631,6 +828,153 @@ def _summarize_metrics_doc(doc: dict) -> list[str]:
     return out
 
 
+def _summarize_sink_diff(path_a: str, path_b: str) -> str:
+    """Compare two ``--sample`` sinks side by side.
+
+    Aggregates each sink into the ledger's counter/gauge/histogram
+    sections and renders their delta with the same renderer ``decor runs
+    diff`` uses, then adds what flat sections cannot express: gauge
+    trajectories (first -> last reading) and histogram quantile shifts.
+    """
+    from repro.obs.export import _split_series_key, registry_from_samples
+    from repro.obs.ledger import (
+        diff_sections,
+        render_sections,
+        sections_from_sample_rows,
+    )
+    from repro.obs.top import load_rows, series_table
+
+    rows_a = load_rows(path_a)
+    rows_b = load_rows(path_b)
+    sections_a = sections_from_sample_rows(rows_a)
+    sections_b = sections_from_sample_rows(rows_b)
+    lines = [
+        f"a: {path_a} ({len(rows_a)} sample rows)",
+        f"b: {path_b} ({len(rows_b)} sample rows)",
+    ]
+    delta = diff_sections(sections_a, sections_b)
+    if delta:
+        lines.append("aggregate differences:")
+        lines.extend(render_sections(delta, "a", "b"))
+    else:
+        lines.append("aggregate sections: identical")
+    table_a = series_table(rows_a)
+    table_b = series_table(rows_b)
+    gauge_keys = sorted(set(sections_a["gauges"]) | set(sections_b["gauges"]))
+    if gauge_keys:
+        lines.append("gauge trajectories (first -> last):")
+        for key in gauge_keys:
+            lines.append(
+                f"  {key}: a {_trajectory(table_a.get(key))}, "
+                f"b {_trajectory(table_b.get(key))}"
+            )
+    hist_keys = sorted(
+        set(sections_a["histograms"]) | set(sections_b["histograms"])
+    )
+    if hist_keys:
+        reg_a = registry_from_samples(rows_a)
+        reg_b = registry_from_samples(rows_b)
+        lines.append("histogram quantiles (p50/p95/p99):")
+        for key in hist_keys:
+            name, labels = _split_series_key(key)
+            lines.append(
+                f"  {key}: a {_quantile_summary(reg_a, name, labels)}, "
+                f"b {_quantile_summary(reg_b, name, labels)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _trajectory(points: list[tuple[float, float]] | None) -> str:
+    if not points:
+        return "absent"
+    return f"{points[0][1]:g} -> {points[-1][1]:g}"
+
+
+def _quantile_summary(registry, name: str, labels: dict) -> str:
+    hist = registry.histogram(name, **labels)
+    if hist.count == 0:
+        return "empty"
+    return (
+        f"n={hist.count} p50={hist.quantile(0.5):g} "
+        f"p95={hist.quantile(0.95):g} p99={hist.quantile(0.99):g}"
+    )
+
+
+def _ledger_store(args: argparse.Namespace):
+    """The store ``decor runs`` queries: --ledger, the live one, or default."""
+    from repro.obs.ledger import DEFAULT_LEDGER_ROOT, LedgerStore
+
+    if getattr(args, "ledger", None):
+        return LedgerStore(args.ledger)
+    if LEDGER.enabled and LEDGER.store is not None:
+        return LEDGER.store
+    return LedgerStore(DEFAULT_LEDGER_ROOT)
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.ledger import (
+        RegressOptions,
+        baseline_rows,
+        diff_is_clean,
+        diff_rows,
+        render_diff,
+        run_detectors,
+    )
+
+    store = _ledger_store(args)
+    if args.runs_command == "list":
+        rows = store.rows()
+        if args.kind:
+            rows = [r for r in rows if r.get("kind") == args.kind]
+        if args.label:
+            rows = [r for r in rows if r.get("label") == args.label]
+        shown = rows[-args.limit:] if args.limit and args.limit > 0 else rows
+        if not shown:
+            print(f"no matching runs recorded under {store.root}")
+            return 0
+        for row in shown:
+            wall = sum(row.get("wall", {}).values())
+            print(
+                f"{row.get('run_id')}  {row.get('ts')}  "
+                f"{row.get('kind'):>8}  {str(row.get('label')):<24}  "
+                f"wall={wall:.2f}s"
+            )
+        if len(rows) > len(shown):
+            print(f"({len(rows) - len(shown)} older runs not shown)")
+        return 0
+    if args.runs_command == "show":
+        print(_json.dumps(store.resolve(args.ref), indent=2, sort_keys=True))
+        return 0
+    if args.runs_command == "diff":
+        diff = diff_rows(
+            store.resolve(args.ref_a), store.resolve(args.ref_b)
+        )
+        print(
+            render_diff(diff, label_a=args.ref_a, label_b=args.ref_b),
+            end="",
+        )
+        return 1 if args.exit_code and not diff_is_clean(diff) else 0
+    if args.runs_command == "regress":
+        run = store.resolve(args.ref)
+        baseline = baseline_rows(store.rows(), run, window=args.window)
+        options = RegressOptions(
+            tolerance=args.tolerance,
+            wall_tolerance=args.wall_tolerance,
+            detectors=tuple(args.detector) if args.detector else None,
+        )
+        findings = run_detectors(run, baseline, options)
+        print(
+            f"{run.get('run_id')}: {len(baseline)} baseline run(s), "
+            f"{len(findings)} finding(s)"
+        )
+        for finding in findings:
+            print("  " + finding.format())
+        return 1 if findings else 0
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.obs.top import run_top
 
@@ -700,6 +1044,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_gallery(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     if args.command == "top":
         return _cmd_top(args)
     if args.command == "replay":
@@ -721,8 +1067,11 @@ def main(argv: list[str] | None = None) -> int:
             with FREC.session(path, header=header) as session:
                 code = _dispatch(args)
             print(f"wrote {path} ({len(session.records)} flight records)")
+            _ledger_finish(args)
             return code
-        return _dispatch(args)
+        code = _dispatch(args)
+        _ledger_finish(args)
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

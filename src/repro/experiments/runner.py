@@ -19,6 +19,8 @@ counters make this assertable in tests.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.core.planner import run_method
@@ -156,6 +158,24 @@ class DeploymentCache:
         self.backend = backend
         self._store: dict[tuple[str, int, int], DeploymentResult] = {}
         self._fields: dict[int, FieldModel] = {}
+
+    def describe(self) -> dict:
+        """The semantic configuration this cache's results depend on.
+
+        Run-ledger rows fingerprint this dict: the setup parameters plus
+        the selection strategy and benefit kernel in effect (both are
+        bit-identity-gated, but they *are* distinct configurations worth
+        separating in history).  Worker count is deliberately absent —
+        pooled and serial runs of the same config are the same experiment.
+        """
+        return {
+            "setup": self.setup.describe(),
+            "use_initial": self.use_initial,
+            "field_backend": self.backend
+            or os.environ.get("REPRO_FIELD_BACKEND", "default"),
+            "selection": os.environ.get("REPRO_SELECTION", "lazy"),
+            "kernel": os.environ.get("REPRO_KERNEL", "numpy"),
+        }
 
     def field(self, seed: int) -> FieldModel:
         """The shared per-seed :class:`~repro.field.FieldModel`."""

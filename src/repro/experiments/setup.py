@@ -141,6 +141,32 @@ class ExperimentSetup:
     def with_seeds(self, n_seeds: int) -> "ExperimentSetup":
         return replace(self, n_seeds=n_seeds)
 
+    def describe(self) -> dict:
+        """The semantic parameters as a plain JSON-safe dict.
+
+        This is what run-ledger config fingerprints hash: every field
+        that changes *what* an experiment computes, none of the
+        execution details (worker count, host) that merely change how
+        fast.  Tuples become lists so the dict round-trips through JSON.
+
+        >>> ExperimentSetup.smoke().describe()["k_values"]
+        [1, 2, 3]
+        """
+        return {
+            "field_side": self.field_side,
+            "n_points": self.n_points,
+            "rs": self.rs,
+            "rc_small": self.rc_small,
+            "rc_big": self.rc_big,
+            "cell_small": self.cell_small,
+            "cell_big": self.cell_big,
+            "n_initial": self.n_initial,
+            "n_seeds": self.n_seeds,
+            "generator": self.generator,
+            "k_values": list(self.k_values),
+            "disaster_radius_fraction": self.disaster_radius_fraction,
+        }
+
     # ------------------------------------------------------------------
     @property
     def region(self) -> Rect:

@@ -47,6 +47,13 @@ from repro.obs.export import (
     prometheus_exposition,
 )
 from repro.obs.flightrec import FREC, FlightRecorder
+from repro.obs.ledger import (
+    LEDGER,
+    LedgerStore,
+    RunLedger,
+    config_fingerprint,
+    mask_row,
+)
 from repro.obs.health import (
     record_coverage_health,
     record_energy_health,
@@ -72,6 +79,11 @@ __all__ = [
     "Histogram",
     "profiled",
     "MetricsSampler",
+    "LEDGER",
+    "RunLedger",
+    "LedgerStore",
+    "config_fingerprint",
+    "mask_row",
     "ExpositionServer",
     "prometheus_exposition",
     "parse_exposition",

@@ -18,7 +18,8 @@ Sink reloading (:func:`load_registry`) accepts either format the CLI
 writes — a ``--metrics`` JSON document or a ``--sample`` JSONL trajectory —
 and folds it back into a registry.  Histogram bucket shapes and min/max are
 not recoverable from sample rows (rows carry count/sum deltas only); the
-reconstruction parks the mass in the open-ended bucket.
+reconstruction places the mass in the bucket containing the mean, so
+quantiles on a reloaded sink report the mean.
 """
 
 from __future__ import annotations
@@ -229,12 +230,26 @@ def _split_series_key(key: str) -> tuple[str, dict[str, str]]:
 
 
 def _synth_histogram_state(count: int, total: float) -> dict[str, Any]:
+    """Mergeable state for a histogram known only by ``(count, sum)``.
+
+    Sample rows carry count/sum deltas, not buckets, so the only honest
+    reconstruction is the mean: all mass lands in the bucket containing
+    it and ``min == max == mean``.  Quantiles on a reloaded sink then
+    report the mean — previously the mass was parked in the open-ended
+    bucket with ``max = 0.0``, which collapsed every quantile to zero.
+    """
     buckets = [0] * (len(_BUCKET_EDGES) + 1)
-    buckets[-1] = count
+    mean = total / count if count else 0.0
+    index = len(_BUCKET_EDGES)
+    for i, edge in enumerate(_BUCKET_EDGES):
+        if mean <= edge:
+            index = i
+            break
+    buckets[index] = count
     return {
         "count": count, "sum": total,
-        "min": 0.0 if count else math.inf,
-        "max": 0.0 if count else -math.inf,
+        "min": mean if count else math.inf,
+        "max": mean if count else -math.inf,
         "buckets": buckets,
     }
 

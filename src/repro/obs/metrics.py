@@ -151,7 +151,10 @@ class Histogram:
 
         Returns the upper edge of the bucket containing the ``q``-th
         observation (the usual bucketed-histogram estimate, biased high by
-        at most one power of two).  ``0.0`` when empty; the top bucket is
+        at most one power of two).  ``0.0`` when empty; ``q == 0`` reports
+        the observed ``min`` (the 0th observation *is* the minimum — the
+        bucket edge would overshoot, and on a single-bucket histogram it
+        would collapse every quantile onto the max); the top bucket is
         open-ended and reports the observed ``max``.
 
         >>> h = Histogram()
@@ -161,11 +164,15 @@ class Histogram:
         1.0
         >>> h.quantile(1.0)
         100.0
+        >>> h.quantile(0.0)
+        0.5
         """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
             return 0.0
+        if q == 0.0:
+            return self.min
         rank = q * self.count
         seen = 0
         for i, n in enumerate(self.buckets):

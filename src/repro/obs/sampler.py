@@ -127,7 +127,15 @@ class MetricsSampler:
         return len(self._rows)
 
     def header(self) -> dict[str, Any]:
-        """The sink's self-describing first row."""
+        """The sink's self-describing first row.
+
+        ``capacity`` and ``dropped`` make ring overflow visible on
+        reload: a sink written after eviction says how many oldest rows
+        are missing (its first sample row's ``seq`` equals ``dropped``),
+        so totals reconstructed from it are knowably partial.  A
+        streaming sink's header is written at attach time (``dropped``
+        is 0 there — the stream itself never evicts).
+        """
         return {
             "type": "header",
             "version": SINK_VERSION,
@@ -135,6 +143,8 @@ class MetricsSampler:
             "period": self.period,
             "clock": "wall" if self.period > 0 else "logical",
             "exclude": list(self.exclude),
+            "capacity": self._rows.maxlen,
+            "dropped": self.dropped,
         }
 
     def rows(self) -> list[dict[str, Any]]:

@@ -429,6 +429,63 @@ class TestObs004:
 
 
 # ----------------------------------------------------------------------
+# OBS005 - guarded run-ledger recording
+# ----------------------------------------------------------------------
+class TestObs005:
+    def test_unguarded_record_run_flagged(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import LEDGER
+
+            def f(config):
+                LEDGER.record_run("figure", "fig08", config)
+            """,
+        )
+        assert _codes(findings) == ["OBS005"]
+
+    def test_guarded_record_run_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import LEDGER
+
+            def f(config):
+                if LEDGER.enabled:
+                    LEDGER.record_run("figure", "fig08", config)
+            """,
+        )
+        assert findings == []
+
+    def test_early_exit_guard_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import LEDGER
+
+            def f(config):
+                if not LEDGER.enabled:
+                    return
+                LEDGER.record_run("figure", "fig08", config)
+            """,
+        )
+        assert findings == []
+
+    def test_stage_context_exempt(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            """
+            from repro.obs import LEDGER
+
+            def f(work):
+                with LEDGER.stage("compute"):
+                    work()
+            """,
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # OBS002 - unique @profiled sites
 # ----------------------------------------------------------------------
 class TestObs002:

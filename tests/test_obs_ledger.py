@@ -1,0 +1,391 @@
+"""Tests for the run ledger: determinism contract, store, diff, detectors.
+
+The load-bearing guarantee is the masked-row byte identity: two ledger
+rows from the same config — one serial, one through a 2-worker pool —
+must serialize identically once :func:`~repro.obs.ledger.mask_row`
+strips identity/timing/environment.  Everything else (diff cleanliness,
+fingerprint grouping, regression detection) builds on that.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.obs import LEDGER, OBS
+from repro.obs.ledger import (
+    LedgerStore,
+    RegressOptions,
+    baseline_rows,
+    build_row,
+    capture_environment,
+    config_fingerprint,
+    diff_is_clean,
+    diff_rows,
+    mask_row,
+    render_diff,
+    run_detectors,
+    sections_from_sample_rows,
+)
+
+
+@pytest.fixture(autouse=True)
+def pristine_runtimes():
+    OBS.reset()
+    LEDGER.reset()
+    yield
+    OBS.reset()
+    LEDGER.reset()
+
+
+def _masked_json(row):
+    return json.dumps(mask_row(row), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# row construction
+# ----------------------------------------------------------------------
+class TestRowConstruction:
+    def test_fingerprint_is_order_insensitive(self):
+        a = config_fingerprint({"k": 3, "method": "grid"})
+        b = config_fingerprint({"method": "grid", "k": 3})
+        assert a == b
+
+    def test_fingerprint_distinguishes_configs(self):
+        a = config_fingerprint({"k": 3})
+        b = config_fingerprint({"k": 4})
+        assert a != b
+
+    def test_run_id_prefixed_by_fingerprint(self):
+        config = {"k": 2}
+        row = build_row("deploy", "d", config)
+        assert row["run_id"].startswith(config_fingerprint(config)[:12])
+
+    def test_artifacts_keep_basename_only(self, tmp_path):
+        art = tmp_path / "deep" / "fig.json"
+        art.parent.mkdir()
+        art.write_text("{}", encoding="utf-8")
+        row = build_row("figure", "f", {}, artifacts={"figure_json": str(art)})
+        meta = row["artifacts"]["figure_json"]
+        assert meta["file"] == "fig.json"
+        assert len(meta["sha256"]) == 64
+
+    def test_missing_artifact_digests_null(self, tmp_path):
+        row = build_row(
+            "figure", "f", {},
+            artifacts={"x": str(tmp_path / "nope.json")},
+        )
+        assert row["artifacts"]["x"]["sha256"] is None
+
+    def test_mask_strips_identity_timing_env(self):
+        row = build_row("deploy", "d", {"k": 1}, wall={"deploy": 0.5})
+        masked = mask_row(row)
+        for field in ("run_id", "ts", "env", "wall"):
+            assert field not in masked
+        assert masked["config"] == {"k": 1}
+
+    def test_environment_capture_shape(self):
+        env = capture_environment(workers=4)
+        assert env["workers"] == 4
+        assert "python" in env and "repro_env" in env
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class TestLedgerStore:
+    def test_append_and_iter_roundtrip(self, tmp_path):
+        store = LedgerStore(tmp_path / "ledger")
+        for k in (1, 2, 3):
+            store.append(build_row("deploy", f"d{k}", {"k": k}))
+        rows = store.rows()
+        assert [r["label"] for r in rows] == ["d1", "d2", "d3"]
+
+    def test_segment_rollover(self, tmp_path):
+        store = LedgerStore(tmp_path / "ledger", segment_max_rows=2)
+        for k in range(5):
+            store.append(build_row("deploy", f"d{k}", {"k": k}))
+        assert len(store.segments()) == 3
+        assert len(store.rows()) == 5
+
+    def test_corrupt_line_skipped_with_warning(self, tmp_path):
+        store = LedgerStore(tmp_path / "ledger")
+        store.append(build_row("deploy", "good", {}))
+        segment = store.segments()[0]
+        with open(segment, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+            fh.write('"a bare string"\n')
+        store.append(build_row("deploy", "also-good", {}))
+        with pytest.warns(UserWarning, match="corrupt ledger"):
+            rows = store.rows()
+        assert [r["label"] for r in rows] == ["good", "also-good"]
+
+    def test_resolve_latest_and_offset(self, tmp_path):
+        store = LedgerStore(tmp_path / "ledger")
+        for k in (1, 2):
+            store.append(build_row("deploy", f"d{k}", {"k": k}))
+        assert store.resolve("latest")["label"] == "d2"
+        assert store.resolve("latest~1")["label"] == "d1"
+
+    def test_resolve_prefix_and_errors(self, tmp_path):
+        store = LedgerStore(tmp_path / "ledger")
+        row = build_row("deploy", "d", {"k": 1})
+        store.append(row)
+        assert store.resolve(row["run_id"][:8])["label"] == "d"
+        with pytest.raises(ObservabilityError, match="no run matches"):
+            store.resolve("zzzzzz")
+        with pytest.raises(ObservabilityError, match="only 1 runs"):
+            store.resolve("latest~1")
+
+    def test_resolve_empty_ledger(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="empty"):
+            LedgerStore(tmp_path / "ledger").resolve("latest")
+
+
+# ----------------------------------------------------------------------
+# harvest
+# ----------------------------------------------------------------------
+class TestHarvest:
+    def test_sections_fold_sample_rows(self):
+        rows = [
+            {"type": "header"},
+            {"type": "sample", "series": {
+                "c{a=1}": {"k": "counter", "v": 2},
+                "g": {"k": "gauge", "v": 0.5},
+                "h": {"k": "histogram", "count": 1, "sum": 0.25},
+            }},
+            {"type": "sample", "series": {
+                "c{a=1}": {"k": "counter", "v": 3},
+                "g": {"k": "gauge", "v": 0.75},
+                "h": {"k": "histogram", "count": 2, "sum": 0.5},
+            }},
+        ]
+        sections = sections_from_sample_rows(rows)
+        assert sections["counters"] == {"c{a=1}": 5}
+        assert sections["gauges"] == {"g": 0.75}
+        assert sections["histograms"] == {"h": {"count": 3, "sum": 0.75}}
+
+    def test_exclude_prefixes(self):
+        rows = [{"type": "sample", "series": {
+            "keep_total": {"k": "counter", "v": 1},
+            "drop_total": {"k": "counter", "v": 1},
+        }}]
+        sections = sections_from_sample_rows(rows, exclude=("drop_",))
+        assert list(sections["counters"]) == ["keep_total"]
+
+    def test_inflation_hook(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LEDGER_INFLATE", "selection_:2")
+        LEDGER.enable(tmp_path / "ledger")
+        OBS.enable(fresh=True)
+        if OBS.enabled:
+            OBS.counter("selection_scanned_total").inc(10)
+            OBS.counter("other_total").inc(10)
+        OBS.disable()
+        if LEDGER.enabled:
+            row = LEDGER.record_run("test", "t", {})
+        assert row["counters"]["selection_scanned_total"] == 20
+        assert row["counters"]["other_total"] == 10
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+class TestDiff:
+    def test_identical_rows_diff_clean(self):
+        metrics = {
+            "counters": {"selection_scanned_total": 5},
+            "gauges": {}, "histograms": {},
+        }
+        a = build_row("figure", "f", {"k": 1}, metrics=metrics,
+                      wall={"figure": 0.5})
+        b = build_row("figure", "f", {"k": 1}, metrics=metrics,
+                      wall={"figure": 0.9})
+        diff = diff_rows(a, b)
+        assert diff["fingerprint_match"]
+        assert diff_is_clean(diff)
+        assert "identical" in render_diff(diff)
+        # wall differences are informational, never semantic
+        assert diff["informational"]["wall"]["figure"] == (0.5, 0.9)
+
+    def test_counter_drift_is_semantic(self):
+        a = build_row("figure", "f", {"k": 1}, metrics={
+            "counters": {"c": 5}, "gauges": {}, "histograms": {}})
+        b = build_row("figure", "f", {"k": 1}, metrics={
+            "counters": {"c": 6}, "gauges": {}, "histograms": {}})
+        diff = diff_rows(a, b)
+        assert not diff_is_clean(diff)
+        assert diff["semantic"]["counters"]["c"] == (5, 6)
+
+    def test_config_change_breaks_fingerprint(self):
+        a = build_row("figure", "f", {"k": 1})
+        b = build_row("figure", "f", {"k": 2})
+        diff = diff_rows(a, b)
+        assert not diff["fingerprint_match"]
+        assert "config" in diff["semantic"]
+
+    def test_artifact_digest_change_is_semantic(self, tmp_path):
+        (tmp_path / "a.json").write_text("aaa", encoding="utf-8")
+        (tmp_path / "b.json").write_text("bbb", encoding="utf-8")
+        a = build_row("figure", "f", {},
+                      artifacts={"out": str(tmp_path / "a.json")})
+        b = build_row("figure", "f", {},
+                      artifacts={"out": str(tmp_path / "b.json")})
+        assert not diff_is_clean(diff_rows(a, b))
+
+
+# ----------------------------------------------------------------------
+# regression detectors
+# ----------------------------------------------------------------------
+class TestDetectors:
+    @staticmethod
+    def _row(counters=None, wall=None):
+        return build_row(
+            "figure", "f", {"k": 1},
+            metrics={"counters": counters or {}, "gauges": {},
+                     "histograms": {}},
+            wall=wall or {},
+        )
+
+    def test_empty_baseline_finds_nothing(self):
+        assert run_detectors(self._row({"c": 99}), []) == []
+
+    def test_exact_counter_change_detected(self):
+        baseline = [self._row({"selection_scanned_total": 100})]
+        run = self._row({"selection_scanned_total": 101})
+        findings = run_detectors(run, baseline)
+        assert [f.detector for f in findings] == ["exact-counters"]
+
+    def test_drift_within_tolerance_passes(self):
+        baseline = [self._row({"noisy_total": 100})]
+        assert run_detectors(self._row({"noisy_total": 105}), baseline) == []
+
+    def test_drift_beyond_tolerance_detected(self):
+        baseline = [self._row({"noisy_total": 100}) for _ in range(3)]
+        findings = run_detectors(self._row({"noisy_total": 150}), baseline)
+        assert [f.detector for f in findings] == ["counter-drift"]
+
+    def test_wall_slowdown_detected_speedup_ignored(self):
+        baseline = [self._row(wall={"figure": 1.0}) for _ in range(3)]
+        slow = run_detectors(self._row(wall={"figure": 2.0}), baseline)
+        fast = run_detectors(self._row(wall={"figure": 0.2}), baseline)
+        assert [f.detector for f in slow] == ["wall-regression"]
+        assert fast == []
+
+    def test_detector_selection_and_unknown(self):
+        baseline = [self._row({"selection_scanned_total": 1})]
+        run = self._row({"selection_scanned_total": 2})
+        opts = RegressOptions(detectors=("wall-regression",))
+        assert run_detectors(run, baseline, opts) == []
+        with pytest.raises(ObservabilityError, match="unknown detector"):
+            run_detectors(run, baseline, RegressOptions(detectors=("nope",)))
+
+    def test_baseline_rows_filters_and_windows(self):
+        match = [self._row({"c": i}) for i in range(7)]
+        other = build_row("figure", "f", {"k": 2})
+        rows = match[:3] + [other] + match[3:]
+        run = match[-1]
+        base = baseline_rows(rows, run, window=5)
+        assert len(base) == 5
+        assert all(r["fingerprint"] == run["fingerprint"] for r in base)
+        assert run["run_id"] not in {r["run_id"] for r in base}
+
+
+# ----------------------------------------------------------------------
+# end to end through the CLI
+# ----------------------------------------------------------------------
+class TestCliEndToEnd:
+    @pytest.fixture(autouse=True)
+    def _smoke(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        monkeypatch.chdir(tmp_path)
+
+    def _run_figure(self, ledger, *extra):
+        code = main(
+            ["figure", "8", "--seeds", "1", "--ledger", str(ledger), *extra]
+        )
+        assert code == 0
+        LEDGER.reset()
+        OBS.reset()
+
+    def test_serial_and_pooled_rows_mask_identical(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        self._run_figure(ledger)
+        self._run_figure(ledger, "--workers", "2")
+        capsys.readouterr()
+        rows = LedgerStore(ledger).rows()
+        assert len(rows) == 2
+        assert _masked_json(rows[0]) == _masked_json(rows[1])
+        assert rows[0]["fingerprint"] == rows[1]["fingerprint"]
+        assert rows[0]["run_id"] != rows[1]["run_id"]
+        # the pooled run records its worker count in the masked env
+        assert rows[1]["env"]["workers"] == 2
+        # and the harvest actually carried semantic counters
+        assert any(
+            key.startswith("selection_") for key in rows[0]["counters"]
+        )
+
+    def test_runs_diff_and_regress_exit_codes(self, tmp_path, capsys,
+                                              monkeypatch):
+        ledger = tmp_path / "ledger"
+        self._run_figure(ledger)
+        self._run_figure(ledger)
+        assert main(["runs", "--ledger", str(ledger), "list"]) == 0
+        assert "fig08" in capsys.readouterr().out
+        assert main(
+            ["runs", "--ledger", str(ledger), "diff", "latest~1", "latest",
+             "--exit-code"]
+        ) == 0
+        assert main(
+            ["runs", "--ledger", str(ledger), "regress"]
+        ) == 0
+        capsys.readouterr()
+        # an inflated run must trip both the diff and the detectors
+        monkeypatch.setenv("REPRO_LEDGER_INFLATE", "selection_:3")
+        self._run_figure(ledger)
+        monkeypatch.delenv("REPRO_LEDGER_INFLATE")
+        assert main(
+            ["runs", "--ledger", str(ledger), "diff", "latest~1", "latest",
+             "--exit-code"]
+        ) == 1
+        assert main(["runs", "--ledger", str(ledger), "regress"]) == 1
+        out = capsys.readouterr().out
+        assert "exact-counters" in out
+
+    def test_runs_show_prints_row_json(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        self._run_figure(ledger)
+        capsys.readouterr()
+        assert main(["runs", "--ledger", str(ledger), "show", "latest"]) == 0
+        row = json.loads(capsys.readouterr().out)
+        assert row["kind"] == "figure" and row["label"] == "fig08"
+
+    def test_summarize_diff_renders_sections(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        code = main(
+            ["figure", "8", "--seeds", "1", "--sample", str(a)]
+        )
+        assert code == 0
+        OBS.reset()
+        code = main(
+            ["figure", "9", "--seeds", "1", "--sample", str(b)]
+        )
+        assert code == 0
+        OBS.reset()
+        capsys.readouterr()
+        assert main(["obs", "summarize", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "gauge trajectories" in out
+        assert str(a) in out and str(b) in out
+
+    def test_summarize_single_source_still_works(self, tmp_path, capsys):
+        sink = tmp_path / "s.jsonl"
+        code = main(["figure", "8", "--seeds", "1", "--sample", str(sink)])
+        assert code == 0
+        OBS.reset()
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(sink)]) == 0
+        assert "sample rows" in capsys.readouterr().out

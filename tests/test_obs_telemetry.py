@@ -134,6 +134,26 @@ class TestHistogramQuantile:
     def test_empty_histogram(self):
         reg = MetricsRegistry()
         assert reg.histogram("lat").quantile(0.5) == 0.0
+        assert reg.histogram("lat").quantile(0.0) == 0.0
+        assert reg.histogram("lat").quantile(1.0) == 0.0
+
+    def test_single_observation(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(2.5)
+        for q in (0.0, 0.5, 1.0):
+            assert h.quantile(q) == 2.5
+
+    def test_single_bucket_all_quantiles_bounded(self):
+        # every observation in one bucket: no quantile may leave the
+        # observed [min, max] range, q=0 reports the minimum exactly
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1.1, 1.2, 1.3):
+            h.observe(v)
+        assert h.quantile(0.0) == 1.1
+        for q in (0.25, 0.5, 0.75, 1.0):
+            assert 1.1 <= h.quantile(q) <= 1.3
 
     def test_bad_q_rejected(self):
         reg = MetricsRegistry()
@@ -234,6 +254,20 @@ class TestMetricsSampler:
             MetricsSampler(reg, period=-1.0)
         with pytest.raises(ObservabilityError):
             MetricsSampler(reg, capacity=0)
+
+    def test_header_reports_capacity_and_dropped(self):
+        reg = MetricsRegistry()
+        s = MetricsSampler(reg, capacity=3)
+        for _ in range(5):
+            reg.counter("a_total").inc()
+            s.sample("t")
+        header = s.header()
+        assert header["capacity"] == 3
+        assert header["dropped"] == 2
+        # the header stays honest after eviction: the first retained
+        # row's seq equals the dropped count, so a reader can tell the
+        # sink is a suffix of the full stream
+        assert s.rows()[0]["seq"] == header["dropped"]
 
     def test_stream_sink_writes_header_and_rows(self):
         reg = MetricsRegistry()
@@ -381,6 +415,22 @@ class TestSinkReloading:
         assert reloaded.value("health_coverage_fraction") == 0.75
         assert reloaded.histogram("lat").count == 1
         assert reloaded.histogram("lat").sum == 2.0
+
+    def test_reloaded_histogram_quantiles_report_mean(self, tmp_path):
+        # sample rows carry (count, sum) deltas only; the synthesized
+        # state places the mass at the mean, so reloaded quantiles are
+        # the mean instead of collapsing to zero
+        OBS.enable(fresh=True, sample=0.0)
+        OBS.histogram("lat").observe(2.0)
+        OBS.histogram("lat").observe(4.0)
+        OBS.sample("t")
+        sink = tmp_path / "sink.jsonl"
+        OBS.sampler.write_jsonl(str(sink))
+        reloaded = load_registry(sink)
+        h = reloaded.histogram("lat")
+        assert h.mean == pytest.approx(3.0)
+        for q in (0.0, 0.5, 0.95):
+            assert h.quantile(q) == pytest.approx(3.0)
 
     def test_metrics_json_round_trip(self, tmp_path):
         OBS.enable(fresh=True)

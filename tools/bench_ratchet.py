@@ -49,10 +49,17 @@ are the contract; the ``wall`` section's medians sit in between at
 
 Exit status 0 when the ratchet holds, 1 with a findings report otherwise.
 
+Every measuring pass also appends one ``kind="bench"`` row (counters +
+wall stages + the full nested measurements) to the repository's run
+ledger (``.decor/ledger``), so ``decor runs list --kind bench`` shows
+the ratchet's trajectory and ``--from-ledger`` can re-run the gate
+against the most recent config-matching row without re-measuring.
+
 Usage::
 
     python tools/bench_ratchet.py [--root REPO_ROOT]   # check
     python tools/bench_ratchet.py --update              # re-record
+    python tools/bench_ratchet.py --from-ledger         # gate last row
 """
 
 from __future__ import annotations
@@ -249,6 +256,68 @@ def measure(root: Path) -> dict:
     }
 
 
+def _ratchet_config() -> dict:
+    """The config fingerprinted into the ratchet's ledger rows."""
+    return {
+        "command": "bench_ratchet",
+        "scale": os.environ.get("REPRO_SCALE") or "smoke",
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def append_ledger_row(root: Path, current: dict) -> dict:
+    """Record one ``kind="bench"`` ledger row for this measurement pass.
+
+    Counter leaves ride the ledger's counter section (tight drift gate),
+    timing leaves the masked ``wall`` section; the full nested
+    measurement dict rides along under ``measurements`` so
+    ``--from-ledger`` can re-run the ratchet gate without re-measuring.
+    """
+    _import_repro(root)
+    from repro.obs.ledger import LedgerStore, build_row
+
+    walls = dict(_walk_walls(current))
+    walls.update(_walk_timing(current, "median_seconds"))
+    row = build_row(
+        "bench",
+        "bench_ratchet",
+        _ratchet_config(),
+        metrics={
+            "counters": dict(_walk_counters(current)),
+            "gauges": {},
+            "histograms": {},
+        },
+        wall=walls,
+    )
+    row["measurements"] = current
+    LedgerStore(root / ".decor" / "ledger").append(row)
+    return row
+
+
+def measurements_from_ledger(root: Path) -> dict:
+    """The most recent config-matching ``bench_ratchet`` ledger row's
+    measurements (for gating a run that already happened)."""
+    _import_repro(root)
+    from repro.obs.ledger import LedgerStore, config_fingerprint
+
+    fingerprint = config_fingerprint(_ratchet_config())
+    store = LedgerStore(root / ".decor" / "ledger")
+    candidates = [
+        row
+        for row in store.rows()
+        if row.get("kind") == "bench"
+        and row.get("label") == "bench_ratchet"
+        and row.get("fingerprint") == fingerprint
+        and isinstance(row.get("measurements"), dict)
+    ]
+    if not candidates:
+        raise SystemExit(
+            f"RATCHET: no bench_ratchet row for this config in "
+            f"{store.root} -- run without --from-ledger first"
+        )
+    return candidates[-1]["measurements"]
+
+
 def _walk_counters(d: dict, prefix: str = "") -> list[tuple[str, float]]:
     """Flatten nested numeric leaves, skipping timing subtrees."""
     out: list[tuple[str, float]] = []
@@ -378,11 +447,21 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute seconds added to the wall-section bound, covering "
              "scheduler jitter on millisecond stages (default 0.05)",
     )
+    parser.add_argument(
+        "--from-ledger", action="store_true",
+        help="gate the most recent config-matching bench_ratchet ledger "
+             "row instead of re-measuring (pairs with a prior run that "
+             "recorded one)",
+    )
     opts = parser.parse_args(argv)
     root: Path = opts.root
     record_path = root / "tools" / RECORD_NAME
 
-    current = measure(root)
+    if opts.from_ledger:
+        current = measurements_from_ledger(root)
+    else:
+        current = measure(root)
+        append_ledger_row(root, current)
     if opts.update:
         record_path.write_text(
             json.dumps(current, indent=2) + "\n", encoding="utf-8"
